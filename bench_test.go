@@ -1,0 +1,241 @@
+// Benchmarks regenerating every table and figure in the paper's
+// evaluation (one benchmark per artifact), plus ablation benches for
+// the design knobs DESIGN.md calls out (wait threshold, reschedule
+// overhead, utilization staleness, initial-scheduler flavor, restart vs
+// migration) and micro-benchmarks of the simulator's hot path.
+//
+// Experiment benches run at 4% scale so a full -bench=. pass stays in
+// the minutes range; they report the paper's key metrics via
+// b.ReportMetric (avgWCT, avgCT of suspended jobs) so regressions in
+// *result shape*, not just speed, are visible.
+package netbatch
+
+import (
+	"fmt"
+	"testing"
+
+	"netbatch/internal/cluster"
+	"netbatch/internal/core"
+	"netbatch/internal/experiments"
+	"netbatch/internal/metrics"
+	"netbatch/internal/sched"
+	"netbatch/internal/sim"
+	"netbatch/internal/trace"
+)
+
+// benchScale keeps a full benchmark pass fast while preserving shapes.
+const benchScale = 0.04
+
+func benchOpts() experiments.Options {
+	return experiments.Options{Seed: 42, Scale: benchScale, Parallel: false}
+}
+
+// runExperimentBench runs one registered experiment b.N times and
+// reports its headline metrics.
+func runExperimentBench(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var out *experiments.Output
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err = e.Run(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(out.Summaries) > 0 {
+		last := out.Summaries[len(out.Summaries)-1]
+		b.ReportMetric(last.AvgWCT, "avgWCT")
+		b.ReportMetric(last.AvgCTSuspended, "avgCTsusp")
+	}
+}
+
+func BenchmarkTable1NormalLoad(b *testing.B)      { runExperimentBench(b, "table1") }
+func BenchmarkTable2HighLoad(b *testing.B)        { runExperimentBench(b, "table2") }
+func BenchmarkTable3UtilInitial(b *testing.B)     { runExperimentBench(b, "table3") }
+func BenchmarkTable4WaitResched(b *testing.B)     { runExperimentBench(b, "table4") }
+func BenchmarkTable5WaitReschedUtil(b *testing.B) { runExperimentBench(b, "table5") }
+
+func BenchmarkFig2SuspensionCDF(b *testing.B)   { runExperimentBench(b, "fig2") }
+func BenchmarkFig3WasteComponents(b *testing.B) { runExperimentBench(b, "fig3") }
+func BenchmarkFig4YearTimeline(b *testing.B)    { runExperimentBench(b, "fig4") }
+
+func BenchmarkHighSuspensionScenario(b *testing.B) { runExperimentBench(b, "highsusp") }
+
+// benchFixture builds a week trace and platform at bench scale.
+func benchFixture(b *testing.B, capacity float64) (*trace.Trace, *cluster.Platform) {
+	b.Helper()
+	cfg := trace.WeekNormal(42)
+	cfg.LowRate *= benchScale
+	for i := range cfg.Bursts {
+		cfg.Bursts[i].Rate *= benchScale
+	}
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pc := cluster.DefaultNetBatchConfig()
+	pc.Scale = benchScale
+	plat, err := cluster.NewNetBatchPlatform(pc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if capacity != 1.0 {
+		if plat, err = plat.ScaleCapacity(capacity); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tr, plat
+}
+
+// runSim executes one simulation and reports the waste metric.
+func runSim(b *testing.B, tr *trace.Trace, plat *cluster.Platform, cfg sim.Config) {
+	b.Helper()
+	cfg.Platform = plat
+	cfg.DisableSampling = cfg.UtilStaleness == 0
+	var sum metrics.Summary
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(cfg, tr.Jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum, err = metrics.Summarize(res.Jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(sum.AvgWCT, "avgWCT")
+	b.ReportMetric(sum.AvgCTSuspended, "avgCTsusp")
+}
+
+// BenchmarkAblationWaitThreshold sweeps the §3.3 waiting-time threshold
+// around the paper's 30-minute choice.
+func BenchmarkAblationWaitThreshold(b *testing.B) {
+	tr, plat := benchFixture(b, 0.5)
+	for _, th := range []float64{10, 30, 90, 240} {
+		b.Run(fmt.Sprintf("threshold=%v", th), func(b *testing.B) {
+			runSim(b, tr, plat, sim.Config{
+				Initial: sched.NewRoundRobin(),
+				Policy:  core.ResSusWaitUtil{Threshold: th},
+			})
+		})
+	}
+}
+
+// BenchmarkAblationOverhead sweeps the reschedule transfer overhead the
+// paper's §5 future work proposes to model ("network delays and other
+// rescheduling associated overheads").
+func BenchmarkAblationOverhead(b *testing.B) {
+	tr, plat := benchFixture(b, 1.0)
+	for _, ov := range []float64{0, 5, 20, 60} {
+		b.Run(fmt.Sprintf("overhead=%v", ov), func(b *testing.B) {
+			runSim(b, tr, plat, sim.Config{
+				Initial:            sched.NewRoundRobin(),
+				Policy:             core.NewResSusUtil(),
+				RescheduleOverhead: ov,
+			})
+		})
+	}
+}
+
+// BenchmarkAblationStaleness quantifies §3.2.2's practicality caveat:
+// how much utilization-based initial scheduling degrades as its view of
+// pool state lags.
+func BenchmarkAblationStaleness(b *testing.B) {
+	tr, plat := benchFixture(b, 0.5)
+	for _, st := range []float64{1, 30, 120, 480} {
+		b.Run(fmt.Sprintf("staleness=%v", st), func(b *testing.B) {
+			runSim(b, tr, plat, sim.Config{
+				Initial:       sched.NewUtilizationBased(),
+				Policy:        core.NewResSusUtil(),
+				UtilStaleness: st,
+			})
+		})
+	}
+}
+
+// BenchmarkAblationInitial compares initial-scheduler flavors under the
+// NoRes baseline (the §3.2.1 round-robin vs utilization comparison plus
+// our extensions).
+func BenchmarkAblationInitial(b *testing.B) {
+	tr, plat := benchFixture(b, 1.0)
+	initials := map[string]func() sched.InitialScheduler{
+		"rr":       func() sched.InitialScheduler { return sched.NewRoundRobin() },
+		"rr-pure":  func() sched.InitialScheduler { return sched.NewPureRoundRobin() },
+		"rr-avail": func() sched.InitialScheduler { return &sched.RoundRobin{AvoidQueues: true} },
+		"random":   func() sched.InitialScheduler { return sched.NewRandomInitial(42) },
+	}
+	for _, name := range []string{"rr", "rr-pure", "rr-avail", "random"} {
+		mk := initials[name]
+		b.Run(name, func(b *testing.B) {
+			runSim(b, tr, plat, sim.Config{
+				Initial: mk(),
+				Policy:  core.NewNoRes(),
+			})
+		})
+	}
+}
+
+// BenchmarkAblationMigration compares restart-based rescheduling with
+// the Condor-style checkpoint migration the paper weighs against it
+// (§2.3/§4) at several migration costs.
+func BenchmarkAblationMigration(b *testing.B) {
+	tr, plat := benchFixture(b, 0.5)
+	cases := []struct {
+		name   string
+		policy core.Policy
+	}{
+		{"restart", core.NewResSusUtil()},
+		{"migrate-5min", core.NewResSusMigrate(5)},
+		{"migrate-30min", core.NewResSusMigrate(30)},
+		{"migrate-120min", core.NewResSusMigrate(120)},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			runSim(b, tr, plat, sim.Config{
+				Initial: sched.NewRoundRobin(),
+				Policy:  c.policy,
+			})
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw event throughput of the
+// engine on the busy-week workload.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	tr, plat := benchFixture(b, 1.0)
+	b.ReportAllocs()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.Config{
+			Platform:        plat,
+			Initial:         sched.NewRoundRobin(),
+			Policy:          core.NewResSusWaitUtil(),
+			DisableSampling: true,
+		}, tr.Jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.Events
+	}
+	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mevents/s")
+	b.ReportMetric(float64(len(tr.Jobs)), "jobs")
+}
+
+// BenchmarkTraceGeneration measures synthetic trace synthesis.
+func BenchmarkTraceGeneration(b *testing.B) {
+	cfg := trace.WeekNormal(42)
+	cfg.LowRate *= benchScale
+	for i := range cfg.Bursts {
+		cfg.Bursts[i].Rate *= benchScale
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

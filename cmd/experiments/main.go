@@ -1,0 +1,116 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-run table1,fig2,...] [-scale 1.0] [-seed 42] [-out DIR]
+//
+// Without -run, every registered experiment executes. With -out, each
+// experiment also writes its tables and series as CSV files into DIR
+// for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"netbatch/internal/experiments"
+	"netbatch/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		runIDs   = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		scale    = flag.Float64("scale", 1.0, "platform+workload scale (1.0 = paper scale)")
+		seed     = flag.Uint64("seed", 42, "random seed for trace generation and policies")
+		outDir   = flag.String("out", "", "directory for CSV output (optional)")
+		overhead = flag.Float64("overhead", 0, "reschedule transfer overhead in minutes")
+		serial   = flag.Bool("serial", false, "run strategies sequentially (lower memory)")
+	)
+	flag.Parse()
+
+	ids := experiments.IDs()
+	if *runIDs != "" {
+		ids = strings.Split(*runIDs, ",")
+	}
+	opts := experiments.Options{
+		Seed:     *seed,
+		Scale:    *scale,
+		Parallel: !*serial,
+		Overhead: *overhead,
+	}
+	for _, id := range ids {
+		e, err := experiments.Get(strings.TrimSpace(id))
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		out, err := e.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Printf("=== %s (%.1fs) ===\n", out.ID, time.Since(start).Seconds())
+		for _, tbl := range out.Tables {
+			if err := tbl.Render(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		for _, note := range out.Notes {
+			fmt.Println("  note:", note)
+		}
+		fmt.Println()
+		if *outDir != "" {
+			if err := writeCSV(*outDir, out); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeCSV(dir string, out *experiments.Output) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("create output dir: %w", err)
+	}
+	for i, tbl := range out.Tables {
+		path := filepath.Join(dir, fmt.Sprintf("%s_table%d.csv", out.ID, i))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := tbl.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	for name, pts := range out.Series {
+		safe := strings.NewReplacer(":", "_", "/", "_").Replace(name)
+		path := filepath.Join(dir, fmt.Sprintf("%s_%s.csv", out.ID, safe))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := report.SeriesCSV(f, safe, pts); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

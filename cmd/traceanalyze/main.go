@@ -1,0 +1,85 @@
+// Command traceanalyze summarizes a JSONL job trace: counts, priority
+// mix, service-demand distribution, arrival-rate timeline, and offered
+// utilization against a platform size — the §2 trace-characterization
+// workflow of the paper.
+//
+// Usage:
+//
+//	traceanalyze -trace trace.jsonl [-cores 19200] [-bin 100]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"netbatch/internal/job"
+	"netbatch/internal/report"
+	"netbatch/internal/stats"
+	"netbatch/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "traceanalyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		traceFile = flag.String("trace", "", "JSONL trace file (required)")
+		cores     = flag.Int("cores", 19200, "platform core count for offered-utilization estimate")
+		bin       = flag.Float64("bin", 100, "timeline bin width, minutes")
+	)
+	flag.Parse()
+	if *traceFile == "" {
+		return fmt.Errorf("-trace is required")
+	}
+	f, err := os.Open(*traceFile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+
+	counts := tr.CountByPriority()
+	fmt.Printf("jobs: %d (%d low, %d high) over %.0f minutes\n",
+		len(tr.Jobs), counts[job.PriorityLow], counts[job.PriorityHigh], tr.Horizon())
+	fmt.Printf("total work: %.0f core-minutes; offered utilization on %d cores: %.1f%%\n",
+		tr.TotalWork(), *cores, tr.OfferedUtilization(*cores)*100)
+
+	works := make([]float64, 0, len(tr.Jobs))
+	var mem stats.Mean
+	taskJobs := 0
+	for i := range tr.Jobs {
+		works = append(works, tr.Jobs[i].Work)
+		mem.Add(float64(tr.Jobs[i].MemMB))
+		if tr.Jobs[i].TaskID != 0 {
+			taskJobs++
+		}
+	}
+	cdf := stats.NewCDF(works)
+	tbl := report.CDFTable("service demand distribution (minutes)", cdf)
+	if err := tbl.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("mean memory requirement: %.0f MB; jobs in multi-job tasks: %d (%.1f%%)\n",
+		mem.Mean(), taskJobs, float64(taskJobs)/float64(len(tr.Jobs))*100)
+
+	lowTS := stats.NewTimeSeries(*bin)
+	highTS := stats.NewTimeSeries(*bin)
+	for i := range tr.Jobs {
+		if tr.Jobs[i].Priority == job.PriorityHigh {
+			highTS.Add(tr.Jobs[i].Submit, 1)
+		} else {
+			lowTS.Add(tr.Jobs[i].Submit, 1)
+		}
+	}
+	fmt.Printf("low-priority arrivals:  %s\n", report.Sparkline(lowTS.Points(), 72))
+	fmt.Printf("high-priority arrivals: %s\n", report.Sparkline(highTS.Points(), 72))
+	return nil
+}

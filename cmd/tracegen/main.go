@@ -1,0 +1,96 @@
+// Command tracegen emits synthetic NetBatch-shaped job traces.
+//
+// Usage:
+//
+//	tracegen -preset week|highsusp|year [-seed 42] [-scale 1.0]
+//	         [-format jsonl|csv] [-o trace.jsonl]
+//
+// The presets are the calibrated workloads behind the paper's
+// experiments (see internal/trace/presets.go and DESIGN.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"netbatch/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		preset = flag.String("preset", "week", "workload preset: week, highsusp, or year")
+		seed   = flag.Uint64("seed", 42, "random seed")
+		scale  = flag.Float64("scale", 1.0, "arrival-rate scale (pair with an equally scaled platform)")
+		format = flag.String("format", "jsonl", "output format: jsonl or csv")
+		out    = flag.String("o", "", "output file (default: stdout)")
+	)
+	flag.Parse()
+
+	var cfg trace.GeneratorConfig
+	switch *preset {
+	case "week":
+		cfg = trace.WeekNormal(*seed)
+		cfg = scaleRates(cfg, *scale)
+	case "highsusp":
+		cfg = trace.HighSuspension(*seed)
+		cfg = scaleRates(cfg, *scale)
+	case "year":
+		cfg = trace.YearLong(*seed, *scale)
+	default:
+		return fmt.Errorf("unknown preset %q (want week, highsusp, or year)", *preset)
+	}
+
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		return err
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "tracegen: close:", cerr)
+			}
+		}()
+		w = f
+	}
+	switch *format {
+	case "jsonl":
+		err = tr.WriteJSONL(w)
+	case "csv":
+		err = tr.WriteCSV(w)
+	default:
+		return fmt.Errorf("unknown format %q (want jsonl or csv)", *format)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: %d jobs over %.0f minutes\n", len(tr.Jobs), tr.Horizon())
+	return nil
+}
+
+func scaleRates(cfg trace.GeneratorConfig, s float64) trace.GeneratorConfig {
+	if s == 1.0 {
+		return cfg
+	}
+	cfg.LowRate *= s
+	bursts := append([]trace.Burst(nil), cfg.Bursts...)
+	for i := range bursts {
+		bursts[i].Rate *= s
+	}
+	cfg.Bursts = bursts
+	return cfg
+}

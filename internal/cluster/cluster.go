@@ -1,0 +1,176 @@
+// Package cluster models the static NetBatch platform: heterogeneous
+// multi-core machines grouped into physical pools, grouped into sites.
+// The paper's deployment is "hundreds of machine clusters called pools,
+// distributed globally at dozens of data centers, utilizing tens of
+// thousands of heterogeneous multi-core compute machines" (§1); its
+// evaluation emulates one large site with 20 physical pools (§3.1).
+//
+// The package holds only static configuration. Dynamic state (which jobs
+// run where, free cores, utilization) belongs to the simulator.
+package cluster
+
+import (
+	"fmt"
+
+	"netbatch/internal/job"
+)
+
+// Machine is one compute host.
+type Machine struct {
+	// ID is the machine's global index within the platform.
+	ID int `json:"id"`
+	// Pool is the physical pool the machine belongs to.
+	Pool int `json:"pool"`
+	// Cores is the number of job slots.
+	Cores int `json:"cores"`
+	// MemMB is the machine's memory capacity in megabytes.
+	MemMB int `json:"mem_mb"`
+	// Speed is the relative execution speed (1.0 = reference). A job
+	// with service demand W minutes finishes in W/Speed wall minutes.
+	Speed float64 `json:"speed"`
+	// OS is the machine's operating system label.
+	OS string `json:"os"`
+}
+
+// Eligible reports whether the machine satisfies a job's static
+// requirements (OS, memory capacity, core count). This mirrors the
+// paper's "first eligible machine (i.e., which satisfies the job
+// requirements)" test; availability is checked separately by the
+// simulator.
+func (m *Machine) Eligible(spec *job.Spec) bool {
+	if spec.OS != "" && spec.OS != m.OS {
+		return false
+	}
+	return m.MemMB >= spec.MemMB && m.Cores >= spec.Cores
+}
+
+// MachineClass describes a homogeneous group of machines inside a pool,
+// used by pool builders.
+type MachineClass struct {
+	// Count is the number of machines of this class.
+	Count int `json:"count"`
+	// Cores per machine.
+	Cores int `json:"cores"`
+	// MemMB per machine.
+	MemMB int `json:"mem_mb"`
+	// Speed factor per machine.
+	Speed float64 `json:"speed"`
+	// OS label; defaults to "linux" if empty.
+	OS string `json:"os,omitempty"`
+}
+
+// PoolConfig describes one physical pool to build.
+type PoolConfig struct {
+	// Name is a human-readable pool label.
+	Name string `json:"name"`
+	// Site is the data-center site the pool lives at.
+	Site string `json:"site"`
+	// Classes are the machine groups making up the pool.
+	Classes []MachineClass `json:"classes"`
+}
+
+// Pool is one physical pool: a named set of machines at a site.
+type Pool struct {
+	// ID is the pool's index within the platform.
+	ID int `json:"id"`
+	// Name is the pool's label.
+	Name string `json:"name"`
+	// Site is the pool's data-center site.
+	Site string `json:"site"`
+	// Machines holds the global machine IDs belonging to this pool.
+	Machines []int `json:"machines"`
+	// Cores is the pool's total core count (cached).
+	Cores int `json:"cores"`
+}
+
+// Platform is an immutable description of the whole deployment.
+type Platform struct {
+	pools    []Pool
+	machines []Machine
+}
+
+// Build constructs a platform from pool configurations. Pool IDs are
+// assigned in order; machine IDs are assigned in pool order.
+func Build(configs []PoolConfig) (*Platform, error) {
+	if len(configs) == 0 {
+		return nil, fmt.Errorf("cluster: no pools configured")
+	}
+	p := &Platform{}
+	for poolID, cfg := range configs {
+		pool := Pool{ID: poolID, Name: cfg.Name, Site: cfg.Site}
+		if pool.Name == "" {
+			pool.Name = fmt.Sprintf("pool-%02d", poolID)
+		}
+		if len(cfg.Classes) == 0 {
+			return nil, fmt.Errorf("cluster: pool %q has no machine classes", pool.Name)
+		}
+		for ci, cls := range cfg.Classes {
+			if cls.Count <= 0 {
+				return nil, fmt.Errorf("cluster: pool %q class %d: non-positive count %d", pool.Name, ci, cls.Count)
+			}
+			if cls.Cores <= 0 {
+				return nil, fmt.Errorf("cluster: pool %q class %d: non-positive cores %d", pool.Name, ci, cls.Cores)
+			}
+			if cls.MemMB <= 0 {
+				return nil, fmt.Errorf("cluster: pool %q class %d: non-positive memory %d", pool.Name, ci, cls.MemMB)
+			}
+			if cls.Speed <= 0 {
+				return nil, fmt.Errorf("cluster: pool %q class %d: non-positive speed %v", pool.Name, ci, cls.Speed)
+			}
+			osLabel := cls.OS
+			if osLabel == "" {
+				osLabel = "linux"
+			}
+			for i := 0; i < cls.Count; i++ {
+				id := len(p.machines)
+				p.machines = append(p.machines, Machine{
+					ID:    id,
+					Pool:  poolID,
+					Cores: cls.Cores,
+					MemMB: cls.MemMB,
+					Speed: cls.Speed,
+					OS:    osLabel,
+				})
+				pool.Machines = append(pool.Machines, id)
+				pool.Cores += cls.Cores
+			}
+		}
+		p.pools = append(p.pools, pool)
+	}
+	return p, nil
+}
+
+// NumPools returns the number of physical pools.
+func (p *Platform) NumPools() int { return len(p.pools) }
+
+// NumMachines returns the total machine count.
+func (p *Platform) NumMachines() int { return len(p.machines) }
+
+// Pool returns the pool with the given ID. It panics on an out-of-range
+// ID, which is a programmer error.
+func (p *Platform) Pool(id int) *Pool { return &p.pools[id] }
+
+// Machine returns the machine with the given global ID. It panics on an
+// out-of-range ID, which is a programmer error.
+func (p *Platform) Machine(id int) *Machine { return &p.machines[id] }
+
+// TotalCores returns the platform-wide core count.
+func (p *Platform) TotalCores() int {
+	total := 0
+	for i := range p.pools {
+		total += p.pools[i].Cores
+	}
+	return total
+}
+
+// PoolIDs returns all pool IDs in order.
+func (p *Platform) PoolIDs() []int {
+	ids := make([]int, len(p.pools))
+	for i := range p.pools {
+		ids[i] = i
+	}
+	return ids
+}
+
+// PoolCores returns the core count of pool id.
+func (p *Platform) PoolCores(id int) int { return p.pools[id].Cores }

@@ -1,0 +1,145 @@
+// Package eventq implements the future event list that drives the
+// discrete-event simulator: a binary heap of timestamped events with
+// stable FIFO ordering among simultaneous events and O(log n)
+// cancellation.
+//
+// Stability matters for reproducibility: the simulator frequently
+// schedules several events at the same simulated minute (e.g. a burst of
+// job submissions), and the paper's metrics are sensitive to dispatch
+// order. Events that compare equal in time fire in the order they were
+// scheduled.
+package eventq
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled occurrence. The simulator defines the meaning of
+// Kind and Payload; eventq only orders and delivers them.
+type Event struct {
+	// Time is the simulated time (minutes) at which the event fires.
+	Time float64
+	// Kind discriminates the payload for the consumer.
+	Kind int
+	// Payload carries consumer-defined data.
+	Payload any
+
+	seq      uint64
+	index    int
+	canceled bool
+}
+
+// Handle identifies a scheduled event for cancellation.
+type Handle struct{ ev *Event }
+
+// Queue is a future event list. The zero value is NOT ready to use;
+// construct with New.
+type Queue struct {
+	h   eventHeap
+	seq uint64
+	// live counts scheduled, non-canceled events. Canceled events stay
+	// in the heap until popped (lazy deletion keeps cancellation O(1)).
+	live int
+}
+
+// New returns an empty queue.
+func New() *Queue {
+	return &Queue{}
+}
+
+// Len returns the number of pending (non-canceled) events.
+func (q *Queue) Len() int { return q.live }
+
+// Schedule adds an event at time t. It returns a handle that can cancel
+// the event. Scheduling an event in the past relative to previously
+// popped events is the caller's responsibility to avoid; the queue
+// itself only orders what it holds.
+func (q *Queue) Schedule(t float64, kind int, payload any) Handle {
+	q.seq++
+	ev := &Event{Time: t, Kind: kind, Payload: payload, seq: q.seq}
+	heap.Push(&q.h, ev)
+	q.live++
+	return Handle{ev: ev}
+}
+
+// Cancel removes the event identified by h from the queue. Canceling an
+// already-fired or already-canceled event is a no-op returning false.
+func (q *Queue) Cancel(h Handle) bool {
+	if h.ev == nil || h.ev.canceled || h.ev.index < 0 {
+		return false
+	}
+	h.ev.canceled = true
+	q.live--
+	return true
+}
+
+// Pop removes and returns the earliest pending event. It returns nil
+// when the queue is empty. Among events with equal time, the one
+// scheduled first is returned first.
+func (q *Queue) Pop() *Event {
+	for q.h.Len() > 0 {
+		ev, ok := heap.Pop(&q.h).(*Event)
+		if !ok {
+			panic(fmt.Sprintf("eventq: heap contained %T", ev))
+		}
+		if ev.canceled {
+			continue
+		}
+		q.live--
+		return ev
+	}
+	return nil
+}
+
+// Peek returns the earliest pending event without removing it, or nil if
+// the queue is empty.
+func (q *Queue) Peek() *Event {
+	// Drop canceled events off the top so Peek is accurate.
+	for q.h.Len() > 0 {
+		if top := q.h[0]; top.canceled {
+			heap.Pop(&q.h)
+			continue
+		}
+		return q.h[0]
+	}
+	return nil
+}
+
+type eventHeap []*Event
+
+var _ heap.Interface = (*eventHeap)(nil)
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		panic(fmt.Sprintf("eventq: pushed %T, want *Event", x))
+	}
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil // avoid retaining the event
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

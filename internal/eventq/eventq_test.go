@@ -1,0 +1,213 @@
+package eventq
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyQueue(t *testing.T) {
+	q := New()
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	if q.Pop() != nil {
+		t.Fatal("Pop on empty queue should return nil")
+	}
+	if q.Peek() != nil {
+		t.Fatal("Peek on empty queue should return nil")
+	}
+}
+
+func TestTimeOrdering(t *testing.T) {
+	q := New()
+	q.Schedule(3, 1, "c")
+	q.Schedule(1, 1, "a")
+	q.Schedule(2, 1, "b")
+	var got []string
+	for ev := q.Pop(); ev != nil; ev = q.Pop() {
+		got = append(got, ev.Payload.(string))
+	}
+	if want := "abc"; got[0]+got[1]+got[2] != want {
+		t.Fatalf("order = %v", got)
+	}
+}
+
+func TestFIFOAmongEqualTimes(t *testing.T) {
+	q := New()
+	for i := 0; i < 100; i++ {
+		q.Schedule(5, 0, i)
+	}
+	for i := 0; i < 100; i++ {
+		ev := q.Pop()
+		if ev == nil {
+			t.Fatal("queue exhausted early")
+		}
+		if ev.Payload.(int) != i {
+			t.Fatalf("equal-time events out of FIFO order: got %v at pos %d", ev.Payload, i)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	q := New()
+	h1 := q.Schedule(1, 0, "a")
+	q.Schedule(2, 0, "b")
+	if !q.Cancel(h1) {
+		t.Fatal("Cancel returned false for live event")
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len after cancel = %d", q.Len())
+	}
+	if q.Cancel(h1) {
+		t.Fatal("double Cancel should return false")
+	}
+	ev := q.Pop()
+	if ev == nil || ev.Payload.(string) != "b" {
+		t.Fatalf("Pop after cancel = %+v", ev)
+	}
+	if q.Pop() != nil {
+		t.Fatal("canceled event leaked out")
+	}
+}
+
+func TestCancelAfterPop(t *testing.T) {
+	q := New()
+	h := q.Schedule(1, 0, nil)
+	if q.Pop() == nil {
+		t.Fatal("expected event")
+	}
+	if q.Cancel(h) {
+		t.Fatal("Cancel after Pop should return false")
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+}
+
+func TestCancelZeroHandle(t *testing.T) {
+	q := New()
+	if q.Cancel(Handle{}) {
+		t.Fatal("Cancel of zero handle should be a no-op")
+	}
+}
+
+func TestPeekSkipsCanceled(t *testing.T) {
+	q := New()
+	h := q.Schedule(1, 0, "a")
+	q.Schedule(2, 0, "b")
+	q.Cancel(h)
+	if ev := q.Peek(); ev == nil || ev.Payload.(string) != "b" {
+		t.Fatalf("Peek = %+v, want b", ev)
+	}
+	// Peek must not consume.
+	if ev := q.Pop(); ev == nil || ev.Payload.(string) != "b" {
+		t.Fatalf("Pop after Peek = %+v, want b", ev)
+	}
+}
+
+func TestKindAndTimePreserved(t *testing.T) {
+	q := New()
+	q.Schedule(7.25, 42, "x")
+	ev := q.Pop()
+	if ev.Time != 7.25 || ev.Kind != 42 {
+		t.Fatalf("event fields = %+v", ev)
+	}
+}
+
+func TestPopDrainsMonotonically(t *testing.T) {
+	// Property: popping a randomly scheduled queue yields nondecreasing
+	// times, and every live event is delivered exactly once.
+	err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		r := rand.New(rand.NewPCG(seed, seed))
+		n := int(nRaw)%200 + 1
+		q := New()
+		times := make([]float64, 0, n)
+		handles := make([]Handle, 0, n)
+		for i := 0; i < n; i++ {
+			tm := r.Float64() * 1000
+			handles = append(handles, q.Schedule(tm, 0, tm))
+			times = append(times, tm)
+		}
+		// Cancel a random subset.
+		kept := make([]float64, 0, n)
+		for i, h := range handles {
+			if r.Float64() < 0.3 {
+				q.Cancel(h)
+			} else {
+				kept = append(kept, times[i])
+			}
+		}
+		if q.Len() != len(kept) {
+			return false
+		}
+		got := make([]float64, 0, len(kept))
+		prev := -1.0
+		for ev := q.Pop(); ev != nil; ev = q.Pop() {
+			if ev.Time < prev {
+				return false
+			}
+			prev = ev.Time
+			got = append(got, ev.Payload.(float64))
+		}
+		if len(got) != len(kept) {
+			return false
+		}
+		sort.Float64s(kept)
+		for i := range kept {
+			if got[i] != kept[i] {
+				return false
+			}
+		}
+		return q.Len() == 0
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleavedScheduleAndPop(t *testing.T) {
+	q := New()
+	q.Schedule(10, 0, 10.0)
+	ev := q.Pop()
+	if ev.Time != 10 {
+		t.Fatal("wrong first event")
+	}
+	// Schedule later events after popping; simulator does this constantly.
+	q.Schedule(20, 0, 20.0)
+	q.Schedule(15, 0, 15.0)
+	if got := q.Pop().Time; got != 15 {
+		t.Fatalf("got %v, want 15", got)
+	}
+	if got := q.Pop().Time; got != 20 {
+		t.Fatalf("got %v, want 20", got)
+	}
+}
+
+func BenchmarkScheduleAndPop(b *testing.B) {
+	r := rand.New(rand.NewPCG(1, 2))
+	q := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Schedule(r.Float64()*1e6, 0, nil)
+		if q.Len() > 1024 {
+			for j := 0; j < 512; j++ {
+				q.Pop()
+			}
+		}
+	}
+}
+
+func BenchmarkCancel(b *testing.B) {
+	q := New()
+	handles := make([]Handle, b.N)
+	for i := 0; i < b.N; i++ {
+		handles[i] = q.Schedule(float64(i), 0, nil)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Cancel(handles[i])
+	}
+}

@@ -1,0 +1,281 @@
+// Package experiments defines one runnable experiment per table and
+// figure in the paper's evaluation (§3), plus the high-suspension
+// text-only scenario. Each experiment generates its synthetic trace,
+// builds the platform, runs the simulator once per strategy, and
+// renders results in the paper's layout. DESIGN.md carries the
+// experiment index; EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"netbatch/internal/cluster"
+	"netbatch/internal/core"
+	"netbatch/internal/metrics"
+	"netbatch/internal/report"
+	"netbatch/internal/sched"
+	"netbatch/internal/sim"
+	"netbatch/internal/stats"
+	"netbatch/internal/trace"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Seed drives trace generation and all policy randomness.
+	Seed uint64
+	// Scale shrinks the platform and the arrival rates together
+	// (per-pool load is preserved). 1.0 is paper scale; tests and
+	// benchmarks use ~0.1. Values <= 0 default to 1.0.
+	Scale float64
+	// Parallel runs the per-strategy simulations concurrently.
+	Parallel bool
+	// Overhead is the reschedule transfer overhead in minutes (the §5
+	// future-work knob; 0 matches the paper's evaluation).
+	Overhead float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1.0
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// Output is a completed experiment.
+type Output struct {
+	// ID and Title identify the experiment.
+	ID, Title string
+	// Names are the strategy names, in run order.
+	Names []string
+	// Summaries are the per-strategy metric sets, aligned with Names.
+	Summaries []metrics.Summary
+	// Tables are the rendered result tables (paper layout).
+	Tables []*report.Table
+	// Series holds named time series / distributions for the figures.
+	Series map[string][]stats.Point
+	// Notes carries free-form observations (e.g. measured quantiles).
+	Notes []string
+}
+
+// Experiment is a registered, reproducible paper artifact.
+type Experiment struct {
+	// ID is the registry key (e.g. "table1", "fig2").
+	ID string
+	// Title describes the paper artifact.
+	Title string
+	// Run executes the experiment.
+	Run func(Options) (*Output, error)
+}
+
+// registry holds all experiments, keyed by ID.
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	registry[e.ID] = e
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return e, nil
+}
+
+// IDs lists registered experiment IDs in stable order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// PolicyFactory names and constructs a rescheduling strategy.
+type PolicyFactory struct {
+	// Name is the paper's strategy name.
+	Name string
+	// New builds the policy; seed feeds its randomness.
+	New func(seed uint64) core.Policy
+}
+
+// Standard policy sets used by the tables.
+func susPolicies() []PolicyFactory {
+	return []PolicyFactory{
+		{Name: "NoRes", New: func(uint64) core.Policy { return core.NewNoRes() }},
+		{Name: "ResSusUtil", New: func(uint64) core.Policy { return core.NewResSusUtil() }},
+		{Name: "ResSusRand", New: func(s uint64) core.Policy { return core.NewResSusRand(s) }},
+	}
+}
+
+func waitPolicies() []PolicyFactory {
+	return []PolicyFactory{
+		{Name: "NoRes", New: func(uint64) core.Policy { return core.NewNoRes() }},
+		{Name: "ResSusWaitUtil", New: func(uint64) core.Policy { return core.NewResSusWaitUtil() }},
+		{Name: "ResSusWaitRand", New: func(s uint64) core.Policy { return core.NewResSusWaitRand(s) }},
+	}
+}
+
+// scaleTraceCfg shrinks arrival rates to pair with an equally scaled
+// platform, preserving per-pool load.
+func scaleTraceCfg(cfg trace.GeneratorConfig, s float64) trace.GeneratorConfig {
+	if s == 1.0 {
+		return cfg
+	}
+	cfg.LowRate *= s
+	bursts := append([]trace.Burst(nil), cfg.Bursts...)
+	for i := range bursts {
+		bursts[i].Rate *= s
+	}
+	cfg.Bursts = bursts
+	if cfg.Auto != nil {
+		a := *cfg.Auto
+		a.Rate *= s
+		cfg.Auto = &a
+	}
+	return cfg
+}
+
+// buildPlatform creates the default NetBatch platform at the given
+// scale, optionally halved for the high-load scenario.
+func buildPlatform(scale, capacityFactor float64) (*cluster.Platform, error) {
+	cfg := cluster.DefaultNetBatchConfig()
+	cfg.Scale = scale
+	plat, err := cluster.NewNetBatchPlatform(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if capacityFactor != 1.0 {
+		plat, err = plat.ScaleCapacity(capacityFactor)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return plat, nil
+}
+
+// strategyRun is one (policy, simulation) execution.
+type strategyRun struct {
+	name    string
+	summary metrics.Summary
+	result  *sim.Result
+}
+
+// runStrategies simulates the trace once per policy on the platform.
+func runStrategies(
+	tr *trace.Trace,
+	plat *cluster.Platform,
+	newInitial func() sched.InitialScheduler,
+	policies []PolicyFactory,
+	opts Options,
+	staleness float64,
+) ([]strategyRun, error) {
+	runs := make([]strategyRun, len(policies))
+	runOne := func(i int) error {
+		cfg := sim.Config{
+			Platform:           plat,
+			Initial:            newInitial(),
+			Policy:             policies[i].New(opts.Seed + uint64(i)*7919),
+			RescheduleOverhead: opts.Overhead,
+			UtilStaleness:      staleness,
+			CheckConservation:  true,
+		}
+		res, err := sim.Run(cfg, tr.Jobs)
+		if err != nil {
+			return fmt.Errorf("experiments: strategy %s: %w", policies[i].Name, err)
+		}
+		sum, err := metrics.Summarize(res.Jobs)
+		if err != nil {
+			return fmt.Errorf("experiments: strategy %s: %w", policies[i].Name, err)
+		}
+		runs[i] = strategyRun{name: policies[i].Name, summary: sum, result: res}
+		return nil
+	}
+	if !opts.Parallel {
+		for i := range policies {
+			if err := runOne(i); err != nil {
+				return nil, err
+			}
+		}
+		return runs, nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(policies))
+	for i := range policies {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = runOne(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return runs, nil
+}
+
+// tableExperiment builds a standard tables-1-through-5 experiment.
+// staleness is the utilization-view propagation delay in minutes; the
+// utilization-based initial-scheduler experiments use a 30-minute-stale
+// view, reflecting the paper's observation that exact pool utilization
+// "can be impractical in reality given the unavoidable propagation
+// latency between different pools" (§3.2.2).
+func tableExperiment(
+	id, title string,
+	capacityFactor float64,
+	staleness float64,
+	newInitial func() sched.InitialScheduler,
+	policies func() []PolicyFactory,
+) Experiment {
+	return Experiment{
+		ID:    id,
+		Title: title,
+		Run: func(opts Options) (*Output, error) {
+			opts = opts.withDefaults()
+			tr, err := trace.Generate(scaleTraceCfg(trace.WeekNormal(opts.Seed), opts.Scale))
+			if err != nil {
+				return nil, err
+			}
+			plat, err := buildPlatform(opts.Scale, capacityFactor)
+			if err != nil {
+				return nil, err
+			}
+			runs, err := runStrategies(tr, plat, newInitial, policies(), opts, staleness)
+			if err != nil {
+				return nil, err
+			}
+			return tableOutput(id, title, runs)
+		},
+	}
+}
+
+// tableOutput assembles the standard per-strategy output.
+func tableOutput(id, title string, runs []strategyRun) (*Output, error) {
+	out := &Output{ID: id, Title: title, Series: map[string][]stats.Point{}}
+	for _, r := range runs {
+		out.Names = append(out.Names, r.name)
+		out.Summaries = append(out.Summaries, r.summary)
+		out.Series["util:"+r.name] = r.result.Util.Points()
+		out.Series["suspended:"+r.name] = r.result.Suspended.Points()
+	}
+	tbl, err := report.PaperTable(title, out.Names, out.Summaries)
+	if err != nil {
+		return nil, err
+	}
+	waste, err := report.WasteTable(title+" — wasted-time components", out.Names, out.Summaries)
+	if err != nil {
+		return nil, err
+	}
+	out.Tables = append(out.Tables, tbl, waste)
+	return out, nil
+}

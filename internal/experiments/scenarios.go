@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+
+	"netbatch/internal/core"
+	"netbatch/internal/metrics"
+	"netbatch/internal/report"
+	"netbatch/internal/sched"
+	"netbatch/internal/stats"
+	"netbatch/internal/trace"
+)
+
+// yearScale shrinks the year-long figure runs relative to the requested
+// scale: a year of trace at full platform size is ~12M jobs, far beyond
+// what the figures need to show their shape.
+const yearScale = 0.2
+
+func init() {
+	register(tableExperiment(
+		"table1",
+		"Table 1: Performance under normal load scenario (round-robin initial scheduler)",
+		1.0, 0,
+		func() sched.InitialScheduler { return sched.NewRoundRobin() },
+		susPolicies,
+	))
+	register(tableExperiment(
+		"table2",
+		"Table 2: Performance under high load scenario (round-robin initial scheduler, cores halved)",
+		0.5, 0,
+		func() sched.InitialScheduler { return sched.NewRoundRobin() },
+		susPolicies,
+	))
+	register(tableExperiment(
+		"table3",
+		"Table 3: Performance with utilization-based initial scheduling (high load)",
+		0.5, 30,
+		func() sched.InitialScheduler { return sched.NewUtilizationBased() },
+		susPolicies,
+	))
+	register(tableExperiment(
+		"table4",
+		"Table 4: Suspended+waiting rescheduling with round robin initial scheduling (high load)",
+		0.5, 0,
+		func() sched.InitialScheduler { return sched.NewRoundRobin() },
+		waitPolicies,
+	))
+	register(tableExperiment(
+		"table5",
+		"Table 5: Suspended+waiting rescheduling with utilization-based initial scheduling (high load)",
+		0.5, 30,
+		func() sched.InitialScheduler { return sched.NewUtilizationBased() },
+		waitPolicies,
+	))
+	register(Experiment{
+		ID:    "fig2",
+		Title: "Figure 2: CDF of job suspension time (year-long trace, NoRes)",
+		Run:   runFig2,
+	})
+	register(Experiment{
+		ID:    "fig3",
+		Title: "Figure 3: Average wasted completion time components under normal load",
+		Run:   runFig3,
+	})
+	register(Experiment{
+		ID:    "fig4",
+		Title: "Figure 4: Suspension (# jobs) and utilization (%) over a one year period",
+		Run:   runFig4,
+	})
+	register(Experiment{
+		ID:    "highsusp",
+		Title: "High Suspension Scenario (§3.2.1): 14% suspend-rate trace",
+		Run:   runHighSusp,
+	})
+}
+
+// yearRun simulates the year-long trace under NoRes with round-robin
+// initial scheduling, shared by Figures 2 and 4.
+func yearRun(opts Options) ([]strategyRun, error) {
+	opts = opts.withDefaults()
+	scale := opts.Scale * yearScale
+	tr, err := trace.Generate(trace.YearLong(opts.Seed, scale))
+	if err != nil {
+		return nil, err
+	}
+	plat, err := buildPlatform(scale, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	return runStrategies(tr, plat,
+		func() sched.InitialScheduler { return sched.NewRoundRobin() },
+		[]PolicyFactory{{Name: "NoRes", New: func(uint64) core.Policy { return core.NewNoRes() }}},
+		opts, 0)
+}
+
+func runFig2(opts Options) (*Output, error) {
+	runs, err := yearRun(opts)
+	if err != nil {
+		return nil, err
+	}
+	r := runs[0]
+	cdf := metrics.SuspensionCDF(r.result.Jobs)
+	out := &Output{
+		ID:        "fig2",
+		Title:     "Figure 2: CDF of job suspension time",
+		Names:     []string{r.name},
+		Summaries: []metrics.Summary{r.summary},
+		Series:    map[string][]stats.Point{"suspension_cdf": cdf.Points(200)},
+	}
+	out.Tables = append(out.Tables, report.CDFTable(out.Title, cdf))
+	out.Notes = append(out.Notes,
+		fmt.Sprintf("paper: median 437 min, mean 905 min, 20%% of suspended jobs > 1100 min"),
+		fmt.Sprintf("measured: median %.0f min, mean %.0f min, p80 %.0f min",
+			cdf.Quantile(0.5), cdf.Mean(), cdf.Quantile(0.8)))
+	return out, nil
+}
+
+func runFig3(opts Options) (*Output, error) {
+	opts = opts.withDefaults()
+	tr, err := trace.Generate(scaleTraceCfg(trace.WeekNormal(opts.Seed), opts.Scale))
+	if err != nil {
+		return nil, err
+	}
+	plat, err := buildPlatform(opts.Scale, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	runs, err := runStrategies(tr, plat,
+		func() sched.InitialScheduler { return sched.NewRoundRobin() },
+		susPolicies(), opts, 0)
+	if err != nil {
+		return nil, err
+	}
+	out := &Output{
+		ID:     "fig3",
+		Title:  "Figure 3: Average wasted completion time (minutes) under normal load",
+		Series: map[string][]stats.Point{},
+	}
+	for _, r := range runs {
+		out.Names = append(out.Names, r.name)
+		out.Summaries = append(out.Summaries, r.summary)
+	}
+	waste, err := report.WasteTable(out.Title, out.Names, out.Summaries)
+	if err != nil {
+		return nil, err
+	}
+	out.Tables = append(out.Tables, waste)
+	return out, nil
+}
+
+func runFig4(opts Options) (*Output, error) {
+	runs, err := yearRun(opts)
+	if err != nil {
+		return nil, err
+	}
+	r := runs[0]
+	utilPts := r.result.Util.Points()
+	suspPts := r.result.Suspended.Points()
+	out := &Output{
+		ID:        "fig4",
+		Title:     "Figure 4: Suspension (# jobs) and utilization (%) over one year (100-minute bins)",
+		Names:     []string{r.name},
+		Summaries: []metrics.Summary{r.summary},
+		Series: map[string][]stats.Point{
+			"utilization_pct": utilPts,
+			"suspended_jobs":  suspPts,
+		},
+	}
+	meanUtil := r.result.Util.MeanOfBins()
+	_, peakSusp := r.result.Suspended.MaxBin()
+	out.Notes = append(out.Notes,
+		"paper: overall utilization averages ~40% (typically 20-60%); suspension spikes with bursts",
+		fmt.Sprintf("measured: mean utilization %.1f%%, peak suspended jobs per bin %.0f", meanUtil, peakSusp),
+		"utilization: "+report.Sparkline(utilPts, 80),
+		"suspended:   "+report.Sparkline(suspPts, 80))
+	return out, nil
+}
+
+func runHighSusp(opts Options) (*Output, error) {
+	opts = opts.withDefaults()
+	tr, err := trace.Generate(scaleTraceCfg(trace.HighSuspension(opts.Seed), opts.Scale))
+	if err != nil {
+		return nil, err
+	}
+	plat, err := buildPlatform(opts.Scale, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	runs, err := runStrategies(tr, plat,
+		func() sched.InitialScheduler { return sched.NewRoundRobin() },
+		[]PolicyFactory{
+			{Name: "NoRes", New: func(uint64) core.Policy { return core.NewNoRes() }},
+			{Name: "ResSusUtil", New: func(uint64) core.Policy { return core.NewResSusUtil() }},
+		}, opts, 0)
+	if err != nil {
+		return nil, err
+	}
+	out, err := tableOutput("highsusp", "High Suspension Scenario (§3.2.1)", runs)
+	if err != nil {
+		return nil, err
+	}
+	noRes, util := runs[0].summary, runs[1].summary
+	out.Notes = append(out.Notes,
+		"paper: ~14% suspend rate; rescheduling cuts AvgCT(all) by ~7% and AvgCT(suspended) by ~44%",
+		fmt.Sprintf("measured: suspend rate %.1f%%; AvgCT(all) reduction %.1f%%; AvgCT(suspended) reduction %.1f%%",
+			noRes.SuspendRate,
+			(1-util.AvgCTAll/noRes.AvgCTAll)*100,
+			(1-util.AvgCTSuspended/noRes.AvgCTSuspended)*100))
+	return out, nil
+}

@@ -1,0 +1,214 @@
+// Package report renders experiment results as ASCII tables in the
+// paper's layout, as CSV for downstream plotting, and as compact text
+// figures (CDF quantile tables and time-series sparklines).
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"netbatch/internal/metrics"
+	"netbatch/internal/stats"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	// Title is printed above the table.
+	Title string
+	// Columns are the header labels.
+	Columns []string
+	// Rows are the data cells; each row must match len(Columns).
+	Rows [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table as aligned ASCII.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		if len(row) != len(t.Columns) {
+			return fmt.Errorf("report: row has %d cells, want %d", len(row), len(t.Columns))
+		}
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total-2) + "\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteCSV writes the table (header plus rows) as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return fmt.Errorf("report: csv header: %w", err)
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("report: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("report: csv flush: %w", err)
+	}
+	return nil
+}
+
+// paperColumns is the column layout of the paper's Tables 1–5.
+var paperColumns = []string{
+	"Strategy", "Suspend rate", "AvgCT Suspend", "AvgCT All", "AvgST", "AvgWCT",
+}
+
+// PaperTable renders per-strategy summaries in the layout of the
+// paper's Tables 1–5.
+func PaperTable(title string, names []string, sums []metrics.Summary) (*Table, error) {
+	if len(names) != len(sums) {
+		return nil, fmt.Errorf("report: %d names for %d summaries", len(names), len(sums))
+	}
+	t := &Table{Title: title, Columns: paperColumns}
+	for i, s := range sums {
+		t.AddRow(
+			names[i],
+			fmt.Sprintf("%.2f%%", s.SuspendRate),
+			fmt.Sprintf("%.1f", s.AvgCTSuspended),
+			fmt.Sprintf("%.1f", s.AvgCTAll),
+			fmt.Sprintf("%.1f", s.AvgST),
+			fmt.Sprintf("%.1f", s.AvgWCT),
+		)
+	}
+	return t, nil
+}
+
+// WasteTable renders the Figure 3 decomposition: the three components
+// of average wasted completion time per strategy.
+func WasteTable(title string, names []string, sums []metrics.Summary) (*Table, error) {
+	if len(names) != len(sums) {
+		return nil, fmt.Errorf("report: %d names for %d summaries", len(names), len(sums))
+	}
+	t := &Table{
+		Title: title,
+		Columns: []string{
+			"Strategy", "Wait Time", "Suspend Time", "Wasted by Resched", "Total AvgWCT",
+		},
+	}
+	for i, s := range sums {
+		t.AddRow(
+			names[i],
+			fmt.Sprintf("%.1f", s.WaitComp),
+			fmt.Sprintf("%.1f", s.SuspendComp),
+			fmt.Sprintf("%.1f", s.ReschedComp),
+			fmt.Sprintf("%.1f", s.AvgWCT),
+		)
+	}
+	return t, nil
+}
+
+// CDFTable renders a distribution as quantile rows (the text rendering
+// of Figure 2).
+func CDFTable(title string, cdf *stats.CDF) *Table {
+	t := &Table{Title: title, Columns: []string{"Percentile", "Minutes"}}
+	for _, q := range []float64{0.10, 0.25, 0.50, 0.75, 0.80, 0.90, 0.95, 0.99} {
+		t.AddRow(fmt.Sprintf("p%02.0f", q*100), fmt.Sprintf("%.1f", cdf.Quantile(q)))
+	}
+	t.AddRow("mean", fmt.Sprintf("%.1f", cdf.Mean()))
+	t.AddRow("n", fmt.Sprintf("%d", cdf.N()))
+	return t
+}
+
+// sparkLevels are the glyphs used by Sparkline, lowest to highest.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders a series as a unicode sparkline of at most width
+// characters (the text rendering of Figure 4's curves).
+func Sparkline(pts []stats.Point, width int) string {
+	if len(pts) == 0 || width <= 0 {
+		return ""
+	}
+	if width > len(pts) {
+		width = len(pts)
+	}
+	// Downsample by averaging consecutive chunks.
+	vals := make([]float64, width)
+	for i := 0; i < width; i++ {
+		lo := i * len(pts) / width
+		hi := (i + 1) * len(pts) / width
+		if hi == lo {
+			hi = lo + 1
+		}
+		var sum float64
+		for _, p := range pts[lo:hi] {
+			sum += p.Y
+		}
+		vals[i] = sum / float64(hi-lo)
+	}
+	minV, maxV := vals[0], vals[0]
+	for _, v := range vals {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sb strings.Builder
+	for _, v := range vals {
+		idx := 0
+		if maxV > minV {
+			idx = int((v - minV) / (maxV - minV) * float64(len(sparkLevels)-1))
+		}
+		sb.WriteRune(sparkLevels[idx])
+	}
+	return sb.String()
+}
+
+// SeriesCSV writes a time series as (t, value) CSV rows.
+func SeriesCSV(w io.Writer, header string, pts []stats.Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t_minutes", header}); err != nil {
+		return fmt.Errorf("report: series header: %w", err)
+	}
+	for _, p := range pts {
+		if err := cw.Write([]string{
+			fmt.Sprintf("%.1f", p.X), fmt.Sprintf("%.4f", p.Y),
+		}); err != nil {
+			return fmt.Errorf("report: series row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("report: series flush: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,266 @@
+// Package sched implements NetBatch's virtual-pool-manager initial
+// schedulers: the policies that pick which physical pool a newly
+// submitted job is sent to.
+//
+// The paper evaluates two (§3.2.1): the production round-robin scheduler
+// and a utilization-based scheduler that sends each job to the pool with
+// the lowest current utilization. Rescheduling policies (what happens
+// after suspension or a stalled wait) live in package core; they
+// complement whichever initial scheduler is in use.
+package sched
+
+import (
+	"fmt"
+	"strings"
+
+	"netbatch/internal/job"
+	"netbatch/internal/stats"
+)
+
+// PoolView is the read-only view of pool state that scheduling and
+// rescheduling policies may consult. The simulator provides it. Views
+// may be deliberately stale (see the staleness knob in the simulator):
+// the paper notes that exact utilization-based scheduling "can be
+// impractical in reality given the unavoidable propagation latency
+// between different pools" (§3.2.2).
+type PoolView interface {
+	// NumPools returns the number of physical pools.
+	NumPools() int
+	// Utilization returns pool's busy-core fraction in [0, 1].
+	Utilization(pool int) float64
+	// QueueLen returns the number of jobs waiting in pool's queue.
+	QueueLen(pool int) int
+	// PoolCores returns pool's total core count.
+	PoolCores(pool int) int
+	// Eligible reports whether pool contains at least one machine that
+	// satisfies the job's static requirements (OS, memory, cores).
+	Eligible(pool int, spec *job.Spec) bool
+}
+
+// InitialScheduler selects the physical pool for a newly submitted job.
+type InitialScheduler interface {
+	// Name identifies the scheduler in reports.
+	Name() string
+	// SelectPool returns the chosen pool from spec.Candidates. It must
+	// only return statically eligible pools; it returns an error when
+	// no candidate pool can ever run the job.
+	SelectPool(now float64, spec *job.Spec, view PoolView) (int, error)
+}
+
+// errNoEligiblePool builds the common error.
+func errNoEligiblePool(spec *job.Spec) error {
+	return fmt.Errorf("sched: job %d has no eligible candidate pool %v", spec.ID, spec.Candidates)
+}
+
+// RoundRobin is NetBatch's default initial scheduler: "the default
+// scheduling follows a round-robin fashion" (§2.1), distributing
+// "according to resource availability and NetBatch configurations".
+// Three behaviors compose:
+//
+//   - Weighted turns (default): pools rotate in proportion to their
+//     core capacity, so a 2400-core pool takes eight turns for every
+//     turn of a 300-core pool.
+//   - Load-oblivious (default): the rotation ignores queue lengths,
+//     which is what lets jobs pile up behind bursts in heavily utilized
+//     pools ("particularly exacerbated by NetBatch's use of the round
+//     robin scheduler", §3.3).
+//   - AvoidQueues (extension): skip pools with a non-empty wait queue
+//     while some candidate pool has an empty one — an availability-
+//     aware refinement used by the ablation benches.
+//   - Pure: strictly equal turns regardless of size; with
+//     heterogeneous pools this drowns small pools (ablation).
+//
+// Round-robin state is kept per distinct candidate set, since different
+// job classes rotate over different pool sets.
+type RoundRobin struct {
+	// Pure selects strictly-equal turns instead of capacity-weighted.
+	Pure bool
+	// AvoidQueues enables the queue-availability filter.
+	AvoidQueues bool
+
+	cursors map[string]int
+	wrr     map[string]*wrrState
+}
+
+var _ InitialScheduler = (*RoundRobin)(nil)
+
+// NewRoundRobin returns the capacity-weighted round-robin scheduler.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// NewPureRoundRobin returns the strictly-equal-turns variant.
+func NewPureRoundRobin() *RoundRobin { return &RoundRobin{Pure: true} }
+
+// Name implements InitialScheduler.
+func (r *RoundRobin) Name() string {
+	switch {
+	case r.Pure:
+		return "rr-pure"
+	case r.AvoidQueues:
+		return "rr-avail"
+	default:
+		return "rr"
+	}
+}
+
+// SelectPool implements InitialScheduler.
+func (r *RoundRobin) SelectPool(_ float64, spec *job.Spec, view PoolView) (int, error) {
+	eligible := eligibleCandidates(spec, view)
+	if len(eligible) == 0 {
+		return 0, errNoEligiblePool(spec)
+	}
+	key := candidateKey(eligible)
+	if r.Pure {
+		if r.cursors == nil {
+			r.cursors = make(map[string]int)
+		}
+		idx := r.cursors[key]
+		r.cursors[key] = idx + 1
+		return eligible[idx%len(eligible)], nil
+	}
+	if r.wrr == nil {
+		r.wrr = make(map[string]*wrrState)
+	}
+	st, ok := r.wrr[key]
+	if !ok {
+		st = newWRRState(eligible, view)
+		r.wrr[key] = st
+	}
+	if !r.AvoidQueues {
+		return st.next(), nil
+	}
+	// Availability filter: rotate until a pool with an empty wait queue
+	// turns up; if every candidate is backlogged, take the one with the
+	// shortest queue among a full rotation (the pool is overloaded
+	// either way, §3.3's stalled-jobs discussion).
+	best, bestQ := -1, 0
+	for range eligible {
+		p := st.next()
+		q := view.QueueLen(p)
+		if q == 0 {
+			return p, nil
+		}
+		if best == -1 || q < bestQ {
+			best, bestQ = p, q
+		}
+	}
+	return best, nil
+}
+
+// wrrState implements smooth weighted round-robin (the nginx algorithm):
+// each turn, every pool's current weight grows by its capacity; the
+// largest current weight wins and is decremented by the total. The
+// resulting sequence interleaves pools proportionally to capacity.
+type wrrState struct {
+	pools   []int
+	weights []int
+	current []int
+	total   int
+}
+
+func newWRRState(pools []int, view PoolView) *wrrState {
+	st := &wrrState{
+		pools:   append([]int(nil), pools...),
+		weights: make([]int, len(pools)),
+		current: make([]int, len(pools)),
+	}
+	for i, p := range pools {
+		w := view.PoolCores(p)
+		if w < 1 {
+			w = 1
+		}
+		st.weights[i] = w
+		st.total += w
+	}
+	return st
+}
+
+func (st *wrrState) next() int {
+	best := 0
+	for i := range st.pools {
+		st.current[i] += st.weights[i]
+		if st.current[i] > st.current[best] {
+			best = i
+		}
+	}
+	st.current[best] -= st.total
+	return st.pools[best]
+}
+
+// UtilizationBased sends each job to the statically eligible candidate
+// pool with the lowest current utilization (§3.2.2). Ties break toward
+// the lower pool ID for determinism.
+type UtilizationBased struct{}
+
+var _ InitialScheduler = (*UtilizationBased)(nil)
+
+// NewUtilizationBased returns the utilization-based initial scheduler.
+func NewUtilizationBased() *UtilizationBased { return &UtilizationBased{} }
+
+// Name implements InitialScheduler.
+func (u *UtilizationBased) Name() string { return "util" }
+
+// SelectPool implements InitialScheduler.
+func (u *UtilizationBased) SelectPool(_ float64, spec *job.Spec, view PoolView) (int, error) {
+	best, bestUtil := -1, 0.0
+	for _, p := range spec.Candidates {
+		if !view.Eligible(p, spec) {
+			continue
+		}
+		util := view.Utilization(p)
+		if best == -1 || util < bestUtil {
+			best, bestUtil = p, util
+		}
+	}
+	if best == -1 {
+		return 0, errNoEligiblePool(spec)
+	}
+	return best, nil
+}
+
+// RandomInitial sends each job to a uniformly random eligible candidate
+// pool. It is not one of the paper's initial schedulers but serves as an
+// ablation baseline between round-robin and utilization-based.
+type RandomInitial struct {
+	rng *stats.RNG
+}
+
+var _ InitialScheduler = (*RandomInitial)(nil)
+
+// NewRandomInitial returns a random initial scheduler with its own
+// deterministic stream.
+func NewRandomInitial(seed uint64) *RandomInitial {
+	return &RandomInitial{rng: stats.NewRNG(seed)}
+}
+
+// Name implements InitialScheduler.
+func (r *RandomInitial) Name() string { return "random" }
+
+// SelectPool implements InitialScheduler.
+func (r *RandomInitial) SelectPool(_ float64, spec *job.Spec, view PoolView) (int, error) {
+	eligible := eligibleCandidates(spec, view)
+	if len(eligible) == 0 {
+		return 0, errNoEligiblePool(spec)
+	}
+	return eligible[r.rng.IntN(len(eligible))], nil
+}
+
+// eligibleCandidates filters spec.Candidates through the view's static
+// eligibility check, preserving order.
+func eligibleCandidates(spec *job.Spec, view PoolView) []int {
+	out := make([]int, 0, len(spec.Candidates))
+	for _, p := range spec.Candidates {
+		if view.Eligible(p, spec) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// candidateKey builds a map key identifying a candidate set.
+func candidateKey(pools []int) string {
+	var sb strings.Builder
+	for _, p := range pools {
+		fmt.Fprintf(&sb, "%d,", p)
+	}
+	return sb.String()
+}

@@ -1,0 +1,257 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"netbatch/internal/job"
+)
+
+// fakeView is a controllable PoolView for scheduler tests.
+type fakeView struct {
+	cores      []int
+	utils      []float64
+	queues     []int
+	ineligible map[int]bool
+}
+
+var _ PoolView = (*fakeView)(nil)
+
+func (f *fakeView) NumPools() int             { return len(f.cores) }
+func (f *fakeView) Utilization(p int) float64 { return f.utils[p] }
+func (f *fakeView) QueueLen(p int) int        { return f.queues[p] }
+func (f *fakeView) PoolCores(p int) int       { return f.cores[p] }
+func (f *fakeView) Eligible(p int, _ *job.Spec) bool {
+	return !f.ineligible[p]
+}
+
+func newFakeView(cores ...int) *fakeView {
+	return &fakeView{
+		cores:      cores,
+		utils:      make([]float64, len(cores)),
+		queues:     make([]int, len(cores)),
+		ineligible: map[int]bool{},
+	}
+}
+
+func specWithCandidates(cands ...int) *job.Spec {
+	return &job.Spec{
+		ID: 1, Work: 10, Cores: 1, MemMB: 1024,
+		Priority: job.PriorityLow, Candidates: cands,
+	}
+}
+
+func TestPureRoundRobinCycles(t *testing.T) {
+	view := newFakeView(100, 100, 100)
+	rr := NewPureRoundRobin()
+	spec := specWithCandidates(0, 1, 2)
+	var got []int
+	for i := 0; i < 6; i++ {
+		p, err := rr.SelectPool(0, spec, view)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, p)
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sequence = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPureRoundRobinPerCandidateSet(t *testing.T) {
+	view := newFakeView(10, 10, 10, 10)
+	rr := NewPureRoundRobin()
+	all := specWithCandidates(0, 1, 2, 3)
+	owned := specWithCandidates(0, 1)
+	if p, _ := rr.SelectPool(0, all, view); p != 0 {
+		t.Fatalf("first all = %d", p)
+	}
+	// The owned set rotates independently of the all set.
+	if p, _ := rr.SelectPool(0, owned, view); p != 0 {
+		t.Fatalf("first owned = %d", p)
+	}
+	if p, _ := rr.SelectPool(0, all, view); p != 1 {
+		t.Fatalf("second all = %d", p)
+	}
+	if p, _ := rr.SelectPool(0, owned, view); p != 1 {
+		t.Fatalf("second owned = %d", p)
+	}
+}
+
+func TestWeightedRoundRobinProportions(t *testing.T) {
+	view := newFakeView(300, 100, 100) // pool 0 has 60% of capacity
+	rr := NewRoundRobin()
+	spec := specWithCandidates(0, 1, 2)
+	counts := make([]int, 3)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		p, err := rr.SelectPool(0, spec, view)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[p]++
+	}
+	frac0 := float64(counts[0]) / n
+	if math.Abs(frac0-0.6) > 0.01 {
+		t.Fatalf("big pool share = %v, want ~0.6 (counts %v)", frac0, counts)
+	}
+	if counts[1] == 0 || counts[2] == 0 {
+		t.Fatalf("small pools starved: %v", counts)
+	}
+}
+
+func TestWeightedRoundRobinInterleaves(t *testing.T) {
+	// Smooth WRR must interleave, not batch: with weights 2:1 the
+	// heavy pool must never take 3 consecutive turns.
+	view := newFakeView(200, 100)
+	rr := NewRoundRobin()
+	spec := specWithCandidates(0, 1)
+	consecutive := 0
+	for i := 0; i < 300; i++ {
+		p, _ := rr.SelectPool(0, spec, view)
+		if p == 0 {
+			consecutive++
+			if consecutive >= 3 {
+				t.Fatal("weighted RR batched 3 consecutive picks of the heavy pool")
+			}
+		} else {
+			consecutive = 0
+		}
+	}
+}
+
+func TestRoundRobinSkipsIneligible(t *testing.T) {
+	view := newFakeView(10, 10, 10)
+	view.ineligible[1] = true
+	rr := NewPureRoundRobin()
+	spec := specWithCandidates(0, 1, 2)
+	for i := 0; i < 10; i++ {
+		p, err := rr.SelectPool(0, spec, view)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p == 1 {
+			t.Fatal("selected statically ineligible pool")
+		}
+	}
+}
+
+func TestRoundRobinNoEligible(t *testing.T) {
+	view := newFakeView(10)
+	view.ineligible[0] = true
+	rr := NewRoundRobin()
+	if _, err := rr.SelectPool(0, specWithCandidates(0), view); err == nil {
+		t.Fatal("want error when no pool is eligible")
+	}
+}
+
+func TestUtilizationBasedPicksLowest(t *testing.T) {
+	view := newFakeView(10, 10, 10)
+	view.utils = []float64{0.9, 0.2, 0.5}
+	u := NewUtilizationBased()
+	p, err := u.SelectPool(0, specWithCandidates(0, 1, 2), view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Fatalf("picked pool %d, want 1", p)
+	}
+}
+
+func TestUtilizationBasedTieBreaksLowID(t *testing.T) {
+	view := newFakeView(10, 10, 10)
+	view.utils = []float64{0.5, 0.5, 0.5}
+	u := NewUtilizationBased()
+	p, err := u.SelectPool(0, specWithCandidates(2, 1, 0), view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Candidate order is (2,1,0); strict < keeps the first minimum: 2.
+	if p != 2 {
+		t.Fatalf("picked pool %d, want first-listed minimum 2", p)
+	}
+}
+
+func TestUtilizationBasedRespectsCandidates(t *testing.T) {
+	view := newFakeView(10, 10, 10)
+	view.utils = []float64{0.0, 0.9, 0.9}
+	u := NewUtilizationBased()
+	// Pool 0 is idle but not a candidate.
+	p, err := u.SelectPool(0, specWithCandidates(1, 2), view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == 0 {
+		t.Fatal("selected non-candidate pool")
+	}
+}
+
+func TestUtilizationBasedSkipsIneligible(t *testing.T) {
+	view := newFakeView(10, 10)
+	view.utils = []float64{0.1, 0.9}
+	view.ineligible[0] = true
+	u := NewUtilizationBased()
+	p, err := u.SelectPool(0, specWithCandidates(0, 1), view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Fatalf("picked %d, want 1", p)
+	}
+	view.ineligible[1] = true
+	if _, err := u.SelectPool(0, specWithCandidates(0, 1), view); err == nil {
+		t.Fatal("want error when all candidates ineligible")
+	}
+}
+
+func TestRandomInitialCoversCandidates(t *testing.T) {
+	view := newFakeView(10, 10, 10, 10)
+	r := NewRandomInitial(99)
+	spec := specWithCandidates(1, 3)
+	seen := map[int]int{}
+	for i := 0; i < 1000; i++ {
+		p, err := r.SelectPool(0, spec, view)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[p]++
+	}
+	if len(seen) != 2 || seen[1] == 0 || seen[3] == 0 {
+		t.Fatalf("coverage = %v", seen)
+	}
+	if seen[0] != 0 || seen[2] != 0 {
+		t.Fatalf("picked non-candidates: %v", seen)
+	}
+}
+
+func TestRandomInitialDeterministicSeed(t *testing.T) {
+	view := newFakeView(10, 10, 10)
+	spec := specWithCandidates(0, 1, 2)
+	a := NewRandomInitial(5)
+	b := NewRandomInitial(5)
+	for i := 0; i < 100; i++ {
+		pa, _ := a.SelectPool(0, spec, view)
+		pb, _ := b.SelectPool(0, spec, view)
+		if pa != pb {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestSchedulerNames(t *testing.T) {
+	if NewRoundRobin().Name() != "rr" {
+		t.Fatal("rr name")
+	}
+	if NewPureRoundRobin().Name() != "rr-pure" {
+		t.Fatal("rr-pure name")
+	}
+	if NewUtilizationBased().Name() != "util" {
+		t.Fatal("util name")
+	}
+	if NewRandomInitial(1).Name() != "random" {
+		t.Fatal("random name")
+	}
+}

@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"sort"
+
+	"netbatch/internal/cluster"
+	"netbatch/internal/eventq"
+	"netbatch/internal/job"
+)
+
+// jobRT is the simulator's per-job runtime record.
+type jobRT struct {
+	idx  int // index into engine.jobs and the spec slice
+	j    *job.Job
+	spec *job.Spec
+
+	// finish is the pending completion event, valid while running.
+	finish eventq.Handle
+	// waitTO is the pending wait-timeout event, valid while queued.
+	waitTO eventq.Handle
+	// queued marks live membership in a pool wait queue.
+	queued bool
+	// enqueuedAt is when the job entered its current wait queue.
+	enqueuedAt float64
+}
+
+// machineRT is the dynamic state of one machine.
+type machineRT struct {
+	m *cluster.Machine
+	// freeCores and freeMemMB track available capacity.
+	freeCores int
+	freeMemMB int
+	// inFree marks membership in the class free-stack (deduplication).
+	inFree bool
+	// suspended holds preempted jobs parked on this host, in suspension
+	// order (FIFO).
+	suspended []*jobRT
+	// class is the index of the machine's class within its pool.
+	class int
+}
+
+// machineClass groups identical machines in a pool for fast
+// availability search.
+type machineClass struct {
+	cores int
+	memMB int
+	speed float64
+	os    string
+	// free is a stack of machine IDs of this class with free capacity.
+	// Entries may be stale (no free cores when popped); validity is
+	// re-checked on pop. Sorted push order keeps selection deterministic.
+	free []int
+}
+
+// fits reports whether the class's machines can ever run the spec.
+func (c *machineClass) fits(spec *job.Spec) bool {
+	if spec.OS != "" && spec.OS != c.os {
+		return false
+	}
+	return c.memMB >= spec.MemMB && c.cores >= spec.Cores
+}
+
+// poolRT is the dynamic state of one physical pool.
+type poolRT struct {
+	pool *cluster.Pool
+	// classes are the pool's machine classes.
+	classes []machineClass
+	// waitQ is the pool's wait queue.
+	waitQ *waitQueue
+	// running holds per-priority stacks of running jobs, most recent
+	// last, used for preemption victim selection. Entries may be stale
+	// (finished or departed) and are pruned during scans.
+	running map[job.Priority][]*jobRT
+	// busyCores counts cores currently executing jobs.
+	busyCores int
+	// suspendedCnt counts jobs suspended within the pool.
+	suspendedCnt int
+	// capsByOS caches per-OS maximum machine memory and cores for
+	// static eligibility ("none of the machines in the list is
+	// eligible" → VPM tries the next pool, §2.1).
+	capsByOS map[string]caps
+	capsAny  caps
+}
+
+type caps struct {
+	maxMemMB int
+	maxCores int
+}
+
+// eligible reports whether some machine in the pool can ever run spec.
+func (p *poolRT) eligible(spec *job.Spec) bool {
+	c := p.capsAny
+	if spec.OS != "" {
+		var ok bool
+		c, ok = p.capsByOS[spec.OS]
+		if !ok {
+			return false
+		}
+	}
+	return c.maxMemMB >= spec.MemMB && c.maxCores >= spec.Cores
+}
+
+// newPoolRT builds runtime state for a pool, grouping machines into
+// classes.
+func newPoolRT(plat *cluster.Platform, pool *cluster.Pool, machines []machineRT) *poolRT {
+	rt := &poolRT{
+		pool:     pool,
+		waitQ:    newWaitQueue(),
+		running:  make(map[job.Priority][]*jobRT),
+		capsByOS: make(map[string]caps),
+	}
+	type classKey struct {
+		cores int
+		memMB int
+		speed float64
+		os    string
+	}
+	index := make(map[classKey]int)
+	for _, mid := range pool.Machines {
+		m := plat.Machine(mid)
+		key := classKey{m.Cores, m.MemMB, m.Speed, m.OS}
+		ci, ok := index[key]
+		if !ok {
+			ci = len(rt.classes)
+			index[key] = ci
+			rt.classes = append(rt.classes, machineClass{
+				cores: m.Cores, memMB: m.MemMB, speed: m.Speed, os: m.OS,
+			})
+		}
+		machines[mid].class = ci
+		rt.classes[ci].free = append(rt.classes[ci].free, mid)
+
+		c := rt.capsByOS[m.OS]
+		if m.MemMB > c.maxMemMB {
+			c.maxMemMB = m.MemMB
+		}
+		if m.Cores > c.maxCores {
+			c.maxCores = m.Cores
+		}
+		rt.capsByOS[m.OS] = c
+		if m.MemMB > rt.capsAny.maxMemMB {
+			rt.capsAny.maxMemMB = m.MemMB
+		}
+		if m.Cores > rt.capsAny.maxCores {
+			rt.capsAny.maxCores = m.Cores
+		}
+	}
+	// Free stacks pop from the end; reverse-sort so the lowest machine
+	// ID pops first ("the first eligible machine", §2.1).
+	for ci := range rt.classes {
+		sort.Sort(sort.Reverse(sort.IntSlice(rt.classes[ci].free)))
+		for _, mid := range rt.classes[ci].free {
+			machines[mid].inFree = true
+		}
+	}
+	return rt
+}
+
+// freeScanLimit bounds how many live free-stack entries a class scan
+// inspects. Entries below the limit are only missed when many
+// partially-occupied machines sit above them, which is rare because the
+// stack is dominated by fully-free machines at low utilization and
+// empty at high utilization.
+const freeScanLimit = 64
+
+// findAvailable returns the topmost machine of the class that can run
+// spec right now, or -1. Exhausted entries (no free cores) encountered
+// during the scan are dropped from the stack.
+func (c *machineClass) findAvailable(machines []machineRT, spec *job.Spec) int {
+	scanned := 0
+	for i := len(c.free) - 1; i >= 0 && scanned < freeScanLimit; i-- {
+		mid := c.free[i]
+		mach := &machines[mid]
+		if mach.freeCores <= 0 {
+			mach.inFree = false
+			c.free = append(c.free[:i], c.free[i+1:]...)
+			continue
+		}
+		scanned++
+		if mach.freeCores >= spec.Cores && mach.freeMemMB >= spec.MemMB {
+			return mid
+		}
+	}
+	return -1
+}
+
+// pushRunning records a job as running in the pool.
+func (p *poolRT) pushRunning(rt *jobRT) {
+	prio := rt.j.Spec.Priority
+	p.running[prio] = append(p.running[prio], rt)
+}
+
+// findVictim scans running jobs of priority strictly below prio, most
+// recently started first, for one whose preemption would let spec run
+// on its machine. It returns nil if none qualifies. Stale entries are
+// pruned; the returned victim is removed from the stack.
+func (p *poolRT) findVictim(spec *job.Spec, machines []machineRT, releaseMem bool) *jobRT {
+	for vp := job.Priority(1); vp < spec.Priority; vp++ {
+		stack, ok := p.running[vp]
+		if !ok {
+			continue
+		}
+		for i := len(stack) - 1; i >= 0; i-- {
+			v := stack[i]
+			// Prune entries that are no longer running in this pool.
+			if v.j.State() != job.StateRunning || v.j.Pool != p.pool.ID {
+				stack = append(stack[:i], stack[i+1:]...)
+				continue
+			}
+			mach := &machines[v.j.Machine]
+			if !victimWorks(v, mach, spec, releaseMem) {
+				continue
+			}
+			stack = append(stack[:i], stack[i+1:]...)
+			p.running[vp] = stack
+			return v
+		}
+		p.running[vp] = stack
+	}
+	return nil
+}
+
+// victimWorks reports whether suspending v frees enough of its machine
+// for spec.
+func victimWorks(v *jobRT, mach *machineRT, spec *job.Spec, releaseMem bool) bool {
+	if spec.OS != "" && spec.OS != mach.m.OS {
+		return false
+	}
+	if mach.freeCores+v.spec.Cores < spec.Cores {
+		return false
+	}
+	avail := mach.freeMemMB
+	if releaseMem {
+		// Suspension swaps the victim out, releasing its memory.
+		avail += v.spec.MemMB
+	}
+	return avail >= spec.MemMB
+}

@@ -1,0 +1,175 @@
+package sim
+
+// Whole-engine property tests: random workloads across every policy and
+// initial scheduler must complete every job, satisfy per-job accounting
+// conservation (checked inside the engine), never oversubscribe
+// capacity, and be deterministic.
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"netbatch/internal/cluster"
+	"netbatch/internal/core"
+	"netbatch/internal/job"
+	"netbatch/internal/metrics"
+	"netbatch/internal/sched"
+)
+
+// randomWorkload builds a random small platform and trace.
+func randomWorkload(r *rand.Rand) (*cluster.Platform, []job.Spec, error) {
+	nPools := 2 + r.IntN(3)
+	configs := make([]cluster.PoolConfig, nPools)
+	for i := range configs {
+		configs[i] = cluster.PoolConfig{
+			Classes: []cluster.MachineClass{
+				{Count: 1 + r.IntN(3), Cores: 1 + r.IntN(2), MemMB: 4096, Speed: 1.0},
+				{Count: 1, Cores: 2, MemMB: 8192, Speed: 0.8 + r.Float64()},
+			},
+		}
+	}
+	plat, err := cluster.Build(configs)
+	if err != nil {
+		return nil, nil, err
+	}
+	all := make([]int, nPools)
+	for i := range all {
+		all[i] = i
+	}
+	n := 30 + r.IntN(120)
+	specs := make([]job.Spec, n)
+	t := 0.0
+	for i := range specs {
+		t += r.Float64() * 10
+		prio := job.PriorityLow
+		cands := all
+		if r.IntN(5) == 0 {
+			prio = job.PriorityHigh
+			cands = all[:1+r.IntN(nPools)]
+		}
+		specs[i] = job.Spec{
+			ID:         job.ID(i + 1),
+			Submit:     t,
+			Work:       5 + r.Float64()*200,
+			Cores:      1 + r.IntN(2),
+			MemMB:      512 + r.IntN(4096),
+			Priority:   prio,
+			Candidates: cands,
+		}
+	}
+	return plat, specs, nil
+}
+
+func policyForIndex(i int, seed uint64) core.Policy {
+	switch i % 6 {
+	case 0:
+		return core.NewNoRes()
+	case 1:
+		return core.NewResSusUtil()
+	case 2:
+		return core.NewResSusRand(seed)
+	case 3:
+		return core.NewResSusWaitUtil()
+	case 4:
+		return core.NewResSusWaitRand(seed)
+	default:
+		return core.NewResSusMigrate(float64(seed % 20))
+	}
+}
+
+func initialForIndex(i int, seed uint64) sched.InitialScheduler {
+	switch i % 4 {
+	case 0:
+		return sched.NewRoundRobin()
+	case 1:
+		return sched.NewPureRoundRobin()
+	case 2:
+		return sched.NewUtilizationBased()
+	default:
+		return sched.NewRandomInitial(seed)
+	}
+}
+
+func TestEngineInvariantsUnderRandomWorkloads(t *testing.T) {
+	cfgQuick := &quick.Config{MaxCount: 60}
+	err := quick.Check(func(seed uint64, polPick, initPick uint8) bool {
+		r := rand.New(rand.NewPCG(seed, seed^0x5bd1e995))
+		plat, specs, err := randomWorkload(r)
+		if err != nil {
+			t.Logf("workload: %v", err)
+			return false
+		}
+		cfg := Config{
+			Platform:           plat,
+			Initial:            initialForIndex(int(initPick), seed),
+			Policy:             policyForIndex(int(polPick), seed),
+			CheckConservation:  true, // per-job invariant verified inside
+			RescheduleOverhead: float64(seed % 7),
+			SuspendHoldsMemory: seed%2 == 0,
+		}
+		res, err := Run(cfg, specs)
+		if err != nil {
+			t.Logf("run: %v", err)
+			return false
+		}
+		// Every job completed exactly once.
+		if len(res.Jobs) != len(specs) {
+			return false
+		}
+		for _, j := range res.Jobs {
+			if j.State() != job.StateCompleted {
+				return false
+			}
+			if j.CompletionTime() < 0 {
+				return false
+			}
+		}
+		// Sampled utilization never exceeds capacity.
+		for _, p := range res.Util.Points() {
+			if p.Y < 0 || p.Y > 100+1e-9 {
+				return false
+			}
+		}
+		// Metrics layer accepts the run and components add up.
+		sum, err := metrics.Summarize(res.Jobs)
+		if err != nil {
+			t.Logf("summarize: %v", err)
+			return false
+		}
+		return sum.CheckComponents() == nil
+	}, cfgQuick)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineDeterministicAcrossPolicies(t *testing.T) {
+	r := rand.New(rand.NewPCG(99, 7))
+	plat, specs, err := randomWorkload(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		mk := func() Config {
+			return Config{
+				Platform: plat,
+				Initial:  initialForIndex(i, 5),
+				Policy:   policyForIndex(i, 5),
+			}
+		}
+		a, err := Run(mk(), specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(mk(), specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range a.Jobs {
+			if a.Jobs[k].Completed != b.Jobs[k].Completed {
+				t.Fatalf("policy %d: job %d completion differs", i, k)
+			}
+		}
+	}
+}

@@ -1,0 +1,734 @@
+// Package sim is the reproduction's ASCA equivalent: a deterministic
+// discrete-event simulator of the NetBatch platform. Like the original
+// Agent-based Simulator for Compute Allocation (§3.1, [12]), it "models
+// the operational capability and semantics of various fine-grained
+// components of NetBatch such as sites, pools, queues, job requirements
+// and priorities, virtual and physical pool managers, round-robin
+// physical pool scheduling", samples system state every simulated
+// minute, and feeds the post-analysis metrics layer.
+//
+// Semantics implemented (with paper references):
+//
+//   - Virtual pool manager: jobs are queued on submission and sent to a
+//     physical pool chosen by the initial scheduler; pools with no
+//     eligible machine are skipped (§2.1).
+//   - Physical pool manager: dispatch to the first eligible available
+//     machine; otherwise preempt a lower-priority running job
+//     (host-level suspension, §2.2); otherwise queue (§2.1).
+//   - Suspension: the victim stays parked on its host and resumes with
+//     progress intact once capacity frees and no higher-priority waiting
+//     job wants it; jobs can be suspended repeatedly (§2.2).
+//   - Dynamic rescheduling: a core.Policy decides, on each suspension
+//     and on each wait-queue timeout, whether to restart the job at an
+//     alternate pool (losing progress — NetBatch restarts from the
+//     beginning, §2.3/§3.2) or, for migration policies, to move it with
+//     progress preserved.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"netbatch/internal/cluster"
+	"netbatch/internal/core"
+	"netbatch/internal/eventq"
+	"netbatch/internal/job"
+	"netbatch/internal/sched"
+	"netbatch/internal/stats"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Platform is the static machine/pool model. Required.
+	Platform *cluster.Platform
+	// Initial is the virtual pool manager's initial scheduler. Required.
+	Initial sched.InitialScheduler
+	// Policy is the dynamic rescheduling strategy. Required.
+	Policy core.Policy
+
+	// SampleEvery is the state-sampling period in minutes (ASCA samples
+	// every minute; default 1).
+	SampleEvery float64
+	// SeriesBin is the aggregation bin for the output time series in
+	// minutes (the paper aggregates per 100 minutes; default 100).
+	SeriesBin float64
+	// RescheduleOverhead is the transfer delay in minutes charged on
+	// every reschedule move (§5 future work: "network delays and other
+	// rescheduling associated overheads"). Default 0, matching the
+	// paper's evaluation.
+	RescheduleOverhead float64
+	// SuspendHoldsMemory keeps a suspended job's memory allocated on its
+	// host instead of swapping it out. Default false (swapped out).
+	SuspendHoldsMemory bool
+	// UtilStaleness makes the PoolView's utilization snapshots lag by up
+	// to this many minutes, modeling cross-pool propagation delay
+	// (§3.2.2's practicality caveat). Default 0 (live view).
+	UtilStaleness float64
+	// DecisionDelay is how long after a suspension the rescheduling
+	// policy is consulted, modeling ASCA's minute-stepped agents (§3.1).
+	// A job that resumes within the delay is never offered for
+	// rescheduling. Default 1 minute; negative values are rejected.
+	DecisionDelay float64
+	// QueueBeatsResume inverts the capacity handoff order. By default a
+	// freed core first resumes the host's suspended jobs (NetBatch
+	// suspension is host-level, §2.2: the suspended process continues
+	// when its host frees, independent of the pool queue) and only then
+	// serves the pool wait queue. With QueueBeatsResume, waiting jobs of
+	// strictly higher priority preempt the resume (ablation).
+	QueueBeatsResume bool
+	// MaxTime aborts the run if simulated time passes this cap,
+	// indicating livelock. Default 10,000,000 minutes.
+	MaxTime float64
+	// CheckConservation verifies each job's accounting invariant on
+	// completion. Default true; costs almost nothing.
+	CheckConservation bool
+	// DisableSampling turns off per-minute sampling (for benchmarks
+	// that only need job metrics).
+	DisableSampling bool
+}
+
+func (c *Config) withDefaults() (Config, error) {
+	out := *c
+	if out.Platform == nil {
+		return out, fmt.Errorf("sim: config needs a platform")
+	}
+	if out.Initial == nil {
+		return out, fmt.Errorf("sim: config needs an initial scheduler")
+	}
+	if out.Policy == nil {
+		return out, fmt.Errorf("sim: config needs a rescheduling policy")
+	}
+	if out.SampleEvery <= 0 {
+		out.SampleEvery = 1
+	}
+	if out.SeriesBin <= 0 {
+		out.SeriesBin = 100
+	}
+	if out.RescheduleOverhead < 0 {
+		return out, fmt.Errorf("sim: negative reschedule overhead %v", out.RescheduleOverhead)
+	}
+	if out.UtilStaleness < 0 {
+		return out, fmt.Errorf("sim: negative staleness %v", out.UtilStaleness)
+	}
+	if out.UtilStaleness > 0 && out.DisableSampling {
+		return out, fmt.Errorf("sim: UtilStaleness requires sampling (snapshots refresh at sample events)")
+	}
+	if out.DecisionDelay < 0 {
+		return out, fmt.Errorf("sim: negative decision delay %v", out.DecisionDelay)
+	}
+	if out.DecisionDelay == 0 {
+		out.DecisionDelay = 1
+	}
+	if out.MaxTime <= 0 {
+		out.MaxTime = 1e7
+	}
+	return out, nil
+}
+
+// Result is a completed simulation run.
+type Result struct {
+	// Jobs are the completed job records, in spec order.
+	Jobs []*job.Job
+	// Util is the platform utilization (%) time series, binned.
+	Util *stats.TimeSeries
+	// Suspended is the suspended-job-count time series, binned.
+	Suspended *stats.TimeSeries
+	// Waiting is the waiting-job-count time series, binned.
+	Waiting *stats.TimeSeries
+	// Makespan is when the last job completed, minutes.
+	Makespan float64
+	// Events is the number of processed simulator events.
+	Events int64
+	// Preemptions counts suspension events.
+	Preemptions int64
+	// Restarts counts rescheduling restarts of suspended jobs.
+	Restarts int64
+	// Migrations counts progress-preserving moves.
+	Migrations int64
+	// WaitMoves counts wait-queue reschedules.
+	WaitMoves int64
+}
+
+// Event kinds.
+const (
+	evSubmit = iota + 1
+	evFinish
+	evWaitTimeout
+	evArrive
+	evSample
+	evSusDecide
+)
+
+// arrivePayload routes a rescheduled job to a destination pool after
+// its transfer delay.
+type arrivePayload struct {
+	idx  int
+	pool int
+}
+
+type engine struct {
+	cfg  Config
+	plat *cluster.Platform
+
+	q   *eventq.Queue
+	now float64
+
+	specs    []job.Spec
+	jobs     []jobRT
+	machines []machineRT
+	pools    []*poolRT
+
+	nextSubmit int
+	completed  int
+
+	totalCores     int
+	busyCores      int
+	suspendedTotal int
+
+	utilTS, suspTS, waitTS *stats.TimeSeries
+	waitingTotal           int
+
+	view *poolView
+
+	res Result
+}
+
+// Run simulates the specs on the configured platform until every job
+// completes. Specs must be sorted by submission time (a trace.Trace
+// guarantees this).
+func Run(cfg Config, specs []job.Spec) (*Result, error) {
+	full, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	e := &engine{
+		cfg:   full,
+		plat:  full.Platform,
+		q:     eventq.New(),
+		specs: specs,
+	}
+	if err := e.init(); err != nil {
+		return nil, err
+	}
+	if err := e.loop(); err != nil {
+		return nil, err
+	}
+	return e.finalize()
+}
+
+func (e *engine) init() error {
+	plat := e.plat
+	e.machines = make([]machineRT, plat.NumMachines())
+	for i := 0; i < plat.NumMachines(); i++ {
+		m := plat.Machine(i)
+		e.machines[i] = machineRT{m: m, freeCores: m.Cores, freeMemMB: m.MemMB}
+		e.totalCores += m.Cores
+	}
+	e.pools = make([]*poolRT, plat.NumPools())
+	for p := 0; p < plat.NumPools(); p++ {
+		e.pools[p] = newPoolRT(plat, plat.Pool(p), e.machines)
+	}
+	e.jobs = make([]jobRT, len(e.specs))
+	for i := range e.specs {
+		if err := e.specs[i].Validate(); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+		for _, c := range e.specs[i].Candidates {
+			if c >= plat.NumPools() {
+				return fmt.Errorf("sim: job %d references pool %d beyond platform's %d pools",
+					e.specs[i].ID, c, plat.NumPools())
+			}
+		}
+		e.jobs[i] = jobRT{idx: i, j: job.New(e.specs[i]), spec: &e.specs[i]}
+	}
+	e.view = newPoolView(e)
+	e.utilTS = stats.NewTimeSeries(e.cfg.SeriesBin)
+	e.suspTS = stats.NewTimeSeries(e.cfg.SeriesBin)
+	e.waitTS = stats.NewTimeSeries(e.cfg.SeriesBin)
+
+	if len(e.specs) > 0 {
+		e.q.Schedule(e.specs[0].Submit, evSubmit, 0)
+		e.nextSubmit = 1
+		if !e.cfg.DisableSampling {
+			e.q.Schedule(e.specs[0].Submit, evSample, nil)
+		}
+	}
+	return nil
+}
+
+func (e *engine) loop() error {
+	total := len(e.specs)
+	for e.completed < total {
+		ev := e.q.Pop()
+		if ev == nil {
+			return fmt.Errorf("sim: deadlock at t=%v: %d of %d jobs completed and no pending events",
+				e.now, e.completed, total)
+		}
+		if ev.Time < e.now {
+			return fmt.Errorf("sim: event time went backwards: %v -> %v", e.now, ev.Time)
+		}
+		e.now = ev.Time
+		if e.now > e.cfg.MaxTime {
+			return fmt.Errorf("sim: exceeded MaxTime %v with %d of %d jobs incomplete",
+				e.cfg.MaxTime, total-e.completed, total)
+		}
+		e.res.Events++
+		var err error
+		switch ev.Kind {
+		case evSubmit:
+			err = e.handleSubmit(ev.Payload.(int))
+		case evFinish:
+			err = e.handleFinish(ev.Payload.(int))
+		case evWaitTimeout:
+			err = e.handleWaitTimeout(ev.Payload.(int))
+		case evArrive:
+			p := ev.Payload.(arrivePayload)
+			err = e.arrival(p.idx, p.pool)
+		case evSample:
+			e.handleSample()
+		case evSusDecide:
+			err = e.handleSusDecide(ev.Payload.(int))
+		default:
+			err = fmt.Errorf("sim: unknown event kind %d", ev.Kind)
+		}
+		if err != nil {
+			return fmt.Errorf("sim: t=%v: %w", e.now, err)
+		}
+	}
+	return nil
+}
+
+func (e *engine) finalize() (*Result, error) {
+	res := e.res
+	res.Jobs = make([]*job.Job, len(e.jobs))
+	for i := range e.jobs {
+		res.Jobs[i] = e.jobs[i].j
+		if e.jobs[i].j.State() != job.StateCompleted {
+			return nil, fmt.Errorf("sim: job %d finished run in state %v",
+				e.jobs[i].spec.ID, e.jobs[i].j.State())
+		}
+		if c := e.jobs[i].j.Completed; c > res.Makespan {
+			res.Makespan = c
+		}
+	}
+	res.Util = e.utilTS
+	res.Suspended = e.suspTS
+	res.Waiting = e.waitTS
+	return &res, nil
+}
+
+// handleSubmit routes a newly submitted job through the virtual pool
+// manager and chains the next submission event.
+func (e *engine) handleSubmit(idx int) error {
+	if e.nextSubmit < len(e.specs) {
+		e.q.Schedule(e.specs[e.nextSubmit].Submit, evSubmit, e.nextSubmit)
+		e.nextSubmit++
+	}
+	rt := &e.jobs[idx]
+	pool, err := e.cfg.Initial.SelectPool(e.now, rt.spec, e.view)
+	if err != nil {
+		return err
+	}
+	return e.arrival(idx, pool)
+}
+
+// arrival lands a job at a physical pool: start it, preempt for it, or
+// queue it.
+func (e *engine) arrival(idx, pool int) error {
+	rt := &e.jobs[idx]
+	if err := rt.j.Enqueue(e.now, pool); err != nil {
+		return err
+	}
+	return e.tryPlace(rt, e.pools[pool])
+}
+
+// tryPlace implements the physical pool manager's §2.1 dispatch rules.
+func (e *engine) tryPlace(rt *jobRT, p *poolRT) error {
+	// (1) First eligible available machine.
+	if mid := e.findFreeMachine(p, rt.spec); mid >= 0 {
+		return e.startOn(rt, mid)
+	}
+	// (2) Preempt a lower-priority running job.
+	if victim := p.findVictim(rt.spec, e.machines, !e.cfg.SuspendHoldsMemory); victim != nil {
+		return e.preempt(rt, victim)
+	}
+	// (3) Queue and wait.
+	e.enqueue(rt, p)
+	return nil
+}
+
+// findFreeMachine searches the pool's class free-stacks for the first
+// available machine satisfying the spec, returning its ID or -1. Among
+// per-class candidates the lowest machine ID wins, approximating the
+// paper's "first eligible machine" list order deterministically.
+func (e *engine) findFreeMachine(p *poolRT, spec *job.Spec) int {
+	best := -1
+	for ci := range p.classes {
+		cls := &p.classes[ci]
+		if !cls.fits(spec) {
+			continue
+		}
+		if mid := cls.findAvailable(e.machines, spec); mid >= 0 {
+			if best == -1 || mid < best {
+				best = mid
+			}
+		}
+	}
+	return best
+}
+
+// ensureFree registers a machine in its class free-stack when it has
+// spare cores and is not already listed.
+func (e *engine) ensureFree(p *poolRT, mid int) {
+	mach := &e.machines[mid]
+	if mach.freeCores <= 0 || mach.inFree {
+		return
+	}
+	mach.inFree = true
+	p.classes[mach.class].free = append(p.classes[mach.class].free, mid)
+}
+
+// startOn begins executing rt on machine mid.
+func (e *engine) startOn(rt *jobRT, mid int) error {
+	mach := &e.machines[mid]
+	spec := rt.spec
+	if mach.freeCores < spec.Cores || mach.freeMemMB < spec.MemMB {
+		return fmt.Errorf("job %d placed on machine %d without capacity", spec.ID, mid)
+	}
+	p := e.pools[mach.m.Pool]
+	mach.freeCores -= spec.Cores
+	mach.freeMemMB -= spec.MemMB
+	p.busyCores += spec.Cores
+	e.busyCores += spec.Cores
+	if err := rt.j.Start(e.now, mid, mach.m.Speed); err != nil {
+		return err
+	}
+	rem := rt.j.RemainingAt(e.now)
+	rt.finish = e.q.Schedule(e.now+rem, evFinish, rt.idx)
+	p.pushRunning(rt)
+	e.ensureFree(p, mid)
+	return nil
+}
+
+// preempt suspends victim and installs rt on the freed machine, then
+// consults the rescheduling policy about the victim's future.
+func (e *engine) preempt(rt *jobRT, victim *jobRT) error {
+	mid := victim.j.Machine
+	mach := &e.machines[mid]
+	p := e.pools[mach.m.Pool]
+
+	e.q.Cancel(victim.finish)
+	if err := victim.j.Suspend(e.now); err != nil {
+		return err
+	}
+	e.res.Preemptions++
+	mach.freeCores += victim.spec.Cores
+	if !e.cfg.SuspendHoldsMemory {
+		mach.freeMemMB += victim.spec.MemMB
+	}
+	p.busyCores -= victim.spec.Cores
+	e.busyCores -= victim.spec.Cores
+	mach.suspended = append(mach.suspended, victim)
+	p.suspendedCnt++
+	e.suspendedTotal++
+
+	if err := e.startOn(rt, mid); err != nil {
+		return err
+	}
+
+	// The rescheduling decision for the fresh suspension (§3.2) happens
+	// at the next agent sweep, DecisionDelay later. If the victim has
+	// resumed (or been re-suspended and moved) by then, the stale event
+	// is ignored.
+	e.q.Schedule(e.now+e.cfg.DecisionDelay, evSusDecide, victim.idx)
+
+	// The victim may have freed more cores than the preemptor needs.
+	return e.onFree(mid)
+}
+
+// handleSusDecide consults the rescheduling policy about a job that was
+// suspended one decision sweep ago.
+func (e *engine) handleSusDecide(idx int) error {
+	rt := &e.jobs[idx]
+	if rt.j.State() != job.StateSuspended {
+		return nil // resumed or departed meanwhile
+	}
+	if target, move := e.cfg.Policy.OnSuspend(e.now, rt.j, e.view); move {
+		return e.departSuspended(rt, target)
+	}
+	return nil
+}
+
+// departSuspended removes a suspended job from its host and routes it
+// toward target, restarting (progress lost) or migrating (progress
+// kept) per the policy.
+func (e *engine) departSuspended(rt *jobRT, target int) error {
+	mid := rt.j.Machine
+	mach := &e.machines[mid]
+	p := e.pools[mach.m.Pool]
+	if !removeSuspended(mach, rt) {
+		return fmt.Errorf("job %d not found in machine %d suspended list", rt.spec.ID, mid)
+	}
+	p.suspendedCnt--
+	e.suspendedTotal--
+	if e.cfg.SuspendHoldsMemory {
+		mach.freeMemMB += rt.spec.MemMB
+	}
+
+	overhead := e.cfg.RescheduleOverhead
+	if mig, ok := e.cfg.Policy.(core.Migrator); ok {
+		if err := rt.j.MigrateFrom(e.now); err != nil {
+			return err
+		}
+		e.res.Migrations++
+		overhead += mig.MigrationOverhead()
+	} else {
+		if err := rt.j.RestartFrom(e.now); err != nil {
+			return err
+		}
+		e.res.Restarts++
+	}
+	e.route(rt, target, overhead)
+	return e.onFree(mid)
+}
+
+// route delivers a job in transit to a pool, after overhead minutes.
+func (e *engine) route(rt *jobRT, pool int, overhead float64) {
+	e.q.Schedule(e.now+overhead, evArrive, arrivePayload{idx: rt.idx, pool: pool})
+}
+
+// removeSuspended deletes rt from the machine's suspended list.
+func removeSuspended(mach *machineRT, rt *jobRT) bool {
+	for i, s := range mach.suspended {
+		if s == rt {
+			mach.suspended = append(mach.suspended[:i], mach.suspended[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// enqueue parks a job in the pool's wait queue and arms the policy's
+// wait-timeout timer.
+func (e *engine) enqueue(rt *jobRT, p *poolRT) {
+	p.waitQ.push(rt)
+	rt.enqueuedAt = e.now
+	e.waitingTotal++
+	if th := e.cfg.Policy.WaitThreshold(); th > 0 {
+		rt.waitTO = e.q.Schedule(e.now+th, evWaitTimeout, rt.idx)
+	}
+}
+
+// handleFinish completes a running job and redistributes its capacity.
+func (e *engine) handleFinish(idx int) error {
+	rt := &e.jobs[idx]
+	mid := rt.j.Machine
+	mach := &e.machines[mid]
+	p := e.pools[mach.m.Pool]
+	if err := rt.j.Complete(e.now); err != nil {
+		return err
+	}
+	if e.cfg.CheckConservation {
+		if err := rt.j.CheckConservation(); err != nil {
+			return err
+		}
+	}
+	e.completed++
+	mach.freeCores += rt.spec.Cores
+	mach.freeMemMB += rt.spec.MemMB
+	p.busyCores -= rt.spec.Cores
+	e.busyCores -= rt.spec.Cores
+	return e.onFree(mid)
+}
+
+// onFree hands freed capacity on machine mid to, by default, the
+// host's suspended jobs first (host-level resume, §2.2) and then the
+// pool wait queue in priority-FIFO order. With QueueBeatsResume,
+// waiting jobs of strictly higher priority win over a resume.
+func (e *engine) onFree(mid int) error {
+	mach := &e.machines[mid]
+	p := e.pools[mach.m.Pool]
+	for mach.freeCores > 0 {
+		wrt := p.waitQ.peekFitting(func(rt *jobRT) bool {
+			return machineFits(mach, rt.spec)
+		})
+		srt := bestSuspended(mach, e.cfg.SuspendHoldsMemory)
+		if wrt == nil && srt == nil {
+			break
+		}
+		useWaiting := wrt != nil && (srt == nil ||
+			(e.cfg.QueueBeatsResume && wrt.j.Spec.Priority > srt.j.Spec.Priority))
+		if useWaiting {
+			p.waitQ.remove(wrt)
+			e.waitingTotal--
+			e.q.Cancel(wrt.waitTO)
+			if err := e.startOn(wrt, mid); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := e.resume(srt); err != nil {
+			return err
+		}
+	}
+	e.ensureFree(p, mid)
+	return nil
+}
+
+// machineFits checks dynamic fit of a spec on a machine.
+func machineFits(mach *machineRT, spec *job.Spec) bool {
+	if spec.OS != "" && spec.OS != mach.m.OS {
+		return false
+	}
+	return mach.freeCores >= spec.Cores && mach.freeMemMB >= spec.MemMB
+}
+
+// bestSuspended returns the suspended job on mach that should resume
+// next — highest priority, then earliest suspended — among those that
+// fit the free capacity, or nil.
+func bestSuspended(mach *machineRT, holdsMem bool) *jobRT {
+	var best *jobRT
+	for _, s := range mach.suspended {
+		if mach.freeCores < s.spec.Cores {
+			continue
+		}
+		// A swapped-out job must re-acquire memory to resume.
+		if !holdsMem && mach.freeMemMB < s.spec.MemMB {
+			continue
+		}
+		if best == nil || s.j.Spec.Priority > best.j.Spec.Priority {
+			best = s
+		}
+	}
+	return best
+}
+
+// resume continues a suspended job on its host.
+func (e *engine) resume(rt *jobRT) error {
+	mid := rt.j.Machine
+	mach := &e.machines[mid]
+	p := e.pools[mach.m.Pool]
+	if !removeSuspended(mach, rt) {
+		return fmt.Errorf("job %d missing from suspended list on resume", rt.spec.ID)
+	}
+	p.suspendedCnt--
+	e.suspendedTotal--
+	mach.freeCores -= rt.spec.Cores
+	if !e.cfg.SuspendHoldsMemory {
+		mach.freeMemMB -= rt.spec.MemMB
+	}
+	p.busyCores += rt.spec.Cores
+	e.busyCores += rt.spec.Cores
+	if err := rt.j.Resume(e.now); err != nil {
+		return err
+	}
+	rem := rt.j.RemainingAt(e.now)
+	rt.finish = e.q.Schedule(e.now+rem, evFinish, rt.idx)
+	p.pushRunning(rt)
+	return nil
+}
+
+// handleWaitTimeout applies the policy's waiting-job rescheduling
+// (§3.3): a job stalled past the threshold may dequeue itself and move
+// to an alternate pool; otherwise the timer re-arms.
+func (e *engine) handleWaitTimeout(idx int) error {
+	rt := &e.jobs[idx]
+	if !rt.queued || rt.j.State() != job.StateWaiting {
+		return nil // stale timer: the job was dispatched meanwhile
+	}
+	th := e.cfg.Policy.WaitThreshold()
+	if th <= 0 {
+		return nil
+	}
+	target, move := e.cfg.Policy.OnWaitTimeout(e.now, rt.j, e.view)
+	if !move || target == rt.j.Pool {
+		rt.waitTO = e.q.Schedule(e.now+th, evWaitTimeout, rt.idx)
+		return nil
+	}
+	p := e.pools[rt.j.Pool]
+	p.waitQ.remove(rt)
+	e.waitingTotal--
+	if err := rt.j.RescheduleWait(e.now); err != nil {
+		return err
+	}
+	e.res.WaitMoves++
+	e.route(rt, target, e.cfg.RescheduleOverhead)
+	return nil
+}
+
+// handleSample records the per-minute state snapshot (ASCA "samples at
+// each minute the current states of all NetBatch components", §3.1).
+func (e *engine) handleSample() {
+	util := 0.0
+	if e.totalCores > 0 {
+		util = float64(e.busyCores) / float64(e.totalCores) * 100
+	}
+	e.utilTS.Add(e.now, util)
+	e.suspTS.Add(e.now, float64(e.suspendedTotal))
+	e.waitTS.Add(e.now, float64(e.waitingTotal))
+	e.view.maybeSnapshot(e.now)
+	if e.completed < len(e.specs) {
+		e.q.Schedule(e.now+e.cfg.SampleEvery, evSample, nil)
+	}
+}
+
+// poolView implements sched.PoolView over engine state, optionally with
+// stale utilization snapshots.
+type poolView struct {
+	e *engine
+	// snapUtil holds per-pool utilization as of the last snapshot;
+	// empty when staleness is disabled (live reads).
+	snapUtil []float64
+	lastSnap float64
+}
+
+var _ sched.PoolView = (*poolView)(nil)
+
+func newPoolView(e *engine) *poolView {
+	v := &poolView{e: e, lastSnap: math.Inf(-1)}
+	if e.cfg.UtilStaleness > 0 {
+		v.snapUtil = make([]float64, len(e.pools))
+	}
+	return v
+}
+
+// maybeSnapshot refreshes stale utilization at the staleness period.
+func (v *poolView) maybeSnapshot(now float64) {
+	if v.snapUtil == nil || now-v.lastSnap < v.e.cfg.UtilStaleness {
+		return
+	}
+	for p := range v.e.pools {
+		v.snapUtil[p] = v.liveUtil(p)
+	}
+	v.lastSnap = now
+}
+
+func (v *poolView) liveUtil(p int) float64 {
+	pool := v.e.pools[p]
+	if pool.pool.Cores == 0 {
+		return 0
+	}
+	return float64(pool.busyCores) / float64(pool.pool.Cores)
+}
+
+// NumPools implements sched.PoolView.
+func (v *poolView) NumPools() int { return len(v.e.pools) }
+
+// Utilization implements sched.PoolView.
+func (v *poolView) Utilization(p int) float64 {
+	if v.snapUtil != nil {
+		return v.snapUtil[p]
+	}
+	return v.liveUtil(p)
+}
+
+// QueueLen implements sched.PoolView.
+func (v *poolView) QueueLen(p int) int { return v.e.pools[p].waitQ.Len() }
+
+// PoolCores implements sched.PoolView.
+func (v *poolView) PoolCores(p int) int { return v.e.pools[p].pool.Cores }
+
+// Eligible implements sched.PoolView.
+func (v *poolView) Eligible(p int, spec *job.Spec) bool {
+	return v.e.pools[p].eligible(spec)
+}

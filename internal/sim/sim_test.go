@@ -1,0 +1,622 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"netbatch/internal/cluster"
+	"netbatch/internal/core"
+	"netbatch/internal/job"
+	"netbatch/internal/sched"
+)
+
+// miniPlatform builds pools of identical 1-core machines:
+// counts[i] machines in pool i.
+func miniPlatform(t *testing.T, counts ...int) *cluster.Platform {
+	t.Helper()
+	configs := make([]cluster.PoolConfig, len(counts))
+	for i, n := range counts {
+		configs[i] = cluster.PoolConfig{
+			Classes: []cluster.MachineClass{
+				{Count: n, Cores: 1, MemMB: 8192, Speed: 1.0},
+			},
+		}
+	}
+	p, err := cluster.Build(configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func lowJob(id job.ID, submit, work float64, cands ...int) job.Spec {
+	return job.Spec{
+		ID: id, Submit: submit, Work: work, Cores: 1, MemMB: 1024,
+		Priority: job.PriorityLow, Candidates: cands,
+	}
+}
+
+func highJob(id job.ID, submit, work float64, cands ...int) job.Spec {
+	s := lowJob(id, submit, work, cands...)
+	s.Priority = job.PriorityHigh
+	return s
+}
+
+func run(t *testing.T, cfg Config, specs []job.Spec) *Result {
+	t.Helper()
+	cfg.CheckConservation = true
+	res, err := Run(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func baseConfig(p *cluster.Platform) Config {
+	return Config{
+		Platform: p,
+		Initial:  sched.NewRoundRobin(),
+		Policy:   core.NewNoRes(),
+	}
+}
+
+func TestSingleJobRunsImmediately(t *testing.T) {
+	p := miniPlatform(t, 2)
+	res := run(t, baseConfig(p), []job.Spec{lowJob(1, 10, 50, 0)})
+	j := res.Jobs[0]
+	if got := j.CompletionTime(); got != 50 {
+		t.Fatalf("completion time = %v, want 50", got)
+	}
+	a := j.Acct()
+	if a.Wait != 0 || a.Suspend != 0 || a.Exec != 50 {
+		t.Fatalf("accounting = %+v", a)
+	}
+	if res.Makespan != 60 {
+		t.Fatalf("makespan = %v, want 60", res.Makespan)
+	}
+}
+
+func TestQueueingOnBusyPool(t *testing.T) {
+	p := miniPlatform(t, 1) // single core
+	specs := []job.Spec{
+		lowJob(1, 0, 100, 0),
+		lowJob(2, 10, 50, 0),
+	}
+	res := run(t, baseConfig(p), specs)
+	j2 := res.Jobs[1]
+	// Job 2 waits until t=100, runs 50, completes at 150.
+	if got := j2.Acct().Wait; got != 90 {
+		t.Fatalf("wait = %v, want 90", got)
+	}
+	if got := j2.CompletionTime(); got != 140 {
+		t.Fatalf("completion = %v, want 140", got)
+	}
+}
+
+func TestFIFOWithinPriority(t *testing.T) {
+	p := miniPlatform(t, 1)
+	specs := []job.Spec{
+		lowJob(1, 0, 100, 0),
+		lowJob(2, 10, 10, 0),
+		lowJob(3, 20, 10, 0),
+	}
+	res := run(t, baseConfig(p), specs)
+	if !(res.Jobs[1].Completed < res.Jobs[2].Completed) {
+		t.Fatal("FIFO violated within priority class")
+	}
+}
+
+func TestPreemptionSuspendsLowPriority(t *testing.T) {
+	p := miniPlatform(t, 1)
+	specs := []job.Spec{
+		lowJob(1, 0, 100, 0),
+		highJob(2, 30, 50, 0),
+	}
+	res := run(t, baseConfig(p), specs)
+	low, high := res.Jobs[0], res.Jobs[1]
+	// High runs immediately by preempting low.
+	if got := high.Acct().Wait; got != 0 {
+		t.Fatalf("high prio waited %v", got)
+	}
+	if got := high.CompletionTime(); got != 50 {
+		t.Fatalf("high completion = %v", got)
+	}
+	// Low: ran 30, suspended 50 (while high runs), resumes, 70 left.
+	if !low.EverSuspended() {
+		t.Fatal("low job was not suspended")
+	}
+	a := low.Acct()
+	if a.Suspensions != 1 || math.Abs(a.Suspend-50) > 1e-9 {
+		t.Fatalf("low accounting = %+v", a)
+	}
+	if got := low.CompletionTime(); math.Abs(got-150) > 1e-9 {
+		t.Fatalf("low completion = %v, want 150", got)
+	}
+	if res.Preemptions != 1 {
+		t.Fatalf("preemptions = %d", res.Preemptions)
+	}
+}
+
+func TestHighPriorityQueuesWhenAllHigh(t *testing.T) {
+	p := miniPlatform(t, 1)
+	specs := []job.Spec{
+		highJob(1, 0, 100, 0),
+		highJob(2, 10, 10, 0), // cannot preempt an equal-priority job
+	}
+	res := run(t, baseConfig(p), specs)
+	if res.Preemptions != 0 {
+		t.Fatal("equal priority must not preempt")
+	}
+	if got := res.Jobs[1].Acct().Wait; got != 90 {
+		t.Fatalf("second high wait = %v, want 90", got)
+	}
+}
+
+func TestVictimIsMostRecentLowestPriority(t *testing.T) {
+	p := miniPlatform(t, 2)
+	specs := []job.Spec{
+		lowJob(1, 0, 200, 0),  // starts on machine 0
+		lowJob(2, 10, 200, 0), // starts on machine 1 (most recent)
+		highJob(3, 20, 10, 0),
+	}
+	res := run(t, baseConfig(p), specs)
+	j1, j2 := res.Jobs[0], res.Jobs[1]
+	if j1.EverSuspended() {
+		t.Fatal("older job preempted; victim should be most recently started")
+	}
+	if !j2.EverSuspended() {
+		t.Fatal("most recent low job was not the victim")
+	}
+}
+
+func TestSuspendedResumesBeforeWaitingLow(t *testing.T) {
+	p := miniPlatform(t, 1)
+	specs := []job.Spec{
+		lowJob(1, 0, 100, 0),
+		highJob(2, 10, 50, 0), // preempts job 1
+		lowJob(3, 20, 10, 0),  // queues
+	}
+	res := run(t, baseConfig(p), specs)
+	j1, j3 := res.Jobs[0], res.Jobs[2]
+	// When high finishes at 60, suspended job 1 resumes (90 left),
+	// completing at 150; job 3 runs after, completing 160.
+	if math.Abs(j1.Completed-150) > 1e-9 {
+		t.Fatalf("suspended job completed at %v, want 150", j1.Completed)
+	}
+	if math.Abs(j3.Completed-160) > 1e-9 {
+		t.Fatalf("waiting job completed at %v, want 160", j3.Completed)
+	}
+}
+
+func TestHostLevelResumeBeatsWaitingHigh(t *testing.T) {
+	p := miniPlatform(t, 1)
+	specs := []job.Spec{
+		lowJob(1, 0, 100, 0),
+		highJob(2, 10, 50, 0), // preempts job 1
+		highJob(3, 20, 10, 0), // queues (can't preempt high)
+	}
+	res := run(t, baseConfig(p), specs)
+	j1, j3 := res.Jobs[0], res.Jobs[2]
+	// Default host-level semantics: when job 2 finishes at t=60, the
+	// suspended job resumes on its host (90 left, completing at 150)...
+	if math.Abs(j1.Completed-150) > 1e-9 {
+		t.Fatalf("low job completed at %v, want 150", j1.Completed)
+	}
+	// ...and the queued high job waits for it: 150+10 = 160.
+	if math.Abs(j3.Completed-160) > 1e-9 {
+		t.Fatalf("high job completed at %v, want 160", j3.Completed)
+	}
+}
+
+func TestQueueBeatsResumeOption(t *testing.T) {
+	p := miniPlatform(t, 1)
+	cfg := baseConfig(p)
+	cfg.QueueBeatsResume = true
+	specs := []job.Spec{
+		lowJob(1, 0, 100, 0),
+		highJob(2, 10, 50, 0), // preempts job 1
+		highJob(3, 20, 10, 0), // queues (can't preempt high)
+	}
+	res := run(t, cfg, specs)
+	j1, j3 := res.Jobs[0], res.Jobs[2]
+	// With the ablation flag, the waiting HIGH job beats the suspended
+	// low: j3 runs 60-70, then j1 resumes at 70 with 90 left -> 160.
+	if math.Abs(j3.Completed-70) > 1e-9 {
+		t.Fatalf("high job completed at %v, want 70", j3.Completed)
+	}
+	if math.Abs(j1.Completed-160) > 1e-9 {
+		t.Fatalf("low job completed at %v, want 160", j1.Completed)
+	}
+}
+
+func TestResSusUtilMovesSuspendedJob(t *testing.T) {
+	p := miniPlatform(t, 1, 1) // two pools, one core each; pool 1 idle
+	cfg := baseConfig(p)
+	cfg.Policy = core.NewResSusUtil()
+	specs := []job.Spec{
+		lowJob(1, 0, 100, 0, 1),
+		highJob(2, 30, 500, 0), // long preemptor pinned to pool 0
+	}
+	res := run(t, cfg, specs)
+	j1 := res.Jobs[0]
+	// Suspended at 30 (30 executed, wasted); the decision sweep fires
+	// at 31, restarting it at idle pool 1 for a full 100 re-run.
+	if !j1.EverSuspended() {
+		t.Fatal("job 1 was not suspended")
+	}
+	a := j1.Acct()
+	if a.Restarts != 1 {
+		t.Fatalf("restarts = %d", a.Restarts)
+	}
+	if math.Abs(a.WastedExec-30) > 1e-9 {
+		t.Fatalf("wasted exec = %v, want 30", a.WastedExec)
+	}
+	if math.Abs(j1.Completed-131) > 1e-9 {
+		t.Fatalf("completion = %v, want 131", j1.Completed)
+	}
+	if math.Abs(a.Suspend-1) > 1e-9 {
+		t.Fatalf("suspend = %v, want the 1-minute decision sweep", a.Suspend)
+	}
+	if res.Restarts != 1 {
+		t.Fatalf("res.Restarts = %d", res.Restarts)
+	}
+	if j1.Pool != 1 {
+		t.Fatalf("final pool = %d, want 1", j1.Pool)
+	}
+}
+
+func TestResSusUtilRetainsWhenAlternatesBusy(t *testing.T) {
+	p := miniPlatform(t, 1, 1)
+	cfg := baseConfig(p)
+	cfg.Policy = core.NewResSusUtil()
+	specs := []job.Spec{
+		lowJob(1, 0, 1000, 1),   // fills pool 1 fully (util 1.0)
+		lowJob(2, 1, 100, 0, 1), // runs in pool 0
+		highJob(3, 30, 50, 0),   // preempts job 2 in pool 0
+	}
+	res := run(t, cfg, specs)
+	j2 := res.Jobs[1]
+	// Pool 1 util = 1.0 > pool 0's; job stays suspended and resumes.
+	if j2.Acct().Restarts != 0 {
+		t.Fatal("job moved despite alternate being fully utilized")
+	}
+	if math.Abs(j2.Acct().Suspend-50) > 1e-9 {
+		t.Fatalf("suspend = %v, want 50", j2.Acct().Suspend)
+	}
+}
+
+func TestWaitReschedulingMovesStalledJob(t *testing.T) {
+	p := miniPlatform(t, 1, 1)
+	cfg := baseConfig(p)
+	cfg.Policy = core.NewResSusWaitUtil() // 30-minute threshold
+	specs := []job.Spec{
+		highJob(1, 0, 500, 0),  // occupies pool 0 (high: unpreemptable)
+		lowJob(2, 0, 50, 0, 1), // RR sends it to pool 0; stalls
+	}
+	// Force initial selection to pool 0 via candidates order + pure RR.
+	cfg.Initial = sched.NewPureRoundRobin()
+	res := run(t, cfg, specs)
+	j2 := res.Jobs[1]
+	if j2.Acct().WaitReschedules == 0 {
+		t.Fatal("stalled job was never rescheduled")
+	}
+	// Moves at t=30 to idle pool 1, runs 50: completes at 80.
+	if math.Abs(j2.Completed-80) > 1e-9 {
+		t.Fatalf("completion = %v, want 80", j2.Completed)
+	}
+	if got := j2.Acct().Wait; math.Abs(got-30) > 1e-9 {
+		t.Fatalf("wait = %v, want 30 (the threshold)", got)
+	}
+	if res.WaitMoves == 0 {
+		t.Fatal("res.WaitMoves = 0")
+	}
+}
+
+func TestWaitTimerRearmsWhenStaying(t *testing.T) {
+	p := miniPlatform(t, 1)
+	cfg := baseConfig(p)
+	cfg.Policy = core.NewResSusWaitUtil()
+	specs := []job.Spec{
+		highJob(1, 0, 100, 0),
+		lowJob(2, 0, 10, 0), // single candidate: nowhere to go
+	}
+	res := run(t, cfg, specs)
+	j2 := res.Jobs[1]
+	if j2.Acct().WaitReschedules != 0 {
+		t.Fatal("job moved with no alternate pool")
+	}
+	if math.Abs(j2.Completed-110) > 1e-9 {
+		t.Fatalf("completion = %v, want 110", j2.Completed)
+	}
+}
+
+func TestRescheduleOverheadCharged(t *testing.T) {
+	p := miniPlatform(t, 1, 1)
+	cfg := baseConfig(p)
+	cfg.Policy = core.NewResSusUtil()
+	cfg.RescheduleOverhead = 12
+	specs := []job.Spec{
+		lowJob(1, 0, 100, 0, 1),
+		highJob(2, 30, 500, 0),
+	}
+	res := run(t, cfg, specs)
+	a := res.Jobs[0].Acct()
+	if math.Abs(a.RescheduleOverhead-12) > 1e-9 {
+		t.Fatalf("overhead = %v, want 12", a.RescheduleOverhead)
+	}
+	// 30 run + 1 sweep + 12 transfer + 100 rerun = completes at 143.
+	if math.Abs(res.Jobs[0].Completed-143) > 1e-9 {
+		t.Fatalf("completion = %v, want 143", res.Jobs[0].Completed)
+	}
+}
+
+func TestMigrationPreservesProgress(t *testing.T) {
+	p := miniPlatform(t, 1, 1)
+	cfg := baseConfig(p)
+	cfg.Policy = core.NewResSusMigrate(5)
+	specs := []job.Spec{
+		lowJob(1, 0, 100, 0, 1),
+		highJob(2, 30, 500, 0),
+	}
+	res := run(t, cfg, specs)
+	j1 := res.Jobs[0]
+	a := j1.Acct()
+	if a.WastedExec != 0 {
+		t.Fatalf("migration destroyed progress: %+v", a)
+	}
+	if math.Abs(a.RescheduleOverhead-5) > 1e-9 {
+		t.Fatalf("migration overhead = %v, want 5", a.RescheduleOverhead)
+	}
+	// 30 run + 1 sweep + 5 migrate + 70 remaining = completes at 106.
+	if math.Abs(j1.Completed-106) > 1e-9 {
+		t.Fatalf("completion = %v, want 106", j1.Completed)
+	}
+	if res.Migrations != 1 || res.Restarts != 0 {
+		t.Fatalf("migrations=%d restarts=%d", res.Migrations, res.Restarts)
+	}
+}
+
+func TestSpeedScaling(t *testing.T) {
+	plat, err := cluster.Build([]cluster.PoolConfig{{
+		Classes: []cluster.MachineClass{{Count: 1, Cores: 1, MemMB: 4096, Speed: 2.0}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, baseConfig(plat), []job.Spec{lowJob(1, 0, 100, 0)})
+	if got := res.Jobs[0].CompletionTime(); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("completion on 2x machine = %v, want 50", got)
+	}
+}
+
+func TestMemoryConstraintDelaysJob(t *testing.T) {
+	plat, err := cluster.Build([]cluster.PoolConfig{{
+		Classes: []cluster.MachineClass{
+			{Count: 1, Cores: 4, MemMB: 4096, Speed: 1.0},
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []job.Spec{
+		{ID: 1, Submit: 0, Work: 100, Cores: 1, MemMB: 3000, Priority: job.PriorityLow, Candidates: []int{0}},
+		{ID: 2, Submit: 10, Work: 50, Cores: 1, MemMB: 3000, Priority: job.PriorityLow, Candidates: []int{0}},
+	}
+	res := run(t, baseConfig(plat), specs)
+	// Machine has 4 cores but only 4 GB: job 2 must wait for memory.
+	j2 := res.Jobs[1]
+	if got := j2.Acct().Wait; got != 90 {
+		t.Fatalf("wait = %v, want 90 (memory-bound)", got)
+	}
+}
+
+func TestOSConstraint(t *testing.T) {
+	plat, err := cluster.Build([]cluster.PoolConfig{
+		{Classes: []cluster.MachineClass{{Count: 1, Cores: 1, MemMB: 4096, Speed: 1.0, OS: "windows"}}},
+		{Classes: []cluster.MachineClass{{Count: 1, Cores: 1, MemMB: 4096, Speed: 1.0, OS: "linux"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := lowJob(1, 0, 50, 0, 1)
+	spec.OS = "linux"
+	res := run(t, baseConfig(plat), []job.Spec{spec})
+	if got := res.Jobs[0].Pool; got != 1 {
+		t.Fatalf("job landed in pool %d, want linux pool 1", got)
+	}
+	if got := res.Jobs[0].Acct().Wait; got != 0 {
+		t.Fatalf("wait = %v (should skip ineligible pool statically)", got)
+	}
+}
+
+func TestMultiCoreJob(t *testing.T) {
+	plat, err := cluster.Build([]cluster.PoolConfig{{
+		Classes: []cluster.MachineClass{{Count: 1, Cores: 4, MemMB: 8192, Speed: 1.0}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []job.Spec{
+		{ID: 1, Submit: 0, Work: 100, Cores: 3, MemMB: 1024, Priority: job.PriorityLow, Candidates: []int{0}},
+		{ID: 2, Submit: 0, Work: 100, Cores: 2, MemMB: 1024, Priority: job.PriorityLow, Candidates: []int{0}},
+	}
+	res := run(t, baseConfig(plat), specs)
+	// Only 4 cores: 3-core and 2-core jobs cannot overlap.
+	j2 := res.Jobs[1]
+	if got := j2.Acct().Wait; got != 100 {
+		t.Fatalf("wait = %v, want 100", got)
+	}
+}
+
+func TestSuspendHoldsMemoryBlocksPreemption(t *testing.T) {
+	plat, err := cluster.Build([]cluster.PoolConfig{{
+		Classes: []cluster.MachineClass{{Count: 1, Cores: 2, MemMB: 4096, Speed: 1.0}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(plat)
+	cfg.SuspendHoldsMemory = true
+	specs := []job.Spec{
+		{ID: 1, Submit: 0, Work: 100, Cores: 2, MemMB: 3000, Priority: job.PriorityLow, Candidates: []int{0}},
+		{ID: 2, Submit: 10, Work: 20, Cores: 1, MemMB: 3000, Priority: job.PriorityHigh, Candidates: []int{0}},
+	}
+	res := run(t, cfg, specs)
+	// With memory held by the suspended victim, the high job cannot fit:
+	// no preemption happens and it waits for completion at t=100.
+	if res.Preemptions != 0 {
+		t.Fatal("preemption happened despite held memory")
+	}
+	if got := res.Jobs[1].Acct().Wait; got != 90 {
+		t.Fatalf("high wait = %v, want 90", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := miniPlatform(t, 2, 2, 2)
+	mkSpecs := func() []job.Spec {
+		var specs []job.Spec
+		for i := 0; i < 60; i++ {
+			s := lowJob(job.ID(i+1), float64(i), 25+float64(i%7)*10, 0, 1, 2)
+			if i%5 == 0 {
+				s.Priority = job.PriorityHigh
+				s.Candidates = []int{0, 1}
+			}
+			specs = append(specs, s)
+		}
+		return specs
+	}
+	mkCfg := func() Config {
+		cfg := baseConfig(p)
+		cfg.Policy = core.NewResSusWaitRand(77)
+		return cfg
+	}
+	a := run(t, mkCfg(), mkSpecs())
+	b := run(t, mkCfg(), mkSpecs())
+	for i := range a.Jobs {
+		if a.Jobs[i].Completed != b.Jobs[i].Completed {
+			t.Fatalf("job %d completion differs: %v vs %v", i, a.Jobs[i].Completed, b.Jobs[i].Completed)
+		}
+	}
+	if a.Preemptions != b.Preemptions || a.Restarts != b.Restarts || a.WaitMoves != b.WaitMoves {
+		t.Fatal("run counters differ across identical runs")
+	}
+}
+
+func TestSamplingSeries(t *testing.T) {
+	p := miniPlatform(t, 1)
+	cfg := baseConfig(p)
+	cfg.SeriesBin = 10
+	res := run(t, cfg, []job.Spec{lowJob(1, 0, 100, 0)})
+	if res.Util.Len() == 0 {
+		t.Fatal("no utilization samples")
+	}
+	// Single 1-core machine fully busy: near-100% bins while running.
+	if got := res.Util.Points()[5].Y; math.Abs(got-100) > 1e-9 {
+		t.Fatalf("mid-run utilization = %v, want 100", got)
+	}
+}
+
+func TestDisableSampling(t *testing.T) {
+	p := miniPlatform(t, 1)
+	cfg := baseConfig(p)
+	cfg.DisableSampling = true
+	res := run(t, cfg, []job.Spec{lowJob(1, 0, 100, 0)})
+	if res.Util.Len() != 0 {
+		t.Fatal("sampling happened despite DisableSampling")
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	p := miniPlatform(t, 1)
+	cases := map[string]Config{
+		"noPlatform": {Initial: sched.NewRoundRobin(), Policy: core.NewNoRes()},
+		"noInitial":  {Platform: p, Policy: core.NewNoRes()},
+		"noPolicy":   {Platform: p, Initial: sched.NewRoundRobin()},
+		"negOverhead": {
+			Platform: p, Initial: sched.NewRoundRobin(), Policy: core.NewNoRes(),
+			RescheduleOverhead: -1,
+		},
+		"stalenessNoSampling": {
+			Platform: p, Initial: sched.NewRoundRobin(), Policy: core.NewNoRes(),
+			UtilStaleness: 5, DisableSampling: true,
+		},
+	}
+	for name, cfg := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Run(cfg, []job.Spec{lowJob(1, 0, 10, 0)}); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+}
+
+func TestInvalidSpecRejected(t *testing.T) {
+	p := miniPlatform(t, 1)
+	if _, err := Run(baseConfig(p), []job.Spec{{ID: 1}}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	if _, err := Run(baseConfig(p), []job.Spec{lowJob(1, 0, 10, 7)}); err == nil ||
+		!strings.Contains(err.Error(), "beyond platform") {
+		t.Fatalf("out-of-range pool accepted: %v", err)
+	}
+}
+
+func TestNoEligiblePoolError(t *testing.T) {
+	p := miniPlatform(t, 1)
+	spec := lowJob(1, 0, 10, 0)
+	spec.MemMB = 1 << 30 // fits nowhere
+	if _, err := Run(baseConfig(p), []job.Spec{spec}); err == nil {
+		t.Fatal("want error for unrunnable job")
+	}
+}
+
+func TestStaleUtilizationView(t *testing.T) {
+	// With a very stale view, ResSusUtil sees pool 1 as idle even after
+	// it fills, so it still moves the job there.
+	p := miniPlatform(t, 1, 1)
+	cfg := baseConfig(p)
+	cfg.Policy = core.NewResSusUtil()
+	cfg.UtilStaleness = 10000
+	specs := []job.Spec{
+		lowJob(1, 0, 1, 0),    // triggers the t=0 snapshot epoch
+		lowJob(2, 5, 1000, 1), // fills pool 1 after the snapshot
+		lowJob(3, 6, 100, 0, 1),
+		highJob(4, 30, 500, 0),
+	}
+	res := run(t, cfg, specs)
+	j2 := res.Jobs[2]
+	// Live view would retain (pool 1 busy); stale view moves it into
+	// pool 1's queue where it waits behind the 1000-minute job.
+	if j2.Acct().Restarts != 1 {
+		t.Fatalf("restarts = %d; stale view should have moved the job", j2.Acct().Restarts)
+	}
+	if j2.Pool != 1 {
+		t.Fatalf("moved to pool %d, want stale-believed-idle pool 1", j2.Pool)
+	}
+}
+
+func TestManyJobsConservationAndCompletion(t *testing.T) {
+	p := miniPlatform(t, 3, 3, 3, 3)
+	var specs []job.Spec
+	for i := 0; i < 500; i++ {
+		s := lowJob(job.ID(i+1), float64(i)*2, 20+float64(i%13)*15, 0, 1, 2, 3)
+		if i%7 == 0 {
+			s.Priority = job.PriorityHigh
+			s.Candidates = []int{0, 1}
+		}
+		specs = append(specs, s)
+	}
+	cfg := baseConfig(p)
+	cfg.Policy = core.NewResSusWaitUtil()
+	res := run(t, cfg, specs) // CheckConservation on: every job verified
+	if len(res.Jobs) != 500 {
+		t.Fatalf("jobs = %d", len(res.Jobs))
+	}
+	for _, j := range res.Jobs {
+		if j.State() != job.StateCompleted {
+			t.Fatalf("job %d not completed", j.Spec.ID)
+		}
+	}
+}

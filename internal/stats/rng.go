@@ -1,0 +1,120 @@
+// Package stats provides the statistical substrate for the NetBatch
+// reproduction: a seedable deterministic random number generator,
+// the workload distributions the synthetic trace generator draws from
+// (lognormal, Pareto, exponential, bounded uniforms), and the summary
+// machinery used by the metrics layer (online moments, quantiles,
+// empirical CDFs, histogram binning).
+//
+// Everything in this package is deterministic given a seed, which is
+// what makes every experiment in the repository reproducible.
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// RNG is a deterministic, seedable source of random variates.
+//
+// It wraps math/rand/v2's PCG generator. RNG is not safe for concurrent
+// use; the simulator is single-threaded by design, and parallel
+// experiment runners each own a distinct RNG.
+type RNG struct {
+	src *rand.Rand
+}
+
+// NewRNG returns a generator seeded with seed. Two RNGs created with the
+// same seed produce identical streams.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{src: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+}
+
+// Split derives an independent generator from the current stream. It is
+// used to give each subsystem (arrival process, runtime sampler, burst
+// process, ...) its own stream so that adding draws to one subsystem
+// does not perturb the others.
+func (r *RNG) Split() *RNG {
+	return &RNG{src: rand.New(rand.NewPCG(r.src.Uint64(), r.src.Uint64()))}
+}
+
+// Float64 returns a uniform variate in [0, 1).
+func (r *RNG) Float64() float64 { return r.src.Float64() }
+
+// IntN returns a uniform integer in [0, n). It panics if n <= 0, mirroring
+// math/rand/v2.
+func (r *RNG) IntN(n int) int { return r.src.IntN(n) }
+
+// Uint64 returns a uniform 64-bit value.
+func (r *RNG) Uint64() uint64 { return r.src.Uint64() }
+
+// NormFloat64 returns a standard normal variate.
+func (r *RNG) NormFloat64() float64 { return r.src.NormFloat64() }
+
+// Exp returns an exponential variate with the given mean. It panics if
+// mean <= 0.
+func (r *RNG) Exp(mean float64) float64 {
+	if mean <= 0 {
+		panic("stats: Exp requires mean > 0")
+	}
+	return r.src.ExpFloat64() * mean
+}
+
+// Lognormal returns a lognormal variate parameterized by the mu and sigma
+// of the underlying normal distribution.
+func (r *RNG) Lognormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.src.NormFloat64())
+}
+
+// Pareto returns a Pareto variate with minimum xm and shape alpha.
+// It panics if xm <= 0 or alpha <= 0.
+func (r *RNG) Pareto(xm, alpha float64) float64 {
+	if xm <= 0 || alpha <= 0 {
+		panic("stats: Pareto requires xm > 0 and alpha > 0")
+	}
+	// Inverse transform sampling; 1-U avoids a zero denominator.
+	u := 1 - r.src.Float64()
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Uniform returns a uniform variate in [lo, hi). It panics if hi < lo.
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	if hi < lo {
+		panic("stats: Uniform requires hi >= lo")
+	}
+	return lo + (hi-lo)*r.src.Float64()
+}
+
+// Bool returns true with probability p (clamped to [0, 1]).
+func (r *RNG) Bool(p float64) bool {
+	return r.src.Float64() < p
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int { return r.src.Perm(n) }
+
+// PickWeighted returns an index in [0, len(weights)) with probability
+// proportional to weights[i]. It panics if weights is empty or the total
+// weight is not positive.
+func (r *RNG) PickWeighted(weights []float64) int {
+	if len(weights) == 0 {
+		panic("stats: PickWeighted requires at least one weight")
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("stats: PickWeighted requires non-negative weights")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("stats: PickWeighted requires positive total weight")
+	}
+	x := r.src.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

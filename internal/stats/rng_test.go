@@ -1,0 +1,230 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("draw %d: %d != %d — same seed must produce same stream", i, av, bv)
+		}
+	}
+}
+
+func TestNewRNGDistinctSeeds(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams from different seeds collided %d/100 times", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	// Drawing from a split stream must not perturb the parent relative
+	// to a parent that split but never used the child.
+	a := NewRNG(7)
+	b := NewRNG(7)
+	ac := a.Split()
+	_ = b.Split()
+	for i := 0; i < 100; i++ {
+		ac.Float64() // consume child draws
+	}
+	for i := 0; i < 100; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("parent stream perturbed by child draws at %d", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(11)
+	var m Mean
+	const want = 250.0
+	for i := 0; i < 200000; i++ {
+		m.Add(r.Exp(want))
+	}
+	if got := m.Mean(); math.Abs(got-want)/want > 0.02 {
+		t.Fatalf("Exp mean = %v, want ~%v", got, want)
+	}
+}
+
+func TestExpPanicsOnNonPositiveMean(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) did not panic")
+		}
+	}()
+	NewRNG(1).Exp(0)
+}
+
+func TestLognormalMedian(t *testing.T) {
+	r := NewRNG(13)
+	mu := math.Log(100.0)
+	xs := make([]float64, 0, 100000)
+	for i := 0; i < 100000; i++ {
+		xs = append(xs, r.Lognormal(mu, 1.2))
+	}
+	med, err := Quantile(xs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Median of lognormal is exp(mu) = 100.
+	if math.Abs(med-100)/100 > 0.05 {
+		t.Fatalf("lognormal median = %v, want ~100", med)
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	r := NewRNG(17)
+	const xm, alpha = 10.0, 1.5
+	over := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Pareto(xm, alpha)
+		if v < xm {
+			t.Fatalf("Pareto variate %v below xm %v", v, xm)
+		}
+		if v > 100 { // P(X > 100) = (xm/100)^alpha = 0.1^1.5 ~ 0.0316
+			over++
+		}
+	}
+	frac := float64(over) / n
+	if math.Abs(frac-0.0316) > 0.005 {
+		t.Fatalf("Pareto tail fraction = %v, want ~0.0316", frac)
+	}
+}
+
+func TestParetoPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"xm=0":    func() { NewRNG(1).Pareto(0, 1) },
+		"alpha=0": func() { NewRNG(1).Pareto(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	r := NewRNG(19)
+	for i := 0; i < 10000; i++ {
+		v := r.Uniform(5, 9)
+		if v < 5 || v >= 9 {
+			t.Fatalf("Uniform(5,9) out of range: %v", v)
+		}
+	}
+	if got := r.Uniform(4, 4); got != 4 {
+		t.Fatalf("Uniform(4,4) = %v, want 4", got)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRNG(23)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	if frac := float64(hits) / n; math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) hit rate = %v", frac)
+	}
+}
+
+func TestPickWeighted(t *testing.T) {
+	r := NewRNG(29)
+	weights := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.PickWeighted(weights)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight index picked %d times", counts[1])
+	}
+	if frac := float64(counts[2]) / n; math.Abs(frac-0.75) > 0.01 {
+		t.Fatalf("weight-3 index frac = %v, want ~0.75", frac)
+	}
+}
+
+func TestPickWeightedPanics(t *testing.T) {
+	cases := map[string][]float64{
+		"empty":    {},
+		"allZero":  {0, 0},
+		"negative": {1, -1},
+	}
+	for name, w := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("PickWeighted(%s) did not panic", name)
+				}
+			}()
+			NewRNG(1).PickWeighted(w)
+		}()
+	}
+}
+
+func TestIntNCoverage(t *testing.T) {
+	r := NewRNG(31)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.IntN(5)
+		if v < 0 || v >= 5 {
+			t.Fatalf("IntN(5) = %v", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("IntN(5) covered only %d values", len(seen))
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(37)
+	err := quick.Check(func(nRaw uint8) bool {
+		n := int(nRaw%32) + 1
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

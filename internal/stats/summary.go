@@ -1,0 +1,246 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean is an online accumulator of count, mean, and variance using
+// Welford's algorithm. The zero value is ready to use.
+type Mean struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (m *Mean) Add(x float64) {
+	m.n++
+	if m.n == 1 {
+		m.min, m.max = x, x
+	} else {
+		if x < m.min {
+			m.min = x
+		}
+		if x > m.max {
+			m.max = x
+		}
+	}
+	delta := x - m.mean
+	m.mean += delta / float64(m.n)
+	m.m2 += delta * (x - m.mean)
+}
+
+// N returns the number of observations.
+func (m *Mean) N() int64 { return m.n }
+
+// Mean returns the running mean, or 0 with no observations.
+func (m *Mean) Mean() float64 { return m.mean }
+
+// Sum returns the total of all observations.
+func (m *Mean) Sum() float64 { return m.mean * float64(m.n) }
+
+// Var returns the sample variance, or 0 with fewer than two observations.
+func (m *Mean) Var() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (m *Mean) Stddev() float64 { return math.Sqrt(m.Var()) }
+
+// Min returns the smallest observation, or 0 with no observations.
+func (m *Mean) Min() float64 { return m.min }
+
+// Max returns the largest observation, or 0 with no observations.
+func (m *Mean) Max() float64 { return m.max }
+
+// Merge combines another accumulator into this one (parallel Welford).
+func (m *Mean) Merge(o *Mean) {
+	if o.n == 0 {
+		return
+	}
+	if m.n == 0 {
+		*m = *o
+		return
+	}
+	n := m.n + o.n
+	delta := o.mean - m.mean
+	m.m2 += o.m2 + delta*delta*float64(m.n)*float64(o.n)/float64(n)
+	m.mean += delta * float64(o.n) / float64(n)
+	if o.min < m.min {
+		m.min = o.min
+	}
+	if o.max > m.max {
+		m.max = o.max
+	}
+	m.n = n
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It returns an error for an
+// empty sample or q outside [0, 1]. xs is not modified.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: quantile of empty sample")
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %v outside [0, 1]", q)
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q), nil
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CDF is an empirical cumulative distribution function over a fixed
+// sample. Construct it with NewCDF.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from xs. xs is copied; it may be empty,
+// in which case all queries return degenerate values.
+func NewCDF(xs []float64) *CDF {
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return &CDF{sorted: sorted}
+}
+
+// N returns the sample size.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// At returns P(X <= x), the fraction of the sample at or below x.
+// It returns 0 for an empty sample.
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	// First index with value > x.
+	idx := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-quantile of the sample, or 0 for an empty
+// sample. q is clamped to [0, 1].
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	return quantileSorted(c.sorted, q)
+}
+
+// Mean returns the sample mean, or 0 for an empty sample.
+func (c *CDF) Mean() float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range c.sorted {
+		sum += x
+	}
+	return sum / float64(len(c.sorted))
+}
+
+// Points returns (value, cumulative fraction) pairs suitable for plotting
+// the CDF at up to n evenly spaced sample ranks. For n <= 0 or n larger
+// than the sample, every sample point is returned.
+func (c *CDF) Points(n int) []Point {
+	if len(c.sorted) == 0 {
+		return nil
+	}
+	if n <= 0 || n > len(c.sorted) {
+		n = len(c.sorted)
+	}
+	pts := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		rank := i * (len(c.sorted) - 1) / max(n-1, 1)
+		pts = append(pts, Point{
+			X: c.sorted[rank],
+			Y: float64(rank+1) / float64(len(c.sorted)),
+		})
+	}
+	return pts
+}
+
+// Point is an (x, y) pair in a rendered distribution or time series.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Histogram counts observations into fixed-width bins over [Lo, Hi).
+// Out-of-range observations are clamped into the first/last bin so the
+// total count always matches the number of Add calls.
+type Histogram struct {
+	Lo, Hi float64
+	counts []int64
+	total  int64
+}
+
+// NewHistogram creates a histogram with n bins over [lo, hi). It panics
+// if n <= 0 or hi <= lo, which are programmer errors.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		panic("stats: NewHistogram requires n > 0")
+	}
+	if hi <= lo {
+		panic("stats: NewHistogram requires hi > lo")
+	}
+	return &Histogram{Lo: lo, Hi: hi, counts: make([]int64, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	idx := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.counts)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.counts) {
+		idx = len(h.counts) - 1
+	}
+	h.counts[idx]++
+	h.total++
+}
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Counts returns a copy of the per-bin counts.
+func (h *Histogram) Counts() []int64 {
+	out := make([]int64, len(h.counts))
+	copy(out, h.counts)
+	return out
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.counts))
+	return h.Lo + (float64(i)+0.5)*w
+}

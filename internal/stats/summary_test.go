@@ -1,0 +1,293 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanBasics(t *testing.T) {
+	var m Mean
+	if m.N() != 0 || m.Mean() != 0 || m.Var() != 0 {
+		t.Fatal("zero-value Mean not neutral")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		m.Add(x)
+	}
+	if m.N() != 8 {
+		t.Fatalf("N = %d", m.N())
+	}
+	if got := m.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	// Sample variance of the classic dataset: population var is 4, so
+	// sample var is 4 * 8/7.
+	if got, want := m.Var(), 4.0*8/7; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Var = %v, want %v", got, want)
+	}
+	if m.Min() != 2 || m.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", m.Min(), m.Max())
+	}
+	if got := m.Sum(); math.Abs(got-40) > 1e-9 {
+		t.Fatalf("Sum = %v, want 40", got)
+	}
+}
+
+func TestMeanMergeMatchesSequential(t *testing.T) {
+	r := NewRNG(5)
+	err := quick.Check(func(split uint8) bool {
+		xs := make([]float64, 200)
+		for i := range xs {
+			xs[i] = r.Float64()*100 - 50
+		}
+		k := int(split) % len(xs)
+		var whole, left, right Mean
+		for _, x := range xs {
+			whole.Add(x)
+		}
+		for _, x := range xs[:k] {
+			left.Add(x)
+		}
+		for _, x := range xs[k:] {
+			right.Add(x)
+		}
+		left.Merge(&right)
+		return left.N() == whole.N() &&
+			math.Abs(left.Mean()-whole.Mean()) < 1e-9 &&
+			math.Abs(left.Var()-whole.Var()) < 1e-6 &&
+			left.Min() == whole.Min() && left.Max() == whole.Max()
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanMergeEmpty(t *testing.T) {
+	var a, b Mean
+	a.Add(3)
+	a.Merge(&b) // merging empty is a no-op
+	if a.N() != 1 || a.Mean() != 3 {
+		t.Fatal("merge with empty changed accumulator")
+	}
+	b.Merge(&a) // merging into empty copies
+	if b.N() != 1 || b.Mean() != 3 {
+		t.Fatal("merge into empty did not copy")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.1, 1.4},
+	}
+	for _, c := range cases {
+		got, err := Quantile(xs, c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileErrors(t *testing.T) {
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Fatal("empty sample: want error")
+	}
+	if _, err := Quantile([]float64{1}, -0.1); err == nil {
+		t.Fatal("q<0: want error")
+	}
+	if _, err := Quantile([]float64{1}, 1.1); err == nil {
+		t.Fatal("q>1: want error")
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Quantile(xs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	cases := []struct {
+		x, want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, cse := range cases {
+		if got := c.At(cse.x); math.Abs(got-cse.want) > 1e-12 {
+			t.Fatalf("At(%v) = %v, want %v", cse.x, got, cse.want)
+		}
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.N() != 0 || c.At(5) != 0 || c.Quantile(0.5) != 0 || c.Mean() != 0 {
+		t.Fatal("empty CDF not degenerate-safe")
+	}
+	if pts := c.Points(10); pts != nil {
+		t.Fatal("empty CDF Points should be nil")
+	}
+}
+
+func TestCDFMonotonicProperty(t *testing.T) {
+	r := NewRNG(101)
+	err := quick.Check(func(seedByte uint8) bool {
+		n := int(seedByte)%100 + 2
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64() * 1000
+		}
+		c := NewCDF(xs)
+		// CDF must be monotone nondecreasing in x.
+		prev := -1.0
+		for x := 0.0; x <= 1000; x += 50 {
+			v := c.At(x)
+			if v < prev || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		// Quantile must be monotone nondecreasing in q and invert At.
+		prevQ := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := c.Quantile(q)
+			if v < prevQ {
+				return false
+			}
+			prevQ = v
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFQuantileAtRoundTrip(t *testing.T) {
+	r := NewRNG(103)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = r.Float64() * 100
+	}
+	c := NewCDF(xs)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		x := c.Quantile(q)
+		if got := c.At(x); got < q-0.01 {
+			t.Fatalf("At(Quantile(%v)) = %v < q", q, got)
+		}
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	c := NewCDF(xs)
+	pts := c.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("Points(5) len = %d", len(pts))
+	}
+	if pts[0].X != 10 || pts[len(pts)-1].X != 50 {
+		t.Fatalf("Points endpoints = %v, %v", pts[0], pts[len(pts)-1])
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y < pts[i-1].Y {
+			t.Fatal("Points Y not monotone")
+		}
+	}
+	if got := c.Points(0); len(got) != len(xs) {
+		t.Fatalf("Points(0) len = %d, want %d", len(got), len(xs))
+	}
+}
+
+func TestCDFMean(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3})
+	if got := c.Mean(); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	for _, x := range []float64{-5, 0, 5, 15, 99, 105} {
+		h.Add(x)
+	}
+	counts := h.Counts()
+	if h.Total() != 6 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if counts[0] != 3 { // -5 (clamped), 0, 5
+		t.Fatalf("bin0 = %d, want 3", counts[0])
+	}
+	if counts[1] != 1 {
+		t.Fatalf("bin1 = %d, want 1", counts[1])
+	}
+	if counts[9] != 2 { // 99 and 105 (clamped)
+		t.Fatalf("bin9 = %d, want 2", counts[9])
+	}
+	if got := h.BinCenter(0); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("BinCenter(0) = %v", got)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zeroBins":  func() { NewHistogram(0, 1, 0) },
+		"badBounds": func() { NewHistogram(1, 1, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHistogramConservation(t *testing.T) {
+	r := NewRNG(201)
+	err := quick.Check(func(n uint16) bool {
+		h := NewHistogram(0, 50, 7)
+		adds := int(n % 500)
+		for i := 0; i < adds; i++ {
+			h.Add(r.Float64()*200 - 50) // deliberately out of range sometimes
+		}
+		var sum int64
+		for _, c := range h.Counts() {
+			sum += c
+		}
+		return sum == int64(adds) && h.Total() == int64(adds)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileMatchesSortDefinition(t *testing.T) {
+	r := NewRNG(301)
+	xs := make([]float64, 1001)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	med, err := Quantile(xs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if med != sorted[500] {
+		t.Fatalf("median = %v, want middle element %v", med, sorted[500])
+	}
+}

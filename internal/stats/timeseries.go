@@ -1,0 +1,93 @@
+package stats
+
+// TimeSeries aggregates per-sample observations into fixed-width time
+// bins, producing the averaged series the paper plots in Figure 4
+// ("sampled ... every minute and aggregated ... based on a 100 minutes
+// interval").
+//
+// Observations may arrive at any nonnegative time; each falls into bin
+// floor(t / BinWidth). Bins with no observations report a zero average
+// and are still emitted so series stay aligned.
+type TimeSeries struct {
+	// BinWidth is the aggregation interval in the same time unit as the
+	// observations (minutes throughout this repository).
+	BinWidth float64
+
+	sums   []float64
+	counts []int64
+}
+
+// NewTimeSeries creates a series aggregated into binWidth-wide bins.
+// It panics if binWidth <= 0, which is a programmer error.
+func NewTimeSeries(binWidth float64) *TimeSeries {
+	if binWidth <= 0 {
+		panic("stats: NewTimeSeries requires binWidth > 0")
+	}
+	return &TimeSeries{BinWidth: binWidth}
+}
+
+// Add records an observation of value v at time t. Negative times are
+// clamped to bin zero.
+func (ts *TimeSeries) Add(t, v float64) {
+	idx := int(t / ts.BinWidth)
+	if idx < 0 {
+		idx = 0
+	}
+	for idx >= len(ts.sums) {
+		ts.sums = append(ts.sums, 0)
+		ts.counts = append(ts.counts, 0)
+	}
+	ts.sums[idx] += v
+	ts.counts[idx]++
+}
+
+// Len returns the number of bins currently covered.
+func (ts *TimeSeries) Len() int { return len(ts.sums) }
+
+// Points returns (bin midpoint time, bin average) pairs.
+func (ts *TimeSeries) Points() []Point {
+	pts := make([]Point, len(ts.sums))
+	for i := range ts.sums {
+		avg := 0.0
+		if ts.counts[i] > 0 {
+			avg = ts.sums[i] / float64(ts.counts[i])
+		}
+		pts[i] = Point{X: (float64(i) + 0.5) * ts.BinWidth, Y: avg}
+	}
+	return pts
+}
+
+// MeanOfBins returns the average of the per-bin averages, ignoring empty
+// bins. It returns 0 if every bin is empty.
+func (ts *TimeSeries) MeanOfBins() float64 {
+	var sum float64
+	var n int
+	for i := range ts.sums {
+		if ts.counts[i] > 0 {
+			sum += ts.sums[i] / float64(ts.counts[i])
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// MaxBin returns the largest per-bin average and its bin midpoint.
+// It returns (0, 0) if every bin is empty.
+func (ts *TimeSeries) MaxBin() (t, v float64) {
+	found := false
+	for i := range ts.sums {
+		if ts.counts[i] == 0 {
+			continue
+		}
+		avg := ts.sums[i] / float64(ts.counts[i])
+		if !found || avg > v {
+			v = avg
+			t = (float64(i) + 0.5) * ts.BinWidth
+			found = true
+		}
+	}
+	return t, v
+}

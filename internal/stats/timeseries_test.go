@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeSeriesBinning(t *testing.T) {
+	ts := NewTimeSeries(100)
+	ts.Add(0, 10)
+	ts.Add(50, 20)  // same bin as t=0
+	ts.Add(150, 40) // bin 1
+	ts.Add(990, 5)  // bin 9
+	pts := ts.Points()
+	if len(pts) != 10 {
+		t.Fatalf("len = %d, want 10", len(pts))
+	}
+	if got := pts[0].Y; math.Abs(got-15) > 1e-12 {
+		t.Fatalf("bin0 avg = %v, want 15", got)
+	}
+	if got := pts[1].Y; math.Abs(got-40) > 1e-12 {
+		t.Fatalf("bin1 avg = %v, want 40", got)
+	}
+	if got := pts[0].X; math.Abs(got-50) > 1e-12 {
+		t.Fatalf("bin0 midpoint = %v, want 50", got)
+	}
+	// Empty bins report zero.
+	if pts[5].Y != 0 {
+		t.Fatalf("empty bin avg = %v", pts[5].Y)
+	}
+}
+
+func TestTimeSeriesNegativeTimeClamped(t *testing.T) {
+	ts := NewTimeSeries(10)
+	ts.Add(-5, 7)
+	pts := ts.Points()
+	if len(pts) != 1 || pts[0].Y != 7 {
+		t.Fatalf("negative time not clamped into bin 0: %+v", pts)
+	}
+}
+
+func TestTimeSeriesMeanOfBins(t *testing.T) {
+	ts := NewTimeSeries(10)
+	ts.Add(5, 10)
+	ts.Add(15, 30)
+	ts.Add(45, 20) // bins 2, 3 empty, skipped in mean
+	if got := ts.MeanOfBins(); math.Abs(got-20) > 1e-12 {
+		t.Fatalf("MeanOfBins = %v, want 20", got)
+	}
+}
+
+func TestTimeSeriesMaxBin(t *testing.T) {
+	ts := NewTimeSeries(10)
+	ts.Add(5, 10)
+	ts.Add(25, 99)
+	tm, v := ts.MaxBin()
+	if v != 99 || math.Abs(tm-25) > 1e-12 {
+		t.Fatalf("MaxBin = (%v, %v)", tm, v)
+	}
+}
+
+func TestTimeSeriesEmpty(t *testing.T) {
+	ts := NewTimeSeries(10)
+	if ts.Len() != 0 || ts.MeanOfBins() != 0 {
+		t.Fatal("empty series not neutral")
+	}
+	if tm, v := ts.MaxBin(); tm != 0 || v != 0 {
+		t.Fatal("empty MaxBin not zero")
+	}
+}
+
+func TestTimeSeriesPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTimeSeries(0) did not panic")
+		}
+	}()
+	NewTimeSeries(0)
+}
+
+func TestTimeSeriesCountConservation(t *testing.T) {
+	r := NewRNG(77)
+	err := quick.Check(func(n uint16) bool {
+		ts := NewTimeSeries(25)
+		adds := int(n % 300)
+		var want float64
+		for i := 0; i < adds; i++ {
+			v := r.Float64() * 10
+			want += v
+			ts.Add(r.Float64()*1000, v)
+		}
+		// Sum over bins of avg*count must equal total added value.
+		var got float64
+		for i, p := range ts.Points() {
+			got += p.Y * float64(ts.counts[i])
+		}
+		return math.Abs(got-want) < 1e-6
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

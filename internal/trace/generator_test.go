@@ -1,0 +1,305 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"netbatch/internal/job"
+	"netbatch/internal/stats"
+)
+
+func smallConfig(seed uint64) GeneratorConfig {
+	return GeneratorConfig{
+		Seed:             seed,
+		Horizon:          2000,
+		NumPools:         4,
+		OwnedPools:       []int{0, 1},
+		LowRate:          2,
+		DiurnalAmplitude: 0.3,
+		LowWork:          WorkDist{Median: 50, Sigma: 1.0},
+		HighWork:         WorkDist{Median: 30, Sigma: 0.8},
+		MemClassesMB:     []int{1024, 4096},
+		MemWeights:       []float64{0.7, 0.3},
+		CoresClasses:     []int{1, 2},
+		CoresWeights:     []float64{0.9, 0.1},
+		Bursts:           []Burst{{Start: 500, Duration: 300, Rate: 5}},
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Jobs) != len(b.Jobs) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Jobs), len(b.Jobs))
+	}
+	for i := range a.Jobs {
+		x, y := a.Jobs[i], b.Jobs[i]
+		if x.Submit != y.Submit || x.Work != y.Work || x.Priority != y.Priority {
+			t.Fatalf("job %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestGenerateDifferentSeeds(t *testing.T) {
+	a, _ := Generate(smallConfig(1))
+	b, _ := Generate(smallConfig(2))
+	if len(a.Jobs) == len(b.Jobs) {
+		same := true
+		for i := range a.Jobs {
+			if a.Jobs[i].Submit != b.Jobs[i].Submit {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestGenerateTraceIsValid(t *testing.T) {
+	tr, err := Generate(smallConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) == 0 {
+		t.Fatal("empty trace")
+	}
+}
+
+func TestGenerateArrivalRate(t *testing.T) {
+	cfg := smallConfig(5)
+	cfg.Bursts = nil
+	cfg.DiurnalAmplitude = 0
+	cfg.Horizon = 50000
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := float64(len(tr.Jobs)) / cfg.Horizon
+	if math.Abs(rate-cfg.LowRate)/cfg.LowRate > 0.05 {
+		t.Fatalf("arrival rate = %v, want ~%v", rate, cfg.LowRate)
+	}
+}
+
+func TestGenerateBurstShape(t *testing.T) {
+	tr, err := Generate(smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inBurst, outBurst int
+	for _, s := range tr.Jobs {
+		if s.Priority != job.PriorityHigh {
+			continue
+		}
+		if s.Submit >= 500 && s.Submit < 800 {
+			inBurst++
+		} else {
+			outBurst++
+		}
+		// Burst jobs default to owned pools.
+		if len(s.Candidates) != 2 || s.Candidates[0] != 0 || s.Candidates[1] != 1 {
+			t.Fatalf("high-priority candidates = %v, want owned pools", s.Candidates)
+		}
+	}
+	if outBurst != 0 {
+		t.Fatalf("%d high-priority jobs outside burst window", outBurst)
+	}
+	// ~5/min for 300 min ≈ 1500 jobs.
+	if inBurst < 1200 || inBurst > 1800 {
+		t.Fatalf("burst job count = %d, want ~1500", inBurst)
+	}
+}
+
+func TestGenerateLowJobsCanRunAnywhere(t *testing.T) {
+	tr, err := Generate(smallConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tr.Jobs {
+		if s.Priority == job.PriorityLow && len(s.Candidates) != 4 {
+			t.Fatalf("low-priority job candidates = %v, want all 4 pools", s.Candidates)
+		}
+	}
+}
+
+func TestGenerateExplicitBurstPools(t *testing.T) {
+	cfg := smallConfig(13)
+	cfg.Bursts = []Burst{{Start: 100, Duration: 100, Rate: 3, Pools: []int{2, 3}}}
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tr.Jobs {
+		if s.Priority == job.PriorityHigh {
+			if len(s.Candidates) != 2 || s.Candidates[0] != 2 || s.Candidates[1] != 3 {
+				t.Fatalf("burst candidates = %v, want [2 3]", s.Candidates)
+			}
+		}
+	}
+}
+
+func TestGenerateTasks(t *testing.T) {
+	cfg := smallConfig(17)
+	cfg.TaskFraction = 0.5
+	cfg.TaskMeanSize = 4
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	taskSizes := map[int64]int{}
+	var tasked int
+	for _, s := range tr.Jobs {
+		if s.TaskID != 0 {
+			if s.Priority != job.PriorityLow {
+				t.Fatal("high-priority job assigned to a task")
+			}
+			taskSizes[s.TaskID]++
+			tasked++
+		}
+	}
+	if len(taskSizes) == 0 {
+		t.Fatal("no tasks formed")
+	}
+	for id, size := range taskSizes {
+		if size < 1 || size > 64 {
+			t.Fatalf("task %d has unreasonable size %d", id, size)
+		}
+	}
+	if frac := float64(tasked) / float64(len(tr.Jobs)); frac < 0.2 {
+		t.Fatalf("tasked fraction = %v, want substantial", frac)
+	}
+}
+
+func TestGenerateValidationErrors(t *testing.T) {
+	mutations := map[string]func(*GeneratorConfig){
+		"zeroHorizon":   func(c *GeneratorConfig) { c.Horizon = 0 },
+		"zeroPools":     func(c *GeneratorConfig) { c.NumPools = 0 },
+		"negRate":       func(c *GeneratorConfig) { c.LowRate = -1 },
+		"badAmp":        func(c *GeneratorConfig) { c.DiurnalAmplitude = 1.5 },
+		"memMismatch":   func(c *GeneratorConfig) { c.MemWeights = []float64{1} },
+		"coresMismatch": func(c *GeneratorConfig) { c.CoresWeights = []float64{1} },
+		"badTaskFrac":   func(c *GeneratorConfig) { c.TaskFraction = 2 },
+		"badOwned":      func(c *GeneratorConfig) { c.OwnedPools = []int{99} },
+		"badBurst":      func(c *GeneratorConfig) { c.Bursts[0].Rate = 0 },
+		"badBurstPool":  func(c *GeneratorConfig) { c.Bursts[0].Pools = []int{77} },
+		"orphanBurst": func(c *GeneratorConfig) {
+			c.OwnedPools = nil
+			c.Bursts[0].Pools = nil
+		},
+		"badWork": func(c *GeneratorConfig) { c.LowWork.Median = 0 },
+		"badTail": func(c *GeneratorConfig) { c.LowWork = WorkDist{Median: 1, TailFrac: 0.5} },
+		"badAuto": func(c *GeneratorConfig) {
+			c.Auto = &AutoBursts{MeanGap: 0, MeanDuration: 1, Rate: 1, PoolsPerBurst: 1}
+		},
+		"autoTooManyPools": func(c *GeneratorConfig) {
+			c.Auto = &AutoBursts{MeanGap: 1, MeanDuration: 1, Rate: 1, PoolsPerBurst: 10}
+		},
+	}
+	for name, mutate := range mutations {
+		t.Run(name, func(t *testing.T) {
+			cfg := smallConfig(1)
+			mutate(&cfg)
+			if _, err := Generate(cfg); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+}
+
+func TestWorkDistSample(t *testing.T) {
+	r := stats.NewRNG(21)
+	d := WorkDist{Median: 100, Sigma: 1.2, TailFrac: 0.02, TailMin: 1500, TailAlpha: 1.3, Cap: 50000}
+	var m stats.Mean
+	tail := 0
+	for i := 0; i < 100000; i++ {
+		v := d.Sample(r)
+		if v < 1 {
+			t.Fatalf("sample %v below 1-minute floor", v)
+		}
+		if v > 50000 {
+			t.Fatalf("sample %v above cap", v)
+		}
+		if v >= 1500 {
+			tail++
+		}
+		m.Add(v)
+	}
+	// Mean should be in the rough vicinity of the analytic estimate.
+	if est := d.Mean(); m.Mean() < est*0.5 || m.Mean() > est*1.5 {
+		t.Fatalf("sample mean %v far from analytic %v", m.Mean(), est)
+	}
+	if tail == 0 {
+		t.Fatal("no tail samples")
+	}
+}
+
+func TestAutoBurstsGeneration(t *testing.T) {
+	cfg := smallConfig(23)
+	cfg.Bursts = nil
+	cfg.Horizon = 100000
+	cfg.Auto = &AutoBursts{MeanGap: 5000, MeanDuration: 500, MaxDuration: 2000, Rate: 3, PoolsPerBurst: 2}
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high := tr.CountByPriority()[job.PriorityHigh]
+	if high == 0 {
+		t.Fatal("auto bursts produced no high-priority jobs")
+	}
+	// Expect roughly horizon/(gap+dur) bursts * rate * dur jobs.
+	approx := 100000.0 / 5500 * 3 * 500
+	if float64(high) < approx*0.3 || float64(high) > approx*3 {
+		t.Fatalf("high-priority count = %d, want vaguely ~%v", high, approx)
+	}
+}
+
+func TestPresetsAreValid(t *testing.T) {
+	for name, cfg := range map[string]GeneratorConfig{
+		"WeekNormal":     WeekNormal(1),
+		"HighSuspension": HighSuspension(1),
+		"YearLong":       YearLong(1, 0.1),
+	} {
+		t.Run(name, func(t *testing.T) {
+			if err := cfg.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestWeekNormalShape(t *testing.T) {
+	tr, err := Generate(WeekNormal(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(tr.Jobs)
+	// The paper's week window has 248k jobs; ours should be the same
+	// order of magnitude (low base + bursts).
+	if n < 150000 || n > 500000 {
+		t.Fatalf("week trace job count = %d, want 150k-500k", n)
+	}
+	counts := tr.CountByPriority()
+	if counts[job.PriorityHigh] == 0 {
+		t.Fatal("no high-priority jobs in busy week")
+	}
+	frac := float64(counts[job.PriorityHigh]) / float64(n)
+	if frac < 0.05 || frac > 0.6 {
+		t.Fatalf("high-priority fraction = %v", frac)
+	}
+	// Offered load on the default 19,200-core platform should sit in
+	// the paper's 20-60%% utilization band.
+	util := tr.OfferedUtilization(19200)
+	if util < 0.2 || util > 0.7 {
+		t.Fatalf("offered utilization = %v, want in the paper's band", util)
+	}
+}

@@ -1,0 +1,194 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"netbatch/internal/job"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{Jobs: []job.Spec{
+		{ID: 1, Submit: 0, Work: 10, Cores: 1, MemMB: 1024, Priority: job.PriorityLow, Candidates: []int{0, 1}},
+		{ID: 2, Submit: 5, Work: 20, Cores: 2, MemMB: 2048, OS: "linux", Priority: job.PriorityHigh, Candidates: []int{0}, TaskID: 3},
+		{ID: 3, Submit: 9.5, Work: 30.25, Cores: 1, MemMB: 512, Priority: job.PriorityLow, Candidates: []int{1}},
+	}}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := sampleTrace().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateDuplicateID(t *testing.T) {
+	tr := sampleTrace()
+	tr.Jobs[2].ID = 1
+	if err := tr.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateOrder(t *testing.T) {
+	tr := sampleTrace()
+	tr.Jobs[1].Submit = 100
+	if err := tr.Validate(); err == nil || !strings.Contains(err.Error(), "order") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateBadSpec(t *testing.T) {
+	tr := sampleTrace()
+	tr.Jobs[0].Work = -1
+	if err := tr.Validate(); err == nil {
+		t.Fatal("want error for bad spec")
+	}
+}
+
+func TestWindow(t *testing.T) {
+	tr := sampleTrace()
+	w := tr.Window(1, 9.5)
+	if len(w.Jobs) != 1 || w.Jobs[0].ID != 2 {
+		t.Fatalf("window = %+v", w.Jobs)
+	}
+	// Window is a copy; mutating it must not touch the original.
+	w.Jobs[0].Work = 999
+	if tr.Jobs[1].Work == 999 {
+		t.Fatal("Window aliases the source trace")
+	}
+	if got := len(tr.Window(0, 100).Jobs); got != 3 {
+		t.Fatalf("full window = %d jobs", got)
+	}
+	if got := len(tr.Window(50, 60).Jobs); got != 0 {
+		t.Fatalf("empty window = %d jobs", got)
+	}
+}
+
+func TestHorizonAndTotals(t *testing.T) {
+	tr := sampleTrace()
+	if got := tr.Horizon(); got != 9.5 {
+		t.Fatalf("Horizon = %v", got)
+	}
+	if got := tr.TotalWork(); got != 60.25 {
+		t.Fatalf("TotalWork = %v", got)
+	}
+	counts := tr.CountByPriority()
+	if counts[job.PriorityLow] != 2 || counts[job.PriorityHigh] != 1 {
+		t.Fatalf("CountByPriority = %v", counts)
+	}
+	empty := &Trace{}
+	if empty.Horizon() != 0 {
+		t.Fatal("empty horizon should be 0")
+	}
+}
+
+func TestOfferedUtilization(t *testing.T) {
+	tr := &Trace{Jobs: []job.Spec{
+		{ID: 1, Submit: 0, Work: 50, Cores: 2, MemMB: 1, Priority: job.PriorityLow, Candidates: []int{0}},
+		{ID: 2, Submit: 100, Work: 100, Cores: 1, MemMB: 1, Priority: job.PriorityLow, Candidates: []int{0}},
+	}}
+	// demand = 50*2 + 100 = 200 core-min over horizon 100 on 10 cores.
+	if got := tr.OfferedUtilization(10); got != 0.2 {
+		t.Fatalf("OfferedUtilization = %v", got)
+	}
+	if got := tr.OfferedUtilization(0); got != 0 {
+		t.Fatalf("zero cores should give 0, got %v", got)
+	}
+	if got := (&Trace{}).OfferedUtilization(10); got != 0 {
+		t.Fatalf("empty trace should give 0, got %v", got)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTracesEqual(t, tr, got)
+}
+
+func TestJSONLSkipsBlankLines(t *testing.T) {
+	input := `{"id":1,"submit":0,"work":5,"cores":1,"mem_mb":1,"priority":1,"candidates":[0]}
+
+{"id":2,"submit":1,"work":5,"cores":1,"mem_mb":1,"priority":1,"candidates":[0]}
+`
+	tr, err := ReadJSONL(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 2 {
+		t.Fatalf("jobs = %d", len(tr.Jobs))
+	}
+}
+
+func TestJSONLBadLine(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestJSONLInvalidTrace(t *testing.T) {
+	// Valid JSON, invalid spec (no candidates).
+	input := `{"id":1,"submit":0,"work":5,"cores":1,"mem_mb":1,"priority":1}`
+	if _, err := ReadJSONL(strings.NewReader(input)); err == nil {
+		t.Fatal("want validation error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTracesEqual(t, tr, got)
+}
+
+func TestCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":     "",
+		"badHeader": "a,b,c\n",
+		"badRow":    strings.Join(csvHeader, ",") + "\nx,y,z,1,1,linux,1,0,0\n",
+		"badCands":  strings.Join(csvHeader, ",") + "\n1,0,5,1,1,linux,1,0,zap\n",
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+}
+
+func assertTracesEqual(t *testing.T, want, got *Trace) {
+	t.Helper()
+	if len(got.Jobs) != len(want.Jobs) {
+		t.Fatalf("job count %d != %d", len(got.Jobs), len(want.Jobs))
+	}
+	for i := range want.Jobs {
+		w, g := want.Jobs[i], got.Jobs[i]
+		if w.ID != g.ID || w.Submit != g.Submit || w.Work != g.Work ||
+			w.Cores != g.Cores || w.MemMB != g.MemMB || w.OS != g.OS ||
+			w.Priority != g.Priority || w.TaskID != g.TaskID {
+			t.Fatalf("job %d mismatch:\nwant %+v\ngot  %+v", i, w, g)
+		}
+		if len(w.Candidates) != len(g.Candidates) {
+			t.Fatalf("job %d candidates mismatch", i)
+		}
+		for ci := range w.Candidates {
+			if w.Candidates[ci] != g.Candidates[ci] {
+				t.Fatalf("job %d candidate %d mismatch", i, ci)
+			}
+		}
+	}
+}
