@@ -7,7 +7,10 @@
 // Experiment benches run at 4% scale so a full -bench=. pass stays in
 // the minutes range; they report the paper's key metrics via
 // b.ReportMetric (avgWCT, avgCT of suspended jobs) so regressions in
-// *result shape*, not just speed, are visible.
+// *result shape*, not just speed, are visible. All simulation benches
+// go through the shared matrix runner (experiments.RunCell) rather than
+// hand-assembling sim.Config; the ablation benches pre-generate their
+// trace and platform once so they time the engine, not trace synthesis.
 package netbatch
 
 import (
@@ -17,7 +20,6 @@ import (
 	"netbatch/internal/cluster"
 	"netbatch/internal/core"
 	"netbatch/internal/experiments"
-	"netbatch/internal/metrics"
 	"netbatch/internal/sched"
 	"netbatch/internal/sim"
 	"netbatch/internal/trace"
@@ -27,7 +29,8 @@ import (
 const benchScale = 0.04
 
 func benchOpts() experiments.Options {
-	return experiments.Options{Seed: 42, Scale: benchScale, Parallel: false}
+	// One worker: benches measure single-simulation latency.
+	return experiments.Options{Seed: 42, Scale: benchScale, Jobs: 1}
 }
 
 // runExperimentBench runs one registered experiment b.N times and
@@ -65,62 +68,59 @@ func BenchmarkFig4YearTimeline(b *testing.B)    { runExperimentBench(b, "fig4") 
 
 func BenchmarkHighSuspensionScenario(b *testing.B) { runExperimentBench(b, "highsusp") }
 
-// benchFixture builds a week trace and platform at bench scale.
-func benchFixture(b *testing.B, capacity float64) (*trace.Trace, *cluster.Platform) {
+// prebuiltWeek returns the Tables 1–5 scenario at bench scale with its
+// trace and platform synthesized once up front, so per-iteration cost
+// is simulation only. Sampling is disabled unless a stale utilization
+// view needs it (snapshots refresh on the sampling grid).
+func prebuiltWeek(b *testing.B, capacity, staleness float64, newInitial func() sched.InitialScheduler) experiments.Scenario {
 	b.Helper()
-	cfg := trace.WeekNormal(42)
-	cfg.LowRate *= benchScale
-	for i := range cfg.Bursts {
-		cfg.Bursts[i].Rate *= benchScale
-	}
-	tr, err := trace.Generate(cfg)
+	sc := experiments.WeekScenario("bench", capacity, staleness, newInitial)
+	tr, err := sc.Trace(42, benchScale)
 	if err != nil {
 		b.Fatal(err)
 	}
-	pc := cluster.DefaultNetBatchConfig()
-	pc.Scale = benchScale
-	plat, err := cluster.NewNetBatchPlatform(pc)
+	plat, err := sc.Platform(benchScale)
 	if err != nil {
 		b.Fatal(err)
 	}
-	if capacity != 1.0 {
-		if plat, err = plat.ScaleCapacity(capacity); err != nil {
-			b.Fatal(err)
-		}
+	sc.Trace = func(uint64, float64) (*trace.Trace, error) { return tr, nil }
+	sc.Platform = func(float64) (*cluster.Platform, error) { return plat, nil }
+	if staleness == 0 {
+		sc.Tune = func(cfg *sim.Config) { cfg.DisableSampling = true }
 	}
-	return tr, plat
+	return sc
 }
 
-// runSim executes one simulation and reports the waste metric.
-func runSim(b *testing.B, tr *trace.Trace, plat *cluster.Platform, cfg sim.Config) {
+// runCellBench executes one (scenario, policy) cell b.N times through
+// the shared runner and reports the waste metrics.
+func runCellBench(b *testing.B, sc experiments.Scenario, pf experiments.PolicyFactory, opts experiments.Options) {
 	b.Helper()
-	cfg.Platform = plat
-	cfg.DisableSampling = cfg.UtilStaleness == 0
-	var sum metrics.Summary
+	var cell *experiments.CellResult
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := sim.Run(cfg, tr.Jobs)
+		var err error
+		cell, err = experiments.RunCell(sc, pf, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if sum, err = metrics.Summarize(res.Jobs); err != nil {
-			b.Fatal(err)
-		}
 	}
-	b.ReportMetric(sum.AvgWCT, "avgWCT")
-	b.ReportMetric(sum.AvgCTSuspended, "avgCTsusp")
+	b.ReportMetric(cell.Summary.AvgWCT, "avgWCT")
+	b.ReportMetric(cell.Summary.AvgCTSuspended, "avgCTsusp")
 }
+
+func rrInitial() sched.InitialScheduler { return sched.NewRoundRobin() }
 
 // BenchmarkAblationWaitThreshold sweeps the §3.3 waiting-time threshold
 // around the paper's 30-minute choice.
 func BenchmarkAblationWaitThreshold(b *testing.B) {
-	tr, plat := benchFixture(b, 0.5)
+	sc := prebuiltWeek(b, 0.5, 0, rrInitial)
 	for _, th := range []float64{10, 30, 90, 240} {
 		b.Run(fmt.Sprintf("threshold=%v", th), func(b *testing.B) {
-			runSim(b, tr, plat, sim.Config{
-				Initial: sched.NewRoundRobin(),
-				Policy:  core.ResSusWaitUtil{Threshold: th},
-			})
+			pf := experiments.PolicyFactory{
+				Name: "ResSusWaitUtil",
+				New:  func(uint64) core.Policy { return core.ResSusWaitUtil{Threshold: th} },
+			}
+			runCellBench(b, sc, pf, benchOpts())
 		})
 	}
 }
@@ -129,14 +129,16 @@ func BenchmarkAblationWaitThreshold(b *testing.B) {
 // paper's §5 future work proposes to model ("network delays and other
 // rescheduling associated overheads").
 func BenchmarkAblationOverhead(b *testing.B) {
-	tr, plat := benchFixture(b, 1.0)
+	sc := prebuiltWeek(b, 1.0, 0, rrInitial)
+	pf := experiments.PolicyFactory{
+		Name: "ResSusUtil",
+		New:  func(uint64) core.Policy { return core.NewResSusUtil() },
+	}
 	for _, ov := range []float64{0, 5, 20, 60} {
 		b.Run(fmt.Sprintf("overhead=%v", ov), func(b *testing.B) {
-			runSim(b, tr, plat, sim.Config{
-				Initial:            sched.NewRoundRobin(),
-				Policy:             core.NewResSusUtil(),
-				RescheduleOverhead: ov,
-			})
+			opts := benchOpts()
+			opts.Overhead = ov
+			runCellBench(b, sc, pf, opts)
 		})
 	}
 }
@@ -145,14 +147,14 @@ func BenchmarkAblationOverhead(b *testing.B) {
 // how much utilization-based initial scheduling degrades as its view of
 // pool state lags.
 func BenchmarkAblationStaleness(b *testing.B) {
-	tr, plat := benchFixture(b, 0.5)
+	pf := experiments.PolicyFactory{
+		Name: "ResSusUtil",
+		New:  func(uint64) core.Policy { return core.NewResSusUtil() },
+	}
 	for _, st := range []float64{1, 30, 120, 480} {
+		sc := prebuiltWeek(b, 0.5, st, func() sched.InitialScheduler { return sched.NewUtilizationBased() })
 		b.Run(fmt.Sprintf("staleness=%v", st), func(b *testing.B) {
-			runSim(b, tr, plat, sim.Config{
-				Initial:       sched.NewUtilizationBased(),
-				Policy:        core.NewResSusUtil(),
-				UtilStaleness: st,
-			})
+			runCellBench(b, sc, pf, benchOpts())
 		})
 	}
 }
@@ -161,20 +163,20 @@ func BenchmarkAblationStaleness(b *testing.B) {
 // NoRes baseline (the §3.2.1 round-robin vs utilization comparison plus
 // our extensions).
 func BenchmarkAblationInitial(b *testing.B) {
-	tr, plat := benchFixture(b, 1.0)
 	initials := map[string]func() sched.InitialScheduler{
-		"rr":       func() sched.InitialScheduler { return sched.NewRoundRobin() },
+		"rr":       rrInitial,
 		"rr-pure":  func() sched.InitialScheduler { return sched.NewPureRoundRobin() },
 		"rr-avail": func() sched.InitialScheduler { return &sched.RoundRobin{AvoidQueues: true} },
 		"random":   func() sched.InitialScheduler { return sched.NewRandomInitial(42) },
 	}
+	pf := experiments.PolicyFactory{
+		Name: "NoRes",
+		New:  func(uint64) core.Policy { return core.NewNoRes() },
+	}
 	for _, name := range []string{"rr", "rr-pure", "rr-avail", "random"} {
-		mk := initials[name]
+		sc := prebuiltWeek(b, 1.0, 0, initials[name])
 		b.Run(name, func(b *testing.B) {
-			runSim(b, tr, plat, sim.Config{
-				Initial: mk(),
-				Policy:  core.NewNoRes(),
-			})
+			runCellBench(b, sc, pf, benchOpts())
 		})
 	}
 }
@@ -183,30 +185,38 @@ func BenchmarkAblationInitial(b *testing.B) {
 // the Condor-style checkpoint migration the paper weighs against it
 // (§2.3/§4) at several migration costs.
 func BenchmarkAblationMigration(b *testing.B) {
-	tr, plat := benchFixture(b, 0.5)
+	sc := prebuiltWeek(b, 0.5, 0, rrInitial)
 	cases := []struct {
-		name   string
-		policy core.Policy
+		name string
+		mk   func(uint64) core.Policy
 	}{
-		{"restart", core.NewResSusUtil()},
-		{"migrate-5min", core.NewResSusMigrate(5)},
-		{"migrate-30min", core.NewResSusMigrate(30)},
-		{"migrate-120min", core.NewResSusMigrate(120)},
+		{"restart", func(uint64) core.Policy { return core.NewResSusUtil() }},
+		{"migrate-5min", func(uint64) core.Policy { return core.NewResSusMigrate(5) }},
+		{"migrate-30min", func(uint64) core.Policy { return core.NewResSusMigrate(30) }},
+		{"migrate-120min", func(uint64) core.Policy { return core.NewResSusMigrate(120) }},
 	}
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
-			runSim(b, tr, plat, sim.Config{
-				Initial: sched.NewRoundRobin(),
-				Policy:  c.policy,
-			})
+			runCellBench(b, sc, experiments.PolicyFactory{Name: c.name, New: c.mk}, benchOpts())
 		})
 	}
 }
 
 // BenchmarkSimulatorThroughput measures raw event throughput of the
-// engine on the busy-week workload.
+// engine on the busy-week workload. Unlike the other benches it calls
+// sim.Run directly (no metrics.Summarize, no conservation checks): its
+// job is to time the engine alone, and the matrix runner would fold
+// per-job summarization into every iteration.
 func BenchmarkSimulatorThroughput(b *testing.B) {
-	tr, plat := benchFixture(b, 1.0)
+	sc := prebuiltWeek(b, 1.0, 0, rrInitial)
+	tr, err := sc.Trace(42, benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plat, err := sc.Platform(benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	var events int64
 	for i := 0; i < b.N; i++ {

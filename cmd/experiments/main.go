@@ -1,18 +1,29 @@
-// Command experiments regenerates the paper's tables and figures.
+// Command experiments regenerates the paper's tables and figures
+// through the declarative matrix runner.
 //
 // Usage:
 //
-//	experiments [-run table1,fig2,...] [-scale 1.0] [-seed 42] [-out DIR]
+//	experiments [-run table1,fig2,...] [-scale 1.0] [-seed 42]
+//	            [-seeds N] [-jobs N] [-timeout 30m] [-out DIR]
+//	            [-overhead MIN]
 //
-// Without -run, every registered experiment executes. With -out, each
-// experiment also writes its tables and series as CSV files into DIR
-// for plotting.
+// Without -run, every registered experiment executes. Each experiment
+// is a (scenario × policy × seed) matrix executed on a bounded worker
+// pool of -jobs goroutines (default: one per CPU); results are
+// identical for every -jobs value. With -seeds N > 1, every cell is
+// replicated across N derived seeds and tables report mean ± 95%
+// confidence intervals instead of point values. -timeout bounds the
+// whole run: on expiry (or Ctrl-C) in-flight simulations abort
+// cooperatively. With -out, each experiment also writes its tables and
+// series as CSV files into DIR for plotting.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"time"
@@ -32,12 +43,22 @@ func run() error {
 	var (
 		runIDs   = flag.String("run", "", "comma-separated experiment IDs (default: all)")
 		scale    = flag.Float64("scale", 1.0, "platform+workload scale (1.0 = paper scale)")
-		seed     = flag.Uint64("seed", 42, "random seed for trace generation and policies")
+		seed     = flag.Uint64("seed", 42, "base random seed for trace generation and policies")
+		seeds    = flag.Int("seeds", 1, "seed replicates per cell; >1 reports mean ± 95% CI")
+		jobs     = flag.Int("jobs", 0, "max concurrent simulations (0 = one per CPU)")
+		timeout  = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = none)")
 		outDir   = flag.String("out", "", "directory for CSV output (optional)")
 		overhead = flag.Float64("overhead", 0, "reschedule transfer overhead in minutes")
-		serial   = flag.Bool("serial", false, "run strategies sequentially (lower memory)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	ids := experiments.IDs()
 	if *runIDs != "" {
@@ -45,9 +66,11 @@ func run() error {
 	}
 	opts := experiments.Options{
 		Seed:     *seed,
+		Seeds:    *seeds,
 		Scale:    *scale,
-		Parallel: !*serial,
+		Jobs:     *jobs,
 		Overhead: *overhead,
+		Context:  ctx,
 	}
 	for _, id := range ids {
 		e, err := experiments.Get(strings.TrimSpace(id))

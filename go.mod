@@ -1,0 +1,3 @@
+module netbatch
+
+go 1.24

@@ -1,39 +1,52 @@
 // Package experiments defines one runnable experiment per table and
 // figure in the paper's evaluation (§3), plus the high-suspension
-// text-only scenario. Each experiment generates its synthetic trace,
-// builds the platform, runs the simulator once per strategy, and
-// renders results in the paper's layout. DESIGN.md carries the
-// experiment index; EXPERIMENTS.md records paper-vs-measured values.
+// text-only scenario. Each experiment is a declarative (scenario ×
+// policy × seed) matrix executed by a bounded worker pool: the runner
+// generates each replicate's synthetic trace, simulates every strategy,
+// and renders results in the paper's layout — as point values for a
+// single seed, or as mean ± 95% CI across seed replicates. DESIGN.md
+// carries the experiment index; EXPERIMENTS.md records paper-vs-measured
+// values.
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
-	"sync"
 
 	"netbatch/internal/cluster"
 	"netbatch/internal/core"
 	"netbatch/internal/metrics"
 	"netbatch/internal/report"
 	"netbatch/internal/sched"
-	"netbatch/internal/sim"
 	"netbatch/internal/stats"
 	"netbatch/internal/trace"
 )
 
 // Options tunes an experiment run.
 type Options struct {
-	// Seed drives trace generation and all policy randomness.
+	// Seed drives trace generation and all policy randomness for the
+	// first replicate; replicate r > 0 forks its seed from Seed with
+	// keyed, order-independent derivation (stats.ForkSeed).
 	Seed uint64
+	// Seeds is the replication count per (scenario, policy) cell.
+	// With Seeds > 1, tables report mean ± 95% CI across replicates.
+	// Values < 1 default to 1.
+	Seeds int
 	// Scale shrinks the platform and the arrival rates together
 	// (per-pool load is preserved). 1.0 is paper scale; tests and
 	// benchmarks use ~0.1. Values <= 0 default to 1.0.
 	Scale float64
-	// Parallel runs the per-strategy simulations concurrently.
-	Parallel bool
+	// Jobs bounds the matrix runner's worker pool. Values <= 0 default
+	// to runtime.NumCPU(). Results are identical for every value.
+	Jobs int
 	// Overhead is the reschedule transfer overhead in minutes (the §5
 	// future-work knob; 0 matches the paper's evaluation).
 	Overhead float64
+	// Context cancels in-flight simulations cooperatively. Nil defaults
+	// to context.Background().
+	Context context.Context
 }
 
 func (o Options) withDefaults() Options {
@@ -42,6 +55,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 42
+	}
+	if o.Seeds < 1 {
+		o.Seeds = 1
+	}
+	if o.Jobs <= 0 {
+		o.Jobs = runtime.NumCPU()
+	}
+	if o.Context == nil {
+		o.Context = context.Background()
 	}
 	return o
 }
@@ -52,11 +74,18 @@ type Output struct {
 	ID, Title string
 	// Names are the strategy names, in run order.
 	Names []string
-	// Summaries are the per-strategy metric sets, aligned with Names.
+	// Summaries are the per-strategy metric sets of the first seed
+	// replicate, aligned with Names. They reproduce the historical
+	// single-run results regardless of the replication count.
 	Summaries []metrics.Summary
-	// Tables are the rendered result tables (paper layout).
+	// Replicates are the per-strategy, per-seed metric sets
+	// ([strategy][replicate], aligned with Names).
+	Replicates [][]metrics.Summary
+	// Tables are the rendered result tables (paper layout; mean ± 95%
+	// CI columns when more than one replicate ran).
 	Tables []*report.Table
-	// Series holds named time series / distributions for the figures.
+	// Series holds named time series / distributions for the figures
+	// (first replicate).
 	Series map[string][]stats.Point
 	// Notes carries free-form observations (e.g. measured quantiles).
 	Notes []string
@@ -161,75 +190,12 @@ func buildPlatform(scale, capacityFactor float64) (*cluster.Platform, error) {
 	return plat, nil
 }
 
-// strategyRun is one (policy, simulation) execution.
-type strategyRun struct {
-	name    string
-	summary metrics.Summary
-	result  *sim.Result
-}
-
-// runStrategies simulates the trace once per policy on the platform.
-func runStrategies(
-	tr *trace.Trace,
-	plat *cluster.Platform,
-	newInitial func() sched.InitialScheduler,
-	policies []PolicyFactory,
-	opts Options,
-	staleness float64,
-) ([]strategyRun, error) {
-	runs := make([]strategyRun, len(policies))
-	runOne := func(i int) error {
-		cfg := sim.Config{
-			Platform:           plat,
-			Initial:            newInitial(),
-			Policy:             policies[i].New(opts.Seed + uint64(i)*7919),
-			RescheduleOverhead: opts.Overhead,
-			UtilStaleness:      staleness,
-			CheckConservation:  true,
-		}
-		res, err := sim.Run(cfg, tr.Jobs)
-		if err != nil {
-			return fmt.Errorf("experiments: strategy %s: %w", policies[i].Name, err)
-		}
-		sum, err := metrics.Summarize(res.Jobs)
-		if err != nil {
-			return fmt.Errorf("experiments: strategy %s: %w", policies[i].Name, err)
-		}
-		runs[i] = strategyRun{name: policies[i].Name, summary: sum, result: res}
-		return nil
-	}
-	if !opts.Parallel {
-		for i := range policies {
-			if err := runOne(i); err != nil {
-				return nil, err
-			}
-		}
-		return runs, nil
-	}
-	var wg sync.WaitGroup
-	errs := make([]error, len(policies))
-	for i := range policies {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			errs[i] = runOne(i)
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return runs, nil
-}
-
-// tableExperiment builds a standard tables-1-through-5 experiment.
-// staleness is the utilization-view propagation delay in minutes; the
-// utilization-based initial-scheduler experiments use a 30-minute-stale
-// view, reflecting the paper's observation that exact pool utilization
-// "can be impractical in reality given the unavoidable propagation
-// latency between different pools" (§3.2.2).
+// tableExperiment builds a standard tables-1-through-5 experiment on a
+// one-scenario matrix. staleness is the utilization-view propagation
+// delay in minutes; the utilization-based initial-scheduler experiments
+// use a 30-minute-stale view, reflecting the paper's observation that
+// exact pool utilization "can be impractical in reality given the
+// unavoidable propagation latency between different pools" (§3.2.2).
 func tableExperiment(
 	id, title string,
 	capacityFactor float64,
@@ -241,38 +207,47 @@ func tableExperiment(
 		ID:    id,
 		Title: title,
 		Run: func(opts Options) (*Output, error) {
-			opts = opts.withDefaults()
-			tr, err := trace.Generate(scaleTraceCfg(trace.WeekNormal(opts.Seed), opts.Scale))
+			mr, err := Matrix{
+				Scenarios: []Scenario{WeekScenario(id, capacityFactor, staleness, newInitial)},
+				Policies:  policies(),
+			}.Run(opts)
 			if err != nil {
 				return nil, err
 			}
-			plat, err := buildPlatform(opts.Scale, capacityFactor)
-			if err != nil {
-				return nil, err
-			}
-			runs, err := runStrategies(tr, plat, newInitial, policies(), opts, staleness)
-			if err != nil {
-				return nil, err
-			}
-			return tableOutput(id, title, runs)
+			return tableOutput(id, title, mr)
 		},
 	}
 }
 
-// tableOutput assembles the standard per-strategy output.
-func tableOutput(id, title string, runs []strategyRun) (*Output, error) {
+// newOutput assembles the per-strategy skeleton (names, first-replicate
+// summaries, all replicates) from scenario 0 of a completed matrix.
+// Series starts empty; each experiment fills in what its figure needs.
+func newOutput(id, title string, mr *MatrixResult) *Output {
 	out := &Output{ID: id, Title: title, Series: map[string][]stats.Point{}}
-	for _, r := range runs {
-		out.Names = append(out.Names, r.name)
-		out.Summaries = append(out.Summaries, r.summary)
-		out.Series["util:"+r.name] = r.result.Util.Points()
-		out.Series["suspended:"+r.name] = r.result.Suspended.Points()
+	for p, name := range mr.PolicyNames {
+		reps := mr.Replicates(0, p)
+		out.Names = append(out.Names, name)
+		out.Summaries = append(out.Summaries, reps[0])
+		out.Replicates = append(out.Replicates, reps)
 	}
-	tbl, err := report.PaperTable(title, out.Names, out.Summaries)
+	return out
+}
+
+// tableOutput renders the standard per-strategy tables — point values
+// for one replicate, mean ± 95% CI across several — plus the
+// first-replicate utilization/suspension series.
+func tableOutput(id, title string, mr *MatrixResult) (*Output, error) {
+	out := newOutput(id, title, mr)
+	for p, name := range mr.PolicyNames {
+		r0 := mr.At(0, p, 0).Result
+		out.Series["util:"+name] = r0.Util.Points()
+		out.Series["suspended:"+name] = r0.Suspended.Points()
+	}
+	tbl, err := report.PaperTableCI(title, out.Names, out.Replicates)
 	if err != nil {
 		return nil, err
 	}
-	waste, err := report.WasteTable(title+" — wasted-time components", out.Names, out.Summaries)
+	waste, err := report.WasteTableCI(title+" — wasted-time components", out.Names, out.Replicates)
 	if err != nil {
 		return nil, err
 	}

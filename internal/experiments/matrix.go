@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"netbatch/internal/cluster"
+	"netbatch/internal/metrics"
+	"netbatch/internal/sched"
+	"netbatch/internal/sim"
+	"netbatch/internal/stats"
+	"netbatch/internal/trace"
+)
+
+// Scenario declaratively describes one simulated environment: how to
+// synthesize its workload, build its platform, and configure the
+// engine. Scenarios are pure descriptions — the matrix runner decides
+// when (and on which worker) each one executes, and memoizes the
+// expensive trace/platform construction across cells.
+type Scenario struct {
+	// ID labels the scenario in results and errors.
+	ID string
+	// Trace synthesizes the workload for one replication seed at the
+	// given scale. Must be deterministic in (seed, scale).
+	Trace func(seed uint64, scale float64) (*trace.Trace, error)
+	// Platform builds the machine/pool model at the given scale. Must
+	// be deterministic in scale; the built platform is read-only and is
+	// shared by every cell of the scenario.
+	Platform func(scale float64) (*cluster.Platform, error)
+	// NewInitial constructs the virtual pool manager's initial
+	// scheduler. Called once per cell: schedulers are stateful.
+	NewInitial func() sched.InitialScheduler
+	// Staleness is the §3.2.2 utilization-view propagation delay in
+	// minutes (0 = live view).
+	Staleness float64
+	// Tune optionally adjusts the final engine config (ablation knobs
+	// such as DisableSampling or QueueBeatsResume).
+	Tune func(*sim.Config)
+}
+
+// Matrix is a declarative (scenario × policy × seed) experiment plan.
+// Run executes every cell on a bounded worker pool; results are
+// identical regardless of worker count or scheduling order because each
+// cell's randomness derives purely from its coordinates.
+type Matrix struct {
+	Scenarios []Scenario
+	Policies  []PolicyFactory
+	// Seeds are the per-replicate trace seeds. Leave empty to derive
+	// them from Options.Seed/Options.Seeds via ReplicateSeeds.
+	Seeds []uint64
+}
+
+// Cell names one matrix coordinate.
+type Cell struct {
+	// Scenario, Policy and Rep index into the matrix axes.
+	Scenario, Policy, Rep int
+	// Seed is the replicate's trace seed.
+	Seed uint64
+}
+
+// CellResult is one completed cell.
+type CellResult struct {
+	Cell    Cell
+	Summary metrics.Summary
+	Result  *sim.Result
+}
+
+// MatrixResult holds every cell of a completed matrix in deterministic
+// axis order (scenario-major, then policy, then replicate). Every
+// cell's full *sim.Result (job records + series) stays live until the
+// MatrixResult is dropped — the figure experiments need per-replicate
+// Results — so very large seed counts at paper scale trade memory for
+// replication; reduce per-cell data promptly if that becomes a limit.
+type MatrixResult struct {
+	// PolicyNames are the policy axis labels, in run order.
+	PolicyNames []string
+	// Seeds are the replicate seeds actually used.
+	Seeds []uint64
+
+	nPol, nRep int
+	cells      []CellResult
+}
+
+// At returns the cell at (scenario, policy, replicate).
+func (r *MatrixResult) At(s, p, rep int) *CellResult {
+	return &r.cells[(s*r.nPol+p)*r.nRep+rep]
+}
+
+// Replicates returns the per-seed summaries of one (scenario, policy)
+// pair, in replicate order.
+func (r *MatrixResult) Replicates(s, p int) []metrics.Summary {
+	out := make([]metrics.Summary, r.nRep)
+	for rep := 0; rep < r.nRep; rep++ {
+		out[rep] = r.At(s, p, rep).Summary
+	}
+	return out
+}
+
+// ReplicateSeeds expands a base seed into n replication seeds. The
+// first replicate keeps the base seed itself, so single-seed matrix
+// runs reproduce the historical per-table results exactly; later
+// replicates fork with keyed, order-independent derivation
+// (stats.ForkSeed), so a replicate's stream never depends on how many
+// cells ran before it or on which worker.
+func ReplicateSeeds(base uint64, n int) []uint64 {
+	if n < 1 {
+		n = 1
+	}
+	seeds := make([]uint64, n)
+	seeds[0] = base
+	for r := 1; r < n; r++ {
+		seeds[r] = stats.ForkSeed(base, uint64(r))
+	}
+	return seeds
+}
+
+// policySeed derives the policy RNG seed for a cell. The formula for
+// policy index p matches the historical runStrategies derivation so
+// seed-42 single-replicate results are unchanged.
+func policySeed(seed uint64, p int) uint64 {
+	return seed + uint64(p)*7919
+}
+
+// memo is a concurrency-safe build-once-per-key cache. Every caller of
+// get blocks until the single builder for its key completes, so shared
+// traces and platforms are constructed exactly once per matrix run.
+type memo[K comparable, V any] struct {
+	mu      sync.Mutex
+	entries map[K]*memoEntry[V]
+}
+
+type memoEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+func (c *memo[K, V]) get(k K, build func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.entries == nil {
+		c.entries = make(map[K]*memoEntry[V])
+	}
+	e, ok := c.entries[k]
+	if !ok {
+		e = &memoEntry[V]{}
+		c.entries[k] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = build() })
+	return e.val, e.err
+}
+
+// traceKey identifies a memoized trace: scenario × replicate.
+type traceKey struct{ s, rep int }
+
+// Run executes every cell of the matrix on a bounded worker pool of
+// opts.Jobs goroutines (default runtime.NumCPU()). Execution order is
+// unspecified, but the result is byte-identical to a serial run: trace
+// generation and policy randomness are pure functions of the cell
+// coordinates, and results land at fixed positions. Cancellation of
+// opts.Context aborts queued cells immediately and in-flight
+// simulations at their next cooperative poll.
+func (m Matrix) Run(opts Options) (*MatrixResult, error) {
+	opts = opts.withDefaults()
+	if len(m.Scenarios) == 0 {
+		return nil, fmt.Errorf("experiments: matrix has no scenarios")
+	}
+	if len(m.Policies) == 0 {
+		return nil, fmt.Errorf("experiments: matrix has no policies")
+	}
+	seeds := m.Seeds
+	if len(seeds) == 0 {
+		seeds = ReplicateSeeds(opts.Seed, opts.Seeds)
+	}
+	res := &MatrixResult{
+		Seeds: seeds,
+		nPol:  len(m.Policies),
+		nRep:  len(seeds),
+	}
+	for _, p := range m.Policies {
+		res.PolicyNames = append(res.PolicyNames, p.Name)
+	}
+	n := len(m.Scenarios) * len(m.Policies) * len(seeds)
+	res.cells = make([]CellResult, n)
+
+	ctx := opts.Context
+	var (
+		plats  memo[int, *cluster.Platform]
+		traces memo[traceKey, *trace.Trace]
+	)
+	runCell := func(i int) error {
+		rep := i % res.nRep
+		p := (i / res.nRep) % res.nPol
+		s := i / (res.nRep * res.nPol)
+		sc := &m.Scenarios[s]
+		seed := seeds[rep]
+
+		plat, err := plats.get(s, func() (*cluster.Platform, error) {
+			return sc.Platform(opts.Scale)
+		})
+		if err != nil {
+			return fmt.Errorf("experiments: scenario %s: platform: %w", sc.ID, err)
+		}
+		tr, err := traces.get(traceKey{s, rep}, func() (*trace.Trace, error) {
+			return sc.Trace(seed, opts.Scale)
+		})
+		if err != nil {
+			return fmt.Errorf("experiments: scenario %s seed %d: trace: %w", sc.ID, seed, err)
+		}
+		cfg := sim.Config{
+			Platform:           plat,
+			Initial:            sc.NewInitial(),
+			Policy:             m.Policies[p].New(policySeed(seed, p)),
+			RescheduleOverhead: opts.Overhead,
+			UtilStaleness:      sc.Staleness,
+			CheckConservation:  true,
+			Context:            ctx,
+		}
+		if sc.Tune != nil {
+			sc.Tune(&cfg)
+		}
+		r, err := sim.Run(cfg, tr.Jobs)
+		if err != nil {
+			return fmt.Errorf("experiments: scenario %s strategy %s seed %d: %w",
+				sc.ID, m.Policies[p].Name, seed, err)
+		}
+		sum, err := metrics.Summarize(r.Jobs)
+		if err != nil {
+			return fmt.Errorf("experiments: scenario %s strategy %s seed %d: %w",
+				sc.ID, m.Policies[p].Name, seed, err)
+		}
+		res.cells[i] = CellResult{
+			Cell:    Cell{Scenario: s, Policy: p, Rep: rep, Seed: seed},
+			Summary: sum,
+			Result:  r,
+		}
+		return nil
+	}
+
+	workers := opts.Jobs
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = runCell(i)
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	// Report the first failure in deterministic cell order so the error
+	// surfaced does not depend on worker scheduling.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("experiments: matrix canceled: %w", err)
+	}
+	return res, nil
+}
+
+// RunCell executes a single (scenario, policy) cell at replicate 0
+// through the shared matrix runner. Benchmarks and one-off probes use
+// it instead of hand-assembling sim.Config.
+func RunCell(sc Scenario, pf PolicyFactory, opts Options) (*CellResult, error) {
+	mr, err := Matrix{Scenarios: []Scenario{sc}, Policies: []PolicyFactory{pf}}.Run(opts)
+	if err != nil {
+		return nil, err
+	}
+	return mr.At(0, 0, 0), nil
+}

@@ -1,0 +1,231 @@
+package experiments
+
+// Matrix-runner contract tests: parallel execution must be
+// byte-identical to serial execution (per-cell RNG streams are pure
+// functions of the cell coordinates, never of worker scheduling),
+// replication seeds must be stable, and cancellation must abort
+// promptly. Run under -race these also prove the worker pool and the
+// trace/platform memoization are data-race free.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"netbatch/internal/sched"
+)
+
+// matrixOpts shrinks the workload so a full matrix runs in well under a
+// second per cell.
+func matrixOpts(jobs int) Options {
+	return Options{Seed: 42, Scale: 0.05, Jobs: jobs}
+}
+
+// testMatrix covers both axes that could leak scheduling order: a
+// stale-view scenario (snapshot events) and randomized policies.
+func testMatrix() Matrix {
+	return Matrix{
+		Scenarios: []Scenario{
+			WeekScenario("normal", 1.0, 0, func() sched.InitialScheduler { return sched.NewRoundRobin() }),
+			WeekScenario("stale", 0.5, 30, func() sched.InitialScheduler { return sched.NewUtilizationBased() }),
+		},
+		Policies: susPolicies(),
+	}
+}
+
+// fingerprint serializes everything observable about a matrix result.
+func fingerprint(t *testing.T, mr *MatrixResult) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(mr.PolicyNames); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(mr.Seeds); err != nil {
+		t.Fatal(err)
+	}
+	for i := range mr.cells {
+		c := &mr.cells[i]
+		if err := enc.Encode(c.Cell); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Encode(c.Summary); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Encode(c.Result.Util.Points()); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Encode(c.Result.Suspended.Points()); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Encode(c.Result.Waiting.Points()); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Encode([]int64{c.Result.Preemptions, c.Result.Restarts,
+			c.Result.Migrations, c.Result.WaitMoves}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestMatrixParallelIdenticalToSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix run")
+	}
+	m := testMatrix()
+	serialOpts := matrixOpts(1)
+	serialOpts.Seeds = 2
+	serial, err := m.Run(serialOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelOpts := matrixOpts(8)
+	parallelOpts.Seeds = 2
+	parallel, err := m.Run(parallelOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fingerprint(t, serial), fingerprint(t, parallel)) {
+		t.Fatal("parallel matrix output differs from serial")
+	}
+}
+
+func TestMatrixSeedStreamsIndependentOfScheduling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix run")
+	}
+	// Running a replicate alone must give the same result as running it
+	// inside a larger replicated matrix: per-seed streams cannot depend
+	// on which cells ran before them.
+	m := Matrix{
+		Scenarios: []Scenario{WeekScenario("normal", 1.0, 0,
+			func() sched.InitialScheduler { return sched.NewRoundRobin() })},
+		Policies: susPolicies(),
+	}
+	multiOpts := matrixOpts(4)
+	multiOpts.Seeds = 3
+	multi, err := m.Run(multiOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 3; rep++ {
+		alone := m
+		alone.Seeds = []uint64{multi.Seeds[rep]}
+		single, err := alone.Run(matrixOpts(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := range m.Policies {
+			if single.At(0, p, 0).Summary != multi.At(0, p, rep).Summary {
+				t.Fatalf("replicate %d policy %d differs when run alone", rep, p)
+			}
+		}
+	}
+}
+
+func TestReplicateSeeds(t *testing.T) {
+	seeds := ReplicateSeeds(42, 4)
+	if seeds[0] != 42 {
+		t.Fatalf("first replicate seed = %d, want the base seed", seeds[0])
+	}
+	seen := map[uint64]bool{}
+	for _, s := range seeds {
+		if seen[s] {
+			t.Fatalf("duplicate replicate seed %d", s)
+		}
+		seen[s] = true
+	}
+	again := ReplicateSeeds(42, 4)
+	for i := range seeds {
+		if seeds[i] != again[i] {
+			t.Fatal("ReplicateSeeds not deterministic")
+		}
+	}
+	if got := ReplicateSeeds(42, 0); len(got) != 1 {
+		t.Fatalf("n=0 should clamp to one seed, got %d", len(got))
+	}
+}
+
+func TestMatrixCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := matrixOpts(2)
+	opts.Context = ctx
+	_, err := testMatrix().Run(opts)
+	if err == nil {
+		t.Fatal("canceled matrix run should fail")
+	}
+	if !strings.Contains(err.Error(), "cancel") {
+		t.Fatalf("err = %v, want cancellation", err)
+	}
+}
+
+func TestMatrixValidation(t *testing.T) {
+	if _, err := (Matrix{Policies: susPolicies()}).Run(matrixOpts(1)); err == nil {
+		t.Fatal("matrix without scenarios should fail")
+	}
+	m := Matrix{Scenarios: []Scenario{WeekScenario("x", 1.0, 0,
+		func() sched.InitialScheduler { return sched.NewRoundRobin() })}}
+	if _, err := m.Run(matrixOpts(1)); err == nil {
+		t.Fatal("matrix without policies should fail")
+	}
+}
+
+func TestMultiSeedTableReportsCI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment run")
+	}
+	e, err := Get("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := matrixOpts(0)
+	opts.Seeds = 3
+	out, err := e.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Replicates) != len(out.Names) {
+		t.Fatalf("replicate sets = %d, want %d", len(out.Replicates), len(out.Names))
+	}
+	for i, reps := range out.Replicates {
+		if len(reps) != 3 {
+			t.Fatalf("strategy %s has %d replicates, want 3", out.Names[i], len(reps))
+		}
+		if out.Summaries[i] != reps[0] {
+			t.Fatalf("strategy %s Summaries[%d] is not replicate 0", out.Names[i], i)
+		}
+	}
+	var sb strings.Builder
+	if err := out.Tables[0].Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "±") {
+		t.Fatalf("multi-seed table lacks ± CI cells:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "over 3 seeds") {
+		t.Fatalf("multi-seed table lacks replication note:\n%s", sb.String())
+	}
+}
+
+func TestRunCellMatchesMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix run")
+	}
+	sc := WeekScenario("normal", 1.0, 0, func() sched.InitialScheduler { return sched.NewRoundRobin() })
+	pols := susPolicies()
+	mr, err := Matrix{Scenarios: []Scenario{sc}, Policies: pols}.Run(matrixOpts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, err := RunCell(sc, pols[0], matrixOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Summary != mr.At(0, 0, 0).Summary {
+		t.Fatal("RunCell result differs from the same cell in a full matrix")
+	}
+}

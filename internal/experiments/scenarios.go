@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"netbatch/internal/cluster"
 	"netbatch/internal/core"
 	"netbatch/internal/metrics"
 	"netbatch/internal/report"
@@ -15,6 +16,61 @@ import (
 // scale: a year of trace at full platform size is ~12M jobs, far beyond
 // what the figures need to show their shape.
 const yearScale = 0.2
+
+// WeekScenario is the Tables 1–5 environment: the busy-week trace on
+// the default NetBatch platform, capacity optionally scaled (0.5 is the
+// paper's high-load variant), with the given initial scheduler and
+// utilization-view staleness.
+func WeekScenario(id string, capacityFactor, staleness float64, newInitial func() sched.InitialScheduler) Scenario {
+	return Scenario{
+		ID: id,
+		Trace: func(seed uint64, scale float64) (*trace.Trace, error) {
+			return trace.Generate(scaleTraceCfg(trace.WeekNormal(seed), scale))
+		},
+		Platform: func(scale float64) (*cluster.Platform, error) {
+			return buildPlatform(scale, capacityFactor)
+		},
+		NewInitial: newInitial,
+		Staleness:  staleness,
+	}
+}
+
+// YearScenario is the Figures 2/4 environment: the year-long trace with
+// round-robin initial scheduling, shrunk by yearScale on top of the
+// requested scale.
+func YearScenario(id string) Scenario {
+	return Scenario{
+		ID: id,
+		Trace: func(seed uint64, scale float64) (*trace.Trace, error) {
+			return trace.Generate(trace.YearLong(seed, scale*yearScale))
+		},
+		Platform: func(scale float64) (*cluster.Platform, error) {
+			return buildPlatform(scale*yearScale, 1.0)
+		},
+		NewInitial: func() sched.InitialScheduler { return sched.NewRoundRobin() },
+	}
+}
+
+// HighSuspScenario is the §3.2.1 high-suspension environment: a trace
+// engineered for a ~14% suspend rate on the full-capacity platform.
+func HighSuspScenario(id string) Scenario {
+	return Scenario{
+		ID: id,
+		Trace: func(seed uint64, scale float64) (*trace.Trace, error) {
+			return trace.Generate(scaleTraceCfg(trace.HighSuspension(seed), scale))
+		},
+		Platform: func(scale float64) (*cluster.Platform, error) {
+			return buildPlatform(scale, 1.0)
+		},
+		NewInitial: func() sched.InitialScheduler { return sched.NewRoundRobin() },
+	}
+}
+
+func noResOnly() []PolicyFactory {
+	return []PolicyFactory{
+		{Name: "NoRes", New: func(uint64) core.Policy { return core.NewNoRes() }},
+	}
+}
 
 func init() {
 	register(tableExperiment(
@@ -74,73 +130,53 @@ func init() {
 	})
 }
 
-// yearRun simulates the year-long trace under NoRes with round-robin
+// yearMatrix simulates the year-long trace under NoRes with round-robin
 // initial scheduling, shared by Figures 2 and 4.
-func yearRun(opts Options) ([]strategyRun, error) {
-	opts = opts.withDefaults()
-	scale := opts.Scale * yearScale
-	tr, err := trace.Generate(trace.YearLong(opts.Seed, scale))
-	if err != nil {
-		return nil, err
-	}
-	plat, err := buildPlatform(scale, 1.0)
-	if err != nil {
-		return nil, err
-	}
-	return runStrategies(tr, plat,
-		func() sched.InitialScheduler { return sched.NewRoundRobin() },
-		[]PolicyFactory{{Name: "NoRes", New: func(uint64) core.Policy { return core.NewNoRes() }}},
-		opts, 0)
+func yearMatrix(opts Options) (*MatrixResult, error) {
+	return Matrix{
+		Scenarios: []Scenario{YearScenario("year")},
+		Policies:  noResOnly(),
+	}.Run(opts)
 }
 
 func runFig2(opts Options) (*Output, error) {
-	runs, err := yearRun(opts)
+	mr, err := yearMatrix(opts)
 	if err != nil {
 		return nil, err
 	}
-	r := runs[0]
-	cdf := metrics.SuspensionCDF(r.result.Jobs)
-	out := &Output{
-		ID:        "fig2",
-		Title:     "Figure 2: CDF of job suspension time",
-		Names:     []string{r.name},
-		Summaries: []metrics.Summary{r.summary},
-		Series:    map[string][]stats.Point{"suspension_cdf": cdf.Points(200)},
-	}
+	out := newOutput("fig2", "Figure 2: CDF of job suspension time", mr)
+	cdf := metrics.SuspensionCDF(mr.At(0, 0, 0).Result.Jobs)
+	out.Series["suspension_cdf"] = cdf.Points(200)
 	out.Tables = append(out.Tables, report.CDFTable(out.Title, cdf))
 	out.Notes = append(out.Notes,
-		fmt.Sprintf("paper: median 437 min, mean 905 min, 20%% of suspended jobs > 1100 min"),
+		"paper: median 437 min, mean 905 min, 20% of suspended jobs > 1100 min",
 		fmt.Sprintf("measured: median %.0f min, mean %.0f min, p80 %.0f min",
 			cdf.Quantile(0.5), cdf.Mean(), cdf.Quantile(0.8)))
+	if len(mr.Seeds) > 1 {
+		var med, mean stats.Mean
+		for rep := range mr.Seeds {
+			c := metrics.SuspensionCDF(mr.At(0, 0, rep).Result.Jobs)
+			med.Add(c.Quantile(0.5))
+			mean.Add(c.Mean())
+		}
+		out.Notes = append(out.Notes, fmt.Sprintf(
+			"across %d seeds (mean ± 95%% CI): median %.0f ± %.0f min, mean %.0f ± %.0f min",
+			len(mr.Seeds), med.Mean(), med.CI95(), mean.Mean(), mean.CI95()))
+	}
 	return out, nil
 }
 
 func runFig3(opts Options) (*Output, error) {
-	opts = opts.withDefaults()
-	tr, err := trace.Generate(scaleTraceCfg(trace.WeekNormal(opts.Seed), opts.Scale))
+	mr, err := Matrix{
+		Scenarios: []Scenario{WeekScenario("fig3", 1.0, 0,
+			func() sched.InitialScheduler { return sched.NewRoundRobin() })},
+		Policies: susPolicies(),
+	}.Run(opts)
 	if err != nil {
 		return nil, err
 	}
-	plat, err := buildPlatform(opts.Scale, 1.0)
-	if err != nil {
-		return nil, err
-	}
-	runs, err := runStrategies(tr, plat,
-		func() sched.InitialScheduler { return sched.NewRoundRobin() },
-		susPolicies(), opts, 0)
-	if err != nil {
-		return nil, err
-	}
-	out := &Output{
-		ID:     "fig3",
-		Title:  "Figure 3: Average wasted completion time (minutes) under normal load",
-		Series: map[string][]stats.Point{},
-	}
-	for _, r := range runs {
-		out.Names = append(out.Names, r.name)
-		out.Summaries = append(out.Summaries, r.summary)
-	}
-	waste, err := report.WasteTable(out.Title, out.Names, out.Summaries)
+	out := newOutput("fig3", "Figure 3: Average wasted completion time (minutes) under normal load", mr)
+	waste, err := report.WasteTableCI(out.Title, out.Names, out.Replicates)
 	if err != nil {
 		return nil, err
 	}
@@ -149,57 +185,54 @@ func runFig3(opts Options) (*Output, error) {
 }
 
 func runFig4(opts Options) (*Output, error) {
-	runs, err := yearRun(opts)
+	mr, err := yearMatrix(opts)
 	if err != nil {
 		return nil, err
 	}
-	r := runs[0]
-	utilPts := r.result.Util.Points()
-	suspPts := r.result.Suspended.Points()
-	out := &Output{
-		ID:        "fig4",
-		Title:     "Figure 4: Suspension (# jobs) and utilization (%) over one year (100-minute bins)",
-		Names:     []string{r.name},
-		Summaries: []metrics.Summary{r.summary},
-		Series: map[string][]stats.Point{
-			"utilization_pct": utilPts,
-			"suspended_jobs":  suspPts,
-		},
+	out := newOutput("fig4",
+		"Figure 4: Suspension (# jobs) and utilization (%) over one year (100-minute bins)", mr)
+	r0 := mr.At(0, 0, 0).Result
+	utilPts := r0.Util.Points()
+	suspPts := r0.Suspended.Points()
+	out.Series = map[string][]stats.Point{
+		"utilization_pct": utilPts,
+		"suspended_jobs":  suspPts,
 	}
-	meanUtil := r.result.Util.MeanOfBins()
-	_, peakSusp := r.result.Suspended.MaxBin()
+	meanUtil := r0.Util.MeanOfBins()
+	_, peakSusp := r0.Suspended.MaxBin()
 	out.Notes = append(out.Notes,
 		"paper: overall utilization averages ~40% (typically 20-60%); suspension spikes with bursts",
 		fmt.Sprintf("measured: mean utilization %.1f%%, peak suspended jobs per bin %.0f", meanUtil, peakSusp),
 		"utilization: "+report.Sparkline(utilPts, 80),
 		"suspended:   "+report.Sparkline(suspPts, 80))
+	if len(mr.Seeds) > 1 {
+		var util stats.Mean
+		for rep := range mr.Seeds {
+			util.Add(mr.At(0, 0, rep).Result.Util.MeanOfBins())
+		}
+		out.Notes = append(out.Notes, fmt.Sprintf(
+			"across %d seeds: mean utilization %.1f ± %.1f%% (95%% CI)",
+			len(mr.Seeds), util.Mean(), util.CI95()))
+	}
 	return out, nil
 }
 
 func runHighSusp(opts Options) (*Output, error) {
-	opts = opts.withDefaults()
-	tr, err := trace.Generate(scaleTraceCfg(trace.HighSuspension(opts.Seed), opts.Scale))
-	if err != nil {
-		return nil, err
-	}
-	plat, err := buildPlatform(opts.Scale, 1.0)
-	if err != nil {
-		return nil, err
-	}
-	runs, err := runStrategies(tr, plat,
-		func() sched.InitialScheduler { return sched.NewRoundRobin() },
-		[]PolicyFactory{
+	mr, err := Matrix{
+		Scenarios: []Scenario{HighSuspScenario("highsusp")},
+		Policies: []PolicyFactory{
 			{Name: "NoRes", New: func(uint64) core.Policy { return core.NewNoRes() }},
 			{Name: "ResSusUtil", New: func(uint64) core.Policy { return core.NewResSusUtil() }},
-		}, opts, 0)
+		},
+	}.Run(opts)
 	if err != nil {
 		return nil, err
 	}
-	out, err := tableOutput("highsusp", "High Suspension Scenario (§3.2.1)", runs)
+	out, err := tableOutput("highsusp", "High Suspension Scenario (§3.2.1)", mr)
 	if err != nil {
 		return nil, err
 	}
-	noRes, util := runs[0].summary, runs[1].summary
+	noRes, util := out.Summaries[0], out.Summaries[1]
 	out.Notes = append(out.Notes,
 		"paper: ~14% suspend rate; rescheduling cuts AvgCT(all) by ~7% and AvgCT(suspended) by ~44%",
 		fmt.Sprintf("measured: suspend rate %.1f%%; AvgCT(all) reduction %.1f%%; AvgCT(suspended) reduction %.1f%%",

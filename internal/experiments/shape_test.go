@@ -13,7 +13,7 @@ import (
 // testOpts shrinks everything ~10x; shapes were calibrated at this
 // scale against the full-scale runs.
 func testOpts() Options {
-	return Options{Seed: 42, Scale: 0.1, Parallel: true}
+	return Options{Seed: 42, Scale: 0.1}
 }
 
 // runExperiment executes one registered experiment.

@@ -86,53 +86,124 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	return nil
 }
 
-// paperColumns is the column layout of the paper's Tables 1–5.
-var paperColumns = []string{
-	"Strategy", "Suspend rate", "AvgCT Suspend", "AvgCT All", "AvgST", "AvgWCT",
+// summaryCol describes one metric column of a per-strategy table: its
+// header, how to read it from a Summary, and the point-value format.
+type summaryCol struct {
+	name string
+	get  func(metrics.Summary) float64
+	// format renders a point value; ciFormat renders (mean, ci-half).
+	format   string
+	ciFormat string
+}
+
+// paperCols is the column layout of the paper's Tables 1–5.
+var paperCols = []summaryCol{
+	{"Suspend rate", func(s metrics.Summary) float64 { return s.SuspendRate }, "%.2f%%", "%.2f ± %.2f%%"},
+	{"AvgCT Suspend", func(s metrics.Summary) float64 { return s.AvgCTSuspended }, "%.1f", "%.1f ± %.1f"},
+	{"AvgCT All", func(s metrics.Summary) float64 { return s.AvgCTAll }, "%.1f", "%.1f ± %.1f"},
+	{"AvgST", func(s metrics.Summary) float64 { return s.AvgST }, "%.1f", "%.1f ± %.1f"},
+	{"AvgWCT", func(s metrics.Summary) float64 { return s.AvgWCT }, "%.1f", "%.1f ± %.1f"},
+}
+
+// wasteCols is the Figure 3 decomposition layout: the three components
+// of average wasted completion time plus their total.
+var wasteCols = []summaryCol{
+	{"Wait Time", func(s metrics.Summary) float64 { return s.WaitComp }, "%.1f", "%.1f ± %.1f"},
+	{"Suspend Time", func(s metrics.Summary) float64 { return s.SuspendComp }, "%.1f", "%.1f ± %.1f"},
+	{"Wasted by Resched", func(s metrics.Summary) float64 { return s.ReschedComp }, "%.1f", "%.1f ± %.1f"},
+	{"Total AvgWCT", func(s metrics.Summary) float64 { return s.AvgWCT }, "%.1f", "%.1f ± %.1f"},
+}
+
+// summaryTable renders one row per strategy with the given columns.
+func summaryTable(title string, cols []summaryCol, names []string, sums []metrics.Summary) (*Table, error) {
+	if len(names) != len(sums) {
+		return nil, fmt.Errorf("report: %d names for %d summaries", len(names), len(sums))
+	}
+	t := &Table{Title: title, Columns: []string{"Strategy"}}
+	for _, c := range cols {
+		t.Columns = append(t.Columns, c.name)
+	}
+	for i, s := range sums {
+		row := []string{names[i]}
+		for _, c := range cols {
+			row = append(row, fmt.Sprintf(c.format, c.get(s)))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// summaryTableCI renders one row per strategy with each column shown as
+// mean ± 95% CI (Student t) across that strategy's seed replicates.
+func summaryTableCI(title string, cols []summaryCol, names []string, reps [][]metrics.Summary) (*Table, error) {
+	if len(names) != len(reps) {
+		return nil, fmt.Errorf("report: %d names for %d replicate sets", len(names), len(reps))
+	}
+	n := 0
+	t := &Table{Title: title, Columns: []string{"Strategy"}}
+	for _, c := range cols {
+		t.Columns = append(t.Columns, c.name)
+	}
+	for i, sums := range reps {
+		if len(sums) == 0 {
+			return nil, fmt.Errorf("report: strategy %s has no replicates", names[i])
+		}
+		n = len(sums)
+		row := []string{names[i]}
+		for _, c := range cols {
+			var m stats.Mean
+			for _, s := range sums {
+				m.Add(c.get(s))
+			}
+			row = append(row, fmt.Sprintf(c.ciFormat, m.Mean(), m.CI95()))
+		}
+		t.AddRow(row...)
+	}
+	t.Title = fmt.Sprintf("%s (mean ± 95%% CI over %d seeds)", title, n)
+	return t, nil
 }
 
 // PaperTable renders per-strategy summaries in the layout of the
 // paper's Tables 1–5.
 func PaperTable(title string, names []string, sums []metrics.Summary) (*Table, error) {
-	if len(names) != len(sums) {
-		return nil, fmt.Errorf("report: %d names for %d summaries", len(names), len(sums))
+	return summaryTable(title, paperCols, names, sums)
+}
+
+// PaperTableCI renders the paper-table layout across seed replicates:
+// with a single replicate per strategy it is identical to PaperTable;
+// with several, every metric cell reads mean ± 95% CI.
+func PaperTableCI(title string, names []string, reps [][]metrics.Summary) (*Table, error) {
+	if single, ok := singleReplicate(reps); ok {
+		return summaryTable(title, paperCols, names, single)
 	}
-	t := &Table{Title: title, Columns: paperColumns}
-	for i, s := range sums {
-		t.AddRow(
-			names[i],
-			fmt.Sprintf("%.2f%%", s.SuspendRate),
-			fmt.Sprintf("%.1f", s.AvgCTSuspended),
-			fmt.Sprintf("%.1f", s.AvgCTAll),
-			fmt.Sprintf("%.1f", s.AvgST),
-			fmt.Sprintf("%.1f", s.AvgWCT),
-		)
-	}
-	return t, nil
+	return summaryTableCI(title, paperCols, names, reps)
 }
 
 // WasteTable renders the Figure 3 decomposition: the three components
 // of average wasted completion time per strategy.
 func WasteTable(title string, names []string, sums []metrics.Summary) (*Table, error) {
-	if len(names) != len(sums) {
-		return nil, fmt.Errorf("report: %d names for %d summaries", len(names), len(sums))
+	return summaryTable(title, wasteCols, names, sums)
+}
+
+// WasteTableCI is WasteTable across seed replicates (see PaperTableCI).
+func WasteTableCI(title string, names []string, reps [][]metrics.Summary) (*Table, error) {
+	if single, ok := singleReplicate(reps); ok {
+		return summaryTable(title, wasteCols, names, single)
 	}
-	t := &Table{
-		Title: title,
-		Columns: []string{
-			"Strategy", "Wait Time", "Suspend Time", "Wasted by Resched", "Total AvgWCT",
-		},
+	return summaryTableCI(title, wasteCols, names, reps)
+}
+
+// singleReplicate flattens a replicate matrix when every strategy ran
+// exactly once.
+func singleReplicate(reps [][]metrics.Summary) ([]metrics.Summary, bool) {
+	out := make([]metrics.Summary, len(reps))
+	for i, r := range reps {
+		if len(r) != 1 {
+			return nil, false
+		}
+		out[i] = r[0]
 	}
-	for i, s := range sums {
-		t.AddRow(
-			names[i],
-			fmt.Sprintf("%.1f", s.WaitComp),
-			fmt.Sprintf("%.1f", s.SuspendComp),
-			fmt.Sprintf("%.1f", s.ReschedComp),
-			fmt.Sprintf("%.1f", s.AvgWCT),
-		)
-	}
-	return t, nil
+	return out, true
 }
 
 // CDFTable renders a distribution as quantile rows (the text rendering

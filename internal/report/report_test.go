@@ -181,3 +181,74 @@ func TestSeriesCSV(t *testing.T) {
 		t.Fatalf("row: %q", out)
 	}
 }
+
+func TestPaperTableCISingleReplicateMatchesPlain(t *testing.T) {
+	names, sums := sampleSummaries()
+	reps := [][]metrics.Summary{{sums[0]}, {sums[1]}}
+	plain, err := PaperTable("Table 1", names, sums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, err := PaperTableCI("Table 1", names, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := plain.Render(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := ci.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("single-replicate CI table differs from plain:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestPaperTableCI(t *testing.T) {
+	_, sums := sampleSummaries()
+	a, b := sums[0], sums[0]
+	// Two replicates of one strategy: AvgCTAll 500 and 600 -> 550.0 ± CI,
+	// where CI = 12.706 * stddev/sqrt(2) = 12.706 * 50 = 635.3.
+	a.AvgCTAll, b.AvgCTAll = 500, 600
+	tbl, err := PaperTableCI("Table X", []string{"NoRes"}, [][]metrics.Summary{{a, b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"550.0 ± 635.3", "2.00 ± 0.00%", "mean ± 95% CI over 2 seeds"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWasteTableCI(t *testing.T) {
+	_, sums := sampleSummaries()
+	tbl, err := WasteTableCI("Waste", []string{"NoRes", "ResSusUtil"},
+		[][]metrics.Summary{{sums[0], sums[0]}, {sums[1], sums[1]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Identical replicates: zero-width intervals.
+	if !strings.Contains(buf.String(), "31.0 ± 0.0") {
+		t.Fatalf("output missing zero-CI cell:\n%s", buf.String())
+	}
+}
+
+func TestSummaryTableCIErrors(t *testing.T) {
+	if _, err := PaperTableCI("x", []string{"a"}, nil); err == nil {
+		t.Fatal("mismatched names/replicates should error")
+	}
+	if _, err := PaperTableCI("x", []string{"a"}, [][]metrics.Summary{{}}); err == nil {
+		t.Fatal("empty replicate set should error")
+	}
+}

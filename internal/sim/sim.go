@@ -26,6 +26,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -85,6 +86,10 @@ type Config struct {
 	// DisableSampling turns off per-minute sampling (for benchmarks
 	// that only need job metrics).
 	DisableSampling bool
+	// Context cooperatively cancels a long run: the engine polls it
+	// every few hundred events and aborts with its error. Nil means the
+	// run cannot be canceled.
+	Context context.Context
 }
 
 func (c *Config) withDefaults() (Config, error) {
@@ -137,7 +142,9 @@ type Result struct {
 	Waiting *stats.TimeSeries
 	// Makespan is when the last job completed, minutes.
 	Makespan float64
-	// Events is the number of processed simulator events.
+	// Events is the number of processed simulator events. Per-minute
+	// sampling is integrated incrementally and contributes no events;
+	// only state transitions (and rare stale-view refreshes) count.
 	Events int64
 	// Preemptions counts suspension events.
 	Preemptions int64
@@ -155,7 +162,7 @@ const (
 	evFinish
 	evWaitTimeout
 	evArrive
-	evSample
+	evSnapshot
 	evSusDecide
 )
 
@@ -187,6 +194,21 @@ type engine struct {
 
 	utilTS, suspTS, waitTS *stats.TimeSeries
 	waitingTotal           int
+
+	// sampleOn and sampleNext drive the incremental sampler: instead of
+	// queueing one evSample event per simulated minute (≈525k heap
+	// operations for a year-long run), the engine integrates the
+	// piecewise-constant utilization/suspension/wait signals whenever
+	// simulated time advances past pending sample ticks. sampleNext
+	// marches by repeated addition of SampleEvery, exactly like the old
+	// event chain did, so tick times (and hence bin boundaries) are
+	// float-identical to ASCA's §3.1 every-minute state scan. A tick
+	// that coincides exactly with an event timestamp reads the state
+	// after every event at that instant — a deterministic rule, where
+	// the event-driven sampler resolved such (measure-zero for the
+	// float-valued synthetic traces) ties by heap insertion order.
+	sampleOn   bool
+	sampleNext float64
 
 	view *poolView
 
@@ -250,7 +272,13 @@ func (e *engine) init() error {
 		e.q.Schedule(e.specs[0].Submit, evSubmit, 0)
 		e.nextSubmit = 1
 		if !e.cfg.DisableSampling {
-			e.q.Schedule(e.specs[0].Submit, evSample, nil)
+			e.sampleOn = true
+			e.sampleNext = e.specs[0].Submit
+			// Stale utilization views refresh on the sample-tick grid;
+			// only those (rare) refresh points still need real events.
+			if e.cfg.UtilStaleness > 0 {
+				e.q.Schedule(e.specs[0].Submit, evSnapshot, nil)
+			}
 		}
 	}
 	return nil
@@ -258,6 +286,7 @@ func (e *engine) init() error {
 
 func (e *engine) loop() error {
 	total := len(e.specs)
+	ctx := e.cfg.Context
 	for e.completed < total {
 		ev := e.q.Pop()
 		if ev == nil {
@@ -273,6 +302,17 @@ func (e *engine) loop() error {
 				e.cfg.MaxTime, total-e.completed, total)
 		}
 		e.res.Events++
+		if ctx != nil && e.res.Events&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("sim: canceled at t=%v: %w", e.now, err)
+			}
+		}
+		// Record sample ticks strictly before this event; ticks that
+		// coincide with e.now are recorded only after every state change
+		// at e.now has been applied (post-event state, see advanceSamples).
+		if e.sampleOn {
+			e.advanceSamples(e.now)
+		}
 		var err error
 		switch ev.Kind {
 		case evSubmit:
@@ -284,8 +324,8 @@ func (e *engine) loop() error {
 		case evArrive:
 			p := ev.Payload.(arrivePayload)
 			err = e.arrival(p.idx, p.pool)
-		case evSample:
-			e.handleSample()
+		case evSnapshot:
+			e.handleSnapshot()
 		case evSusDecide:
 			err = e.handleSusDecide(ev.Payload.(int))
 		default:
@@ -656,20 +696,48 @@ func (e *engine) handleWaitTimeout(idx int) error {
 	return nil
 }
 
-// handleSample records the per-minute state snapshot (ASCA "samples at
-// each minute the current states of all NetBatch components", §3.1).
-func (e *engine) handleSample() {
-	util := 0.0
-	if e.totalCores > 0 {
-		util = float64(e.busyCores) / float64(e.totalCores) * 100
+// advanceSamples records every pending per-minute state sample (ASCA
+// "samples at each minute the current states of all NetBatch
+// components", §3.1) with tick time strictly before now. The observed
+// signals are piecewise-constant between events, so the current
+// counters are exactly what an event-driven sampler would have read at
+// each of those ticks. Ticks that land exactly on an event timestamp
+// (possible only for hand-built integral workloads; the synthetic
+// traces produce irrational-ish float times that never hit the grid)
+// are deferred until time moves past them, i.e. they observe the
+// post-event state, and a tick coinciding with the final completion is
+// not recorded — the event chain it replaces died with the last job.
+func (e *engine) advanceSamples(now float64) {
+	for e.sampleNext < now {
+		util := 0.0
+		if e.totalCores > 0 {
+			util = float64(e.busyCores) / float64(e.totalCores) * 100
+		}
+		e.utilTS.Add(e.sampleNext, util)
+		e.suspTS.Add(e.sampleNext, float64(e.suspendedTotal))
+		e.waitTS.Add(e.sampleNext, float64(e.waitingTotal))
+		e.sampleNext += e.cfg.SampleEvery
 	}
-	e.utilTS.Add(e.now, util)
-	e.suspTS.Add(e.now, float64(e.suspendedTotal))
-	e.waitTS.Add(e.now, float64(e.waitingTotal))
+}
+
+// handleSnapshot refreshes the stale utilization view (§3.2.2) and
+// schedules the next refresh on the sample-tick grid: the first tick at
+// least UtilStaleness after this one, reproducing the refresh times the
+// per-minute sampler produced by checking staleness at every tick.
+// (Because the event is enqueued a full staleness period ahead rather
+// than one tick ahead, a refresh coinciding exactly with another
+// event's timestamp may order differently than the old sampler did —
+// the same measure-zero tie caveat as advanceSamples.)
+func (e *engine) handleSnapshot() {
 	e.view.maybeSnapshot(e.now)
-	if e.completed < len(e.specs) {
-		e.q.Schedule(e.now+e.cfg.SampleEvery, evSample, nil)
+	if e.completed >= len(e.specs) {
+		return
 	}
+	next := e.now
+	for next-e.now < e.cfg.UtilStaleness {
+		next += e.cfg.SampleEvery
+	}
+	e.q.Schedule(next, evSnapshot, nil)
 }
 
 // poolView implements sched.PoolView over engine state, optionally with

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -618,5 +620,112 @@ func TestManyJobsConservationAndCompletion(t *testing.T) {
 		if j.State() != job.StateCompleted {
 			t.Fatalf("job %d not completed", j.Spec.ID)
 		}
+	}
+}
+
+func TestSamplingTickGridExact(t *testing.T) {
+	// One job, submit 0, work 100 on a single core: the sampler must
+	// record exactly the ticks 0..99 (the tick at the makespan itself is
+	// never recorded, exactly like the event-driven sampler whose chain
+	// died with the final completion), all at 100% utilization.
+	p := miniPlatform(t, 1)
+	cfg := baseConfig(p)
+	cfg.SeriesBin = 10
+	res := run(t, cfg, []job.Spec{lowJob(1, 0, 100, 0)})
+	if got := res.Util.Len(); got != 10 {
+		t.Fatalf("util bins = %d, want 10 (ticks 0..99 only)", got)
+	}
+	for i, pt := range res.Util.Points() {
+		if math.Abs(pt.Y-100) > 1e-9 {
+			t.Fatalf("bin %d utilization = %v, want 100", i, pt.Y)
+		}
+	}
+}
+
+func TestSamplingPreemptionTimeline(t *testing.T) {
+	// Preemption scenario with hand-computable signals: low job (work
+	// 100) from t=0, high job (work 50) preempts at t=30, finishes at 80,
+	// low resumes and completes at 150. Suspended count is 1 exactly on
+	// ticks 30..79; a tick coinciding with a state change reads the
+	// post-change state.
+	p := miniPlatform(t, 1)
+	cfg := baseConfig(p)
+	cfg.SeriesBin = 10
+	res := run(t, cfg, []job.Spec{
+		lowJob(1, 0, 100, 0),
+		highJob(2, 30, 50, 0),
+	})
+	susp := res.Suspended.Points()
+	if len(susp) != 15 {
+		t.Fatalf("suspended bins = %d, want 15 (ticks 0..149)", len(susp))
+	}
+	for i, pt := range susp {
+		want := 0.0
+		if i >= 3 && i < 8 { // bins covering ticks 30..79
+			want = 1.0
+		}
+		if math.Abs(pt.Y-want) > 1e-9 {
+			t.Fatalf("suspended bin %d = %v, want %v", i, pt.Y, want)
+		}
+	}
+	// The single core is always busy (victim swaps with preemptor).
+	for i, pt := range res.Util.Points() {
+		if math.Abs(pt.Y-100) > 1e-9 {
+			t.Fatalf("util bin %d = %v, want 100", i, pt.Y)
+		}
+	}
+}
+
+func TestSamplingIdleGap(t *testing.T) {
+	// A long idle gap between two jobs must still emit zero-valued ticks
+	// for every minute of the gap (the event-driven chain ticked through
+	// idle time too).
+	p := miniPlatform(t, 1)
+	cfg := baseConfig(p)
+	cfg.SeriesBin = 10
+	res := run(t, cfg, []job.Spec{
+		lowJob(1, 0, 5, 0),
+		lowJob(2, 200, 10, 0),
+	})
+	// Ticks 0..209: 21 bins.
+	if got := res.Util.Len(); got != 21 {
+		t.Fatalf("util bins = %d, want 21", got)
+	}
+	pts := res.Util.Points()
+	for i := 1; i < 20; i++ {
+		if pts[i].Y != 0 {
+			t.Fatalf("idle bin %d utilization = %v, want 0", i, pts[i].Y)
+		}
+	}
+	if pts[0].Y != 50 { // ticks 0..4 busy, 5..9 idle
+		t.Fatalf("first bin = %v, want 50", pts[0].Y)
+	}
+	if pts[20].Y != 100 { // ticks 200..209 busy
+		t.Fatalf("last bin = %v, want 100", pts[20].Y)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	p := miniPlatform(t, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := baseConfig(p)
+	cfg.Context = ctx
+	// Enough work to guarantee the engine crosses a poll boundary.
+	var specs []job.Spec
+	for i := 0; i < 2000; i++ {
+		specs = append(specs, lowJob(job.ID(i+1), float64(i), 5, 0))
+	}
+	_, err := Run(cfg, specs)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestNilContextRuns(t *testing.T) {
+	p := miniPlatform(t, 1)
+	res := run(t, baseConfig(p), []job.Spec{lowJob(1, 0, 10, 0)})
+	if res.Makespan != 10 {
+		t.Fatalf("makespan = %v", res.Makespan)
 	}
 }

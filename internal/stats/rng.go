@@ -20,21 +20,54 @@ import (
 // use; the simulator is single-threaded by design, and parallel
 // experiment runners each own a distinct RNG.
 type RNG struct {
-	src *rand.Rand
+	src  *rand.Rand
+	seed uint64
 }
 
 // NewRNG returns a generator seeded with seed. Two RNGs created with the
 // same seed produce identical streams.
 func NewRNG(seed uint64) *RNG {
-	return &RNG{src: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+	return &RNG{src: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)), seed: seed}
 }
 
 // Split derives an independent generator from the current stream. It is
 // used to give each subsystem (arrival process, runtime sampler, burst
 // process, ...) its own stream so that adding draws to one subsystem
-// does not perturb the others.
+// does not perturb the others. Split consumes parent state: use SplitKey
+// when the fork must not depend on how many draws preceded it.
 func (r *RNG) Split() *RNG {
-	return &RNG{src: rand.New(rand.NewPCG(r.src.Uint64(), r.src.Uint64()))}
+	a, b := r.src.Uint64(), r.src.Uint64()
+	return &RNG{src: rand.New(rand.NewPCG(a, b)), seed: a}
+}
+
+// SplitKey derives an independent generator identified by key without
+// consuming any state from r: the child stream is a pure function of
+// r's seed and the key. Distinct keys yield independent streams, and
+// the result does not depend on draw or fork order — which is what lets
+// a parallel experiment runner hand each matrix cell its own stream and
+// still produce results identical to a serial run.
+func (r *RNG) SplitKey(key uint64) *RNG {
+	return NewRNG(ForkSeed(r.seed, key))
+}
+
+// ForkSeed deterministically derives a child seed from a parent seed
+// and a sequence of keys using the splitmix64 finalizer. It is pure:
+// the same (seed, keys...) always yields the same child, independent of
+// call order, so keyed forks commute across goroutines.
+func ForkSeed(seed uint64, keys ...uint64) uint64 {
+	out := splitmix64(seed + 0x9e3779b97f4a7c15)
+	for _, k := range keys {
+		out = splitmix64(out ^ splitmix64(k+0x9e3779b97f4a7c15))
+	}
+	return out
+}
+
+// splitmix64 is the finalizer from Steele et al.'s SplitMix generator,
+// a strong 64-bit mixer with no fixed point at zero inputs once offset.
+func splitmix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // Float64 returns a uniform variate in [0, 1).

@@ -228,3 +228,49 @@ func TestPermIsPermutation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSplitKeyOrderIndependent(t *testing.T) {
+	// Keyed forks must not depend on parent draws or fork order.
+	a := NewRNG(99)
+	b := NewRNG(99)
+	for i := 0; i < 17; i++ {
+		a.Float64() // perturb a's stream only
+	}
+	childA := a.SplitKey(7)
+	_ = b.SplitKey(3) // fork in a different order
+	childB := b.SplitKey(7)
+	for i := 0; i < 100; i++ {
+		if childA.Uint64() != childB.Uint64() {
+			t.Fatal("SplitKey stream depends on parent draws or fork order")
+		}
+	}
+}
+
+func TestSplitKeyDistinctKeys(t *testing.T) {
+	r := NewRNG(1)
+	x, y := r.SplitKey(1), r.SplitKey(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if x.Uint64() == y.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("distinct keys collided on %d of 64 draws", same)
+	}
+}
+
+func TestForkSeedPure(t *testing.T) {
+	if ForkSeed(42, 1, 2) != ForkSeed(42, 1, 2) {
+		t.Fatal("ForkSeed not deterministic")
+	}
+	if ForkSeed(42, 1, 2) == ForkSeed(42, 2, 1) {
+		t.Fatal("ForkSeed ignores key order")
+	}
+	if ForkSeed(42, 1) == ForkSeed(42, 2) {
+		t.Fatal("ForkSeed collided on distinct keys")
+	}
+	if ForkSeed(42) == ForkSeed(43) {
+		t.Fatal("ForkSeed collided on distinct seeds")
+	}
+}

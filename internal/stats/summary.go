@@ -60,6 +60,30 @@ func (m *Mean) Min() float64 { return m.min }
 // Max returns the largest observation, or 0 with no observations.
 func (m *Mean) Max() float64 { return m.max }
 
+// tCrit95 holds two-sided Student-t critical values at the 0.95 level
+// for 1..30 degrees of freedom; beyond 30 the normal approximation
+// (1.96) is within ~2% and is used instead.
+var tCrit95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// CI95 returns the half-width of the two-sided 95% confidence interval
+// for the mean (Student t on n-1 degrees of freedom), or 0 with fewer
+// than two observations. The experiment runner reports multi-seed
+// replications as Mean() ± CI95().
+func (m *Mean) CI95() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	t := 1.960
+	if df := m.n - 1; df <= int64(len(tCrit95)) {
+		t = tCrit95[df-1]
+	}
+	return t * m.Stddev() / math.Sqrt(float64(m.n))
+}
+
 // Merge combines another accumulator into this one (parallel Welford).
 func (m *Mean) Merge(o *Mean) {
 	if o.n == 0 {

@@ -291,3 +291,40 @@ func TestQuantileMatchesSortDefinition(t *testing.T) {
 		t.Fatalf("median = %v, want middle element %v", med, sorted[500])
 	}
 }
+
+func TestMeanCI95(t *testing.T) {
+	var m Mean
+	if m.CI95() != 0 {
+		t.Fatal("empty accumulator must report zero CI")
+	}
+	m.Add(5)
+	if m.CI95() != 0 {
+		t.Fatal("single observation must report zero CI")
+	}
+	// {1, 3}: stddev = sqrt(2), df = 1, t = 12.706,
+	// CI = 12.706 * sqrt(2) / sqrt(2) = 12.706.
+	var two Mean
+	two.Add(1)
+	two.Add(3)
+	if got := two.CI95(); math.Abs(got-12.706) > 1e-9 {
+		t.Fatalf("CI95 of {1,3} = %v, want 12.706", got)
+	}
+	// {1,2,3,4}: stddev = 1.29099..., df = 3, t = 3.182.
+	var four Mean
+	for _, x := range []float64{1, 2, 3, 4} {
+		four.Add(x)
+	}
+	want := 3.182 * four.Stddev() / 2
+	if got := four.CI95(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("CI95 of {1..4} = %v, want %v", got, want)
+	}
+	// Large n falls back to the normal critical value.
+	var big Mean
+	for i := 0; i < 1000; i++ {
+		big.Add(float64(i % 10))
+	}
+	want = 1.96 * big.Stddev() / math.Sqrt(1000)
+	if got := big.CI95(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("large-n CI95 = %v, want %v", got, want)
+	}
+}
