@@ -202,6 +202,31 @@ func BenchmarkAblationMigration(b *testing.B) {
 	}
 }
 
+// BenchmarkMultiSiteWeek runs one 3-site federation cell (latency-
+// penalized site selection over per-site round-robin, latency-aware
+// combined rescheduling) at bench scale. Sampling stays enabled: the
+// inter-site view ageing refreshes on the sample grid, so this bench
+// also covers the per-site sampling and snapshot-chain overhead.
+func BenchmarkMultiSiteWeek(b *testing.B) {
+	sc := experiments.MultiSiteScenario("bench-multisite", 3, 0,
+		func() sched.SiteSelector { return sched.LatencyPenalizedUtil{} })
+	tr, err := sc.Trace(42, benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plat, err := sc.Platform(benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc.Trace = func(uint64, float64) (*trace.Trace, error) { return tr, nil }
+	sc.Platform = func(float64) (*cluster.Platform, error) { return plat, nil }
+	pf := experiments.PolicyFactory{
+		Name: "ResSusWaitLatency",
+		New:  func(uint64) core.Policy { return core.NewResSusWaitLatency() },
+	}
+	runCellBench(b, sc, pf, benchOpts())
+}
+
 // BenchmarkSimulatorThroughput measures raw event throughput of the
 // engine on the busy-week workload. Unlike the other benches it calls
 // sim.Run directly (no metrics.Summarize, no conservation checks): its

@@ -42,6 +42,7 @@ func main() {
 func run() error {
 	var (
 		runIDs   = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		scenario = flag.String("scenario", "", "alias for -run")
 		scale    = flag.Float64("scale", 1.0, "platform+workload scale (1.0 = paper scale)")
 		seed     = flag.Uint64("seed", 42, "base random seed for trace generation and policies")
 		seeds    = flag.Int("seeds", 1, "seed replicates per cell; >1 reports mean ± 95% CI")
@@ -61,6 +62,12 @@ func run() error {
 	}
 
 	ids := experiments.IDs()
+	if *scenario != "" {
+		if *runIDs != "" {
+			return fmt.Errorf("use either -run or -scenario, not both")
+		}
+		runIDs = scenario
+	}
 	if *runIDs != "" {
 		ids = strings.Split(*runIDs, ",")
 	}

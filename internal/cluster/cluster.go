@@ -83,10 +83,34 @@ type Pool struct {
 	Cores int `json:"cores"`
 }
 
+// Site is one data-center site of the federation: the pools located
+// there plus cached capacity. The paper's deployment spreads pools
+// "globally at dozens of data centers" (§1); sites are derived from the
+// PoolConfig.Site labels in order of first appearance.
+type Site struct {
+	// ID is the site's index within the platform.
+	ID int `json:"id"`
+	// Region is the site's label (the PoolConfig.Site string).
+	Region string `json:"region"`
+	// Pools holds the pool IDs located at this site.
+	Pools []int `json:"pools"`
+	// Cores is the site's total core count (cached).
+	Cores int `json:"cores"`
+}
+
 // Platform is an immutable description of the whole deployment.
 type Platform struct {
 	pools    []Pool
 	machines []Machine
+
+	sites  []Site
+	siteOf []int // pool ID -> site ID
+	// rtt is the inter-site state-propagation delay matrix in simulated
+	// minutes (nil = all zero). The simulator works in minutes, so the
+	// matrix models the full cross-site visibility/transfer pipeline
+	// delay (cf. the paper's 30-minute utilization staleness, §3.2.2),
+	// not the millisecond wire RTT alone.
+	rtt [][]float64
 }
 
 // Build constructs a platform from pool configurations. Pool IDs are
@@ -137,7 +161,91 @@ func Build(configs []PoolConfig) (*Platform, error) {
 		}
 		p.pools = append(p.pools, pool)
 	}
+	p.buildSites()
 	return p, nil
+}
+
+// buildSites derives the site list from pool labels, in order of first
+// appearance. An empty label is its own (default) site.
+func (p *Platform) buildSites() {
+	index := make(map[string]int)
+	p.sites = nil
+	p.siteOf = make([]int, len(p.pools))
+	for i := range p.pools {
+		pool := &p.pools[i]
+		sid, ok := index[pool.Site]
+		if !ok {
+			sid = len(p.sites)
+			index[pool.Site] = sid
+			region := pool.Site
+			if region == "" {
+				region = "default"
+			}
+			p.sites = append(p.sites, Site{ID: sid, Region: region})
+		}
+		p.sites[sid].Pools = append(p.sites[sid].Pools, pool.ID)
+		p.sites[sid].Cores += pool.Cores
+		p.siteOf[pool.ID] = sid
+	}
+}
+
+// WithRTT returns a platform sharing this one's pools and machines with
+// the given inter-site delay matrix attached. The matrix must be
+// NumSites×NumSites with a zero diagonal and non-negative entries;
+// entry [a][b] is the one-way dispatch/visibility delay from site a to
+// site b in simulated minutes.
+func (p *Platform) WithRTT(rtt [][]float64) (*Platform, error) {
+	if len(rtt) != len(p.sites) {
+		return nil, fmt.Errorf("cluster: rtt matrix has %d rows for %d sites", len(rtt), len(p.sites))
+	}
+	for a, row := range rtt {
+		if len(row) != len(p.sites) {
+			return nil, fmt.Errorf("cluster: rtt row %d has %d entries for %d sites", a, len(row), len(p.sites))
+		}
+		for b, d := range row {
+			if d < 0 {
+				return nil, fmt.Errorf("cluster: negative rtt %v between sites %d and %d", d, a, b)
+			}
+			if a == b && d != 0 {
+				return nil, fmt.Errorf("cluster: non-zero self-rtt %v at site %d", d, a)
+			}
+		}
+	}
+	out := *p
+	out.rtt = rtt
+	return &out, nil
+}
+
+// NumSites returns the number of data-center sites.
+func (p *Platform) NumSites() int { return len(p.sites) }
+
+// Site returns the site with the given ID. It panics on an out-of-range
+// ID, which is a programmer error.
+func (p *Platform) Site(id int) *Site { return &p.sites[id] }
+
+// SiteOf returns the site ID of the given pool.
+func (p *Platform) SiteOf(pool int) int { return p.siteOf[pool] }
+
+// RTT returns the one-way inter-site delay from site a to site b in
+// minutes (0 when no matrix is attached or a == b).
+func (p *Platform) RTT(a, b int) float64 {
+	if p.rtt == nil || a == b {
+		return 0
+	}
+	return p.rtt[a][b]
+}
+
+// MaxRTT returns the largest inter-site delay, or 0.
+func (p *Platform) MaxRTT() float64 {
+	var m float64
+	for _, row := range p.rtt {
+		for _, d := range row {
+			if d > m {
+				m = d
+			}
+		}
+	}
+	return m
 }
 
 // NumPools returns the number of physical pools.

@@ -62,21 +62,10 @@ func NewNetBatchPlatform(cfg NetBatchConfig) (*Platform, error) {
 	var configs []PoolConfig
 	add := func(count, machines int, label string) {
 		for i := 0; i < count; i++ {
-			n := int(math.Round(float64(machines) * cfg.Scale))
-			if n < 3 {
-				n = 3 // keep all three machine classes present
-			}
-			slow := n * 30 / 100
-			fast := n * 20 / 100
-			ref := n - slow - fast
 			configs = append(configs, PoolConfig{
-				Name: fmt.Sprintf("%s-%02d", label, i),
-				Site: "site-A",
-				Classes: []MachineClass{
-					{Count: max(slow, 1), Cores: cfg.CoresPerMachine, MemMB: 8 << 10, Speed: 0.8},
-					{Count: max(ref, 1), Cores: cfg.CoresPerMachine, MemMB: 16 << 10, Speed: 1.0},
-					{Count: max(fast, 1), Cores: cfg.CoresPerMachine, MemMB: 32 << 10, Speed: 1.25},
-				},
+				Name:    fmt.Sprintf("%s-%02d", label, i),
+				Site:    "site-A",
+				Classes: standardClasses(machines, cfg),
 			})
 		}
 	}
@@ -84,6 +73,24 @@ func NewNetBatchPlatform(cfg NetBatchConfig) (*Platform, error) {
 	add(cfg.MediumPools, cfg.MediumMachines, "med")
 	add(cfg.SmallPools, cfg.SmallMachines, "small")
 	return Build(configs)
+}
+
+// standardClasses splits a pool's machine count into the standard
+// heterogeneous mix: 30% slow/8GB, 50% reference/16GB, 20% fast/32GB
+// ("varying CPU speed and memory", §3.1).
+func standardClasses(machines int, cfg NetBatchConfig) []MachineClass {
+	n := int(math.Round(float64(machines) * cfg.Scale))
+	if n < 3 {
+		n = 3 // keep all three machine classes present
+	}
+	slow := n * 30 / 100
+	fast := n * 20 / 100
+	ref := n - slow - fast
+	return []MachineClass{
+		{Count: max(slow, 1), Cores: cfg.CoresPerMachine, MemMB: 8 << 10, Speed: 0.8},
+		{Count: max(ref, 1), Cores: cfg.CoresPerMachine, MemMB: 16 << 10, Speed: 1.0},
+		{Count: max(fast, 1), Cores: cfg.CoresPerMachine, MemMB: 32 << 10, Speed: 1.25},
+	}
 }
 
 // BigPoolIDs returns the IDs of the big pools in a platform built by
@@ -148,5 +155,7 @@ func (p *Platform) ScaleCapacity(factor float64) (*Platform, error) {
 		}
 		scaled.pools = append(scaled.pools, newPool)
 	}
+	scaled.buildSites()
+	scaled.rtt = p.rtt
 	return scaled, nil
 }

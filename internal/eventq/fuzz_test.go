@@ -1,0 +1,117 @@
+package eventq
+
+import (
+	"testing"
+)
+
+// FuzzQueueOps model-checks the future event list against a naive
+// reference implementation. The input bytes encode an op stream —
+// schedule (with a small time domain to force plenty of simultaneous
+// events), cancel, pop — and after replaying it the queue is drained.
+// Checked invariants:
+//
+//   - Pop returns exactly the live event with the least (time, schedule
+//     order): earliest-first, FIFO among ties (the determinism contract
+//     the simulator's reproducibility rests on).
+//   - Cancel reports true exactly once per scheduled event and popped
+//     events can no longer be canceled.
+//   - Len always equals the number of scheduled-not-canceled-not-popped
+//     events.
+func FuzzQueueOps(f *testing.F) {
+	// Seed corpus: schedule bursts with ties, interleaved cancels and
+	// pops, duplicate cancels, pop-from-empty.
+	f.Add([]byte{0, 5, 0, 5, 0, 5, 2, 0, 2, 0, 2, 0, 2, 0})
+	f.Add([]byte{0, 10, 0, 3, 1, 0, 2, 0, 0, 3, 1, 1, 1, 1, 2, 0})
+	f.Add([]byte{2, 0, 0, 0, 0, 255, 0, 128, 1, 2, 2, 0, 2, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		type modelEv struct {
+			time     float64
+			seq      int
+			canceled bool
+			popped   bool
+		}
+		q := New()
+		var model []modelEv
+		var handles []Handle
+
+		expectedNext := func() int {
+			best := -1
+			for i := range model {
+				if model[i].canceled || model[i].popped {
+					continue
+				}
+				if best == -1 || model[i].time < model[best].time {
+					best = i // earlier seq wins ties because we scan in order
+				}
+			}
+			return best
+		}
+		liveCount := func() int {
+			n := 0
+			for i := range model {
+				if !model[i].canceled && !model[i].popped {
+					n++
+				}
+			}
+			return n
+		}
+		pop := func() {
+			want := expectedNext()
+			ev := q.Pop()
+			if want == -1 {
+				if ev != nil {
+					t.Fatalf("Pop returned %+v from an empty queue", ev)
+				}
+				return
+			}
+			if ev == nil {
+				t.Fatalf("Pop returned nil with %d live events", liveCount())
+			}
+			if ev.Kind != model[want].seq || ev.Time != model[want].time {
+				t.Fatalf("Pop returned (t=%v, seq=%d), want (t=%v, seq=%d)",
+					ev.Time, ev.Kind, model[want].time, model[want].seq)
+			}
+			model[want].popped = true
+		}
+
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i], data[i+1]
+			switch op % 3 {
+			case 0:
+				// Schedule; time domain 0..15 forces simultaneous events.
+				tm := float64(arg % 16)
+				seq := len(model)
+				handles = append(handles, q.Schedule(tm, seq, nil))
+				model = append(model, modelEv{time: tm, seq: seq})
+			case 1:
+				if len(handles) == 0 {
+					continue
+				}
+				k := int(arg) % len(handles)
+				got := q.Cancel(handles[k])
+				want := !model[k].canceled && !model[k].popped
+				if got != want {
+					t.Fatalf("Cancel(%d) = %v, want %v", k, got, want)
+				}
+				if want {
+					model[k].canceled = true
+				}
+			case 2:
+				pop()
+			}
+			if q.Len() != liveCount() {
+				t.Fatalf("Len = %d, want %d", q.Len(), liveCount())
+			}
+		}
+		// Drain: the remaining events must come out in (time, seq) order.
+		for liveCount() > 0 {
+			pop()
+		}
+		if ev := q.Pop(); ev != nil {
+			t.Fatalf("drained queue popped %+v", ev)
+		}
+		if q.Len() != 0 {
+			t.Fatalf("drained queue Len = %d", q.Len())
+		}
+	})
+}

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+
+	"netbatch/internal/cluster"
+	"netbatch/internal/core"
+	"netbatch/internal/metrics"
+	"netbatch/internal/report"
+	"netbatch/internal/sched"
+	"netbatch/internal/trace"
+)
+
+// Multi-site federation scenarios: the production NetBatch runs pools
+// "distributed globally at dozens of data centers" (§1) while the
+// paper's evaluation emulates one site (§3.1). These cells scale the
+// busy-week environment out to N-site federations with inter-site
+// delay, comparing site-selector policies and rescheduling strategies
+// under the generalized staleness constraint (§3.2.2): a remote site's
+// utilization is only visible RTT minutes late, and sending a job (or
+// a rescheduled restart) across sites pays that delay for real.
+
+// multiSiteRTT builds the federation's delay matrix: 5 minutes to a
+// neighboring site, +5 per additional hop (cluster.MetroRTT), so a
+// 6-site federation spans 5–25 minutes — the same order as the paper's
+// 30-minute staleness knob, enough for the latency/load trade-off to
+// bind.
+func multiSiteRTT(nSites int) [][]float64 {
+	return cluster.MetroRTT(nSites, 5, 5)
+}
+
+// multiSiteRegions names the federation's sites.
+func multiSiteRegions(nSites int) []string {
+	out := make([]string, nSites)
+	for i := range out {
+		out[i] = fmt.Sprintf("site-%c", 'A'+i)
+	}
+	return out
+}
+
+// MultiSiteScenario is an n-site federation running the multi-site
+// busy week: per-site 7-pool platforms (cluster.SiteNetBatchConfig)
+// joined by a metro delay matrix, scheduled by the two-level federated
+// scheduler — the given site selector over per-site round-robin, the
+// production default within a site.
+func MultiSiteScenario(id string, nSites int, staleness float64, newSelector func() sched.SiteSelector) Scenario {
+	return Scenario{
+		ID: id,
+		Trace: func(seed uint64, scale float64) (*trace.Trace, error) {
+			return trace.Generate(scaleTraceCfg(trace.MultiSiteWeek(seed, nSites), scale))
+		},
+		Platform: func(scale float64) (*cluster.Platform, error) {
+			perSite := cluster.SiteNetBatchConfig()
+			perSite.Scale = scale
+			return cluster.NewFederationPlatform(cluster.FederationConfig{
+				Regions: multiSiteRegions(nSites),
+				PerSite: perSite,
+				RTT:     multiSiteRTT(nSites),
+			})
+		},
+		NewInitial: func() sched.InitialScheduler {
+			return sched.NewFederated(newSelector(), func() sched.InitialScheduler {
+				return sched.NewRoundRobin()
+			})
+		},
+		Staleness: staleness,
+	}
+}
+
+// multiSiteCells enumerates the federation axis: the single-site
+// baseline, the three site selectors on a 3-site federation, and the
+// latency-penalized selector stretched to 6 sites.
+func multiSiteCells() []struct {
+	scenario Scenario
+	nSites   int
+} {
+	locality := func() sched.SiteSelector { return sched.LocalityFirst{} }
+	leastUtil := func() sched.SiteSelector { return sched.LeastUtilizedSite{} }
+	latency := func() sched.SiteSelector { return sched.LatencyPenalizedUtil{} }
+	return []struct {
+		scenario Scenario
+		nSites   int
+	}{
+		{MultiSiteScenario("fed1", 1, 0, locality), 1},
+		{MultiSiteScenario("fed3-locality", 3, 0, locality), 3},
+		{MultiSiteScenario("fed3-least-util", 3, 0, leastUtil), 3},
+		{MultiSiteScenario("fed3-latency", 3, 0, latency), 3},
+		{MultiSiteScenario("fed6-latency", 6, 0, latency), 6},
+	}
+}
+
+func multiSitePolicies() []PolicyFactory {
+	return []PolicyFactory{
+		{Name: "NoRes", New: func(uint64) core.Policy { return core.NewNoRes() }},
+		{Name: "ResSusWaitUtil", New: func(uint64) core.Policy { return core.NewResSusWaitUtil() }},
+		{Name: "ResSusWaitLatency", New: func(uint64) core.Policy { return core.NewResSusWaitLatency() }},
+	}
+}
+
+func init() {
+	register(Experiment{
+		ID:    "multisite",
+		Title: "Multi-site federation: single-site vs 3-site vs 6-site under latency-aware scheduling",
+		Run:   runMultiSite,
+	})
+}
+
+func runMultiSite(opts Options) (*Output, error) {
+	cells := multiSiteCells()
+	scenarios := make([]Scenario, len(cells))
+	for i, c := range cells {
+		scenarios[i] = c.scenario
+	}
+	policies := multiSitePolicies()
+	mr, err := Matrix{Scenarios: scenarios, Policies: policies}.Run(opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Flatten the (federation × policy) matrix into one row per cell.
+	out := &Output{
+		ID:    "multisite",
+		Title: "Multi-site federation: single-site vs 3-site vs 6-site under latency-aware scheduling",
+	}
+	for s, c := range cells {
+		for p := range policies {
+			reps := mr.Replicates(s, p)
+			out.Names = append(out.Names, c.scenario.ID+"/"+mr.PolicyNames[p])
+			out.Summaries = append(out.Summaries, reps[0])
+			out.Replicates = append(out.Replicates, reps)
+		}
+	}
+	tbl, err := report.PaperTableCI(out.Title, out.Names, out.Replicates)
+	if err != nil {
+		return nil, err
+	}
+	out.Tables = append(out.Tables, tbl)
+
+	// Per-site breakdowns for the multi-site federations, first
+	// replicate (the site axis is deterministic per seed).
+	for s, c := range cells {
+		if c.nSites <= 1 {
+			continue
+		}
+		plat, err := c.scenario.Platform(opts.withDefaults().Scale)
+		if err != nil {
+			return nil, err
+		}
+		perStrategy := make([][]metrics.SiteSummary, len(policies))
+		for p := range policies {
+			cell := mr.At(s, p, 0)
+			sums, err := metrics.SummarizeSites(cell.Result.Jobs, plat.SiteOf, plat.NumSites())
+			if err != nil {
+				return nil, err
+			}
+			perStrategy[p] = sums
+			out.Notes = append(out.Notes, fmt.Sprintf(
+				"%s/%s: cross-site submits %d, cross-site moves %d, wait moves %d",
+				c.scenario.ID, mr.PolicyNames[p],
+				cell.Result.CrossSiteSubmits, cell.Result.CrossSiteMoves, cell.Result.WaitMoves))
+		}
+		st, err := report.SiteTable(
+			fmt.Sprintf("%s — per-site breakdown", c.scenario.ID),
+			mr.PolicyNames, multiSiteRegions(c.nSites), perStrategy)
+		if err != nil {
+			return nil, err
+		}
+		out.Tables = append(out.Tables, st)
+	}
+	return out, nil
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"netbatch/internal/cluster"
+	"netbatch/internal/trace"
+)
+
+// renderOutput flattens an experiment's tables and notes into one
+// string, mirroring cmd/experiments rendering.
+func renderOutput(t *testing.T, out *Output) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, tbl := range out.Tables {
+		if err := tbl.Render(&sb); err != nil {
+			t.Fatal(err)
+		}
+		sb.WriteString("\n")
+	}
+	for _, note := range out.Notes {
+		sb.WriteString("note: " + note + "\n")
+	}
+	return sb.String()
+}
+
+// TestMultiSitePresetMatchesPlatform pins the cross-package contract
+// between trace.MultiSiteWeek's hard-coded site layout and the
+// platform cluster.SiteNetBatchConfig actually builds: pool count and
+// core count per site must agree, or MultiSiteScenario's job site
+// tags silently mis-align with the platform's site boundaries.
+func TestMultiSitePresetMatchesPlatform(t *testing.T) {
+	per := cluster.SiteNetBatchConfig()
+	if got := per.PoolsPerSite(); got != trace.PoolsPerSite {
+		t.Fatalf("cluster.SiteNetBatchConfig has %d pools/site, trace.PoolsPerSite = %d",
+			got, trace.PoolsPerSite)
+	}
+	plat, err := cluster.NewFederationPlatform(cluster.FederationConfig{
+		Regions: []string{"A"},
+		PerSite: per,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plat.Site(0).Cores; got != trace.SitePoolCores {
+		t.Fatalf("built site has %d cores, trace.SitePoolCores = %d", got, trace.SitePoolCores)
+	}
+	// And the preset's pool universe must match an n-site federation.
+	cfg := trace.MultiSiteWeek(42, 3)
+	if cfg.NumPools != 3*per.PoolsPerSite() {
+		t.Fatalf("MultiSiteWeek(3) spans %d pools, platform has %d",
+			cfg.NumPools, 3*per.PoolsPerSite())
+	}
+}
+
+func TestMultiSiteShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment run")
+	}
+	e, err := Get("multisite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Run(Options{Seed: 42, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 federations × 3 policies.
+	if len(out.Names) != 15 || len(out.Summaries) != 15 {
+		t.Fatalf("got %d cells, want 15", len(out.Names))
+	}
+	for i, s := range out.Summaries {
+		if err := s.CheckComponents(); err != nil {
+			t.Errorf("%s: %v", out.Names[i], err)
+		}
+	}
+	// One comparison table plus one per-site breakdown per multi-site
+	// federation (fed3 ×3 selectors + fed6).
+	if len(out.Tables) != 5 {
+		t.Fatalf("got %d tables, want 5", len(out.Tables))
+	}
+	rendered := renderOutput(t, out)
+	// The single-site baseline never crosses sites; the federations do.
+	if !strings.Contains(rendered, "fed3-locality/NoRes: cross-site submits") {
+		t.Error("missing cross-site counters in notes")
+	}
+	for _, note := range out.Notes {
+		if strings.HasPrefix(note, "fed1/") {
+			t.Errorf("single-site federation should emit no site notes: %q", note)
+		}
+	}
+	// Rescheduling strategies must beat NoRes on suspended-job
+	// completion time in every federation (the paper's core result
+	// carries over to the multi-site setting).
+	idx := byName(t, out)
+	for _, fed := range []string{"fed1", "fed3-locality", "fed3-least-util", "fed3-latency", "fed6-latency"} {
+		noRes := out.Summaries[idx[fed+"/NoRes"]]
+		waitUtil := out.Summaries[idx[fed+"/ResSusWaitUtil"]]
+		if waitUtil.AvgCTSuspended >= noRes.AvgCTSuspended {
+			t.Errorf("%s: ResSusWaitUtil AvgCT(susp) %.0f >= NoRes %.0f",
+				fed, waitUtil.AvgCTSuspended, noRes.AvgCTSuspended)
+		}
+	}
+}
+
+func TestMultiSiteDeterministicSerialVsParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment run")
+	}
+	e, err := Get("multisite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := e.Run(Options{Seed: 42, Scale: 0.03, Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := e.Run(Options{Seed: 42, Scale: 0.03, Jobs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := renderOutput(t, serial), renderOutput(t, parallel)
+	if a != b {
+		t.Fatal("serial and parallel multisite renderings differ")
+	}
+}

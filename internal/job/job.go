@@ -118,6 +118,10 @@ type Spec struct {
 	// latency-sensitive jobs are typically restricted to the pools
 	// their business group owns (§2.3).
 	Candidates []int `json:"candidates"`
+	// Site is the data-center site the job is submitted from (its data
+	// and owner live there). Dispatching it to a pool at another site
+	// costs the inter-site delay; 0 is the single-site default.
+	Site int `json:"site,omitempty"`
 	// TaskID groups jobs into the paper's §2.2 "tasks" (a set of jobs
 	// whose combined result is only useful once all complete). Zero
 	// means the job belongs to no task.
@@ -139,6 +143,8 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("job %d: invalid priority %d", s.ID, s.Priority)
 	case len(s.Candidates) == 0:
 		return fmt.Errorf("job %d: no candidate pools", s.ID)
+	case s.Site < 0:
+		return fmt.Errorf("job %d: negative site %d", s.ID, s.Site)
 	}
 	seen := make(map[int]bool, len(s.Candidates))
 	for _, p := range s.Candidates {

@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"fmt"
+
+	"netbatch/internal/job"
+	"netbatch/internal/stats"
+)
+
+// SiteSummary is the per-site slice of a multi-site run: how many jobs
+// finished at the site, how they fared, and how much of its work was
+// imported from other sites.
+type SiteSummary struct {
+	// Site is the site ID.
+	Site int `json:"site"`
+	// Jobs is the number of jobs that completed at the site.
+	Jobs int `json:"jobs"`
+	// SuspendRate is the percentage of the site's jobs suspended at
+	// least once.
+	SuspendRate float64 `json:"suspend_rate_pct"`
+	// AvgCT is the mean completion time of the site's jobs.
+	AvgCT float64 `json:"avg_ct"`
+	// AvgWait is the mean wait time of the site's jobs.
+	AvgWait float64 `json:"avg_wait"`
+	// RemotePct is the percentage of the site's jobs that originated at
+	// another site (imported work).
+	RemotePct float64 `json:"remote_pct"`
+}
+
+// SummarizeSites aggregates completed jobs by the site of the pool they
+// finished in. siteOf maps pool IDs to site IDs (cluster.Platform.SiteOf).
+// Sites with no completed jobs report zero metrics.
+func SummarizeSites(jobs []*job.Job, siteOf func(pool int) int, nSites int) ([]SiteSummary, error) {
+	if nSites < 1 {
+		return nil, fmt.Errorf("metrics: non-positive site count %d", nSites)
+	}
+	out := make([]SiteSummary, nSites)
+	ct := make([]stats.Mean, nSites)
+	wait := make([]stats.Mean, nSites)
+	suspended := make([]int, nSites)
+	remote := make([]int, nSites)
+	for _, j := range jobs {
+		if j.State() != job.StateCompleted {
+			return nil, fmt.Errorf("metrics: job %d incomplete (%v)", j.Spec.ID, j.State())
+		}
+		s := siteOf(j.Pool)
+		if s < 0 || s >= nSites {
+			return nil, fmt.Errorf("metrics: job %d finished at pool %d mapping to site %d of %d",
+				j.Spec.ID, j.Pool, s, nSites)
+		}
+		out[s].Jobs++
+		ct[s].Add(j.CompletionTime())
+		wait[s].Add(j.Acct().Wait)
+		if j.EverSuspended() {
+			suspended[s]++
+		}
+		if j.Spec.Site != s {
+			remote[s]++
+		}
+	}
+	for s := range out {
+		out[s].Site = s
+		if out[s].Jobs == 0 {
+			continue
+		}
+		n := float64(out[s].Jobs)
+		out[s].SuspendRate = float64(suspended[s]) / n * 100
+		out[s].AvgCT = ct[s].Mean()
+		out[s].AvgWait = wait[s].Mean()
+		out[s].RemotePct = float64(remote[s]) / n * 100
+	}
+	return out, nil
+}

@@ -1,0 +1,126 @@
+// Golden-file regression tests for rendered report output: a
+// fixed-seed busy-week scenario and a multi-site federation scenario
+// are run at small scale and their full rendered output (tables plus
+// notes, exactly as cmd/experiments prints them) is compared byte for
+// byte against committed golden files. The shape tests in
+// internal/experiments bound qualitative orderings; these catch any
+// numeric drift at all — an accidental change to trace streams, engine
+// semantics or table formatting shows up as a golden diff.
+//
+// Regenerate after an intentional change with:
+//
+//	go test ./internal/report -run Golden -update
+package report_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"netbatch/internal/experiments"
+)
+
+var update = flag.Bool("update", false, "regenerate golden files")
+
+// goldenOpts pins every knob that affects output.
+func goldenOpts(jobs int) experiments.Options {
+	return experiments.Options{Seed: 42, Seeds: 1, Scale: 0.05, Jobs: jobs}
+}
+
+// renderExperiment renders an experiment the way cmd/experiments does.
+func renderExperiment(t *testing.T, id string, jobs int) string {
+	t.Helper()
+	e, err := experiments.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Run(goldenOpts(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== %s ===\n", out.ID)
+	for _, tbl := range out.Tables {
+		if err := tbl.Render(&sb); err != nil {
+			t.Fatal(err)
+		}
+		sb.WriteString("\n")
+	}
+	for _, note := range out.Notes {
+		sb.WriteString("note: " + note + "\n")
+	}
+	return sb.String()
+}
+
+// checkGolden compares got against testdata/<name>.golden, rewriting
+// the file under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden file.\nIf the change is intentional, regenerate with:\n  go test ./internal/report -run Golden -update\ndiff preview:\n%s",
+			name, diffPreview(string(want), got))
+	}
+}
+
+// diffPreview shows the first few differing lines.
+func diffPreview(want, got string) string {
+	w, g := strings.Split(want, "\n"), strings.Split(got, "\n")
+	var sb strings.Builder
+	shown := 0
+	for i := 0; i < len(w) || i < len(g); i++ {
+		var a, b string
+		if i < len(w) {
+			a = w[i]
+		}
+		if i < len(g) {
+			b = g[i]
+		}
+		if a == b {
+			continue
+		}
+		fmt.Fprintf(&sb, "line %d:\n  want: %s\n  got:  %s\n", i+1, a, b)
+		if shown++; shown >= 5 {
+			sb.WriteString("  ...\n")
+			break
+		}
+	}
+	return sb.String()
+}
+
+func TestGoldenWeekScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment run")
+	}
+	checkGolden(t, "week", renderExperiment(t, "table1", 0))
+}
+
+func TestGoldenMultiSiteScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment run")
+	}
+	got := renderExperiment(t, "multisite", 0)
+	checkGolden(t, "multisite", got)
+	// The acceptance bar for the federation work: a fixed seed renders
+	// byte-identically whether cells run serially or in parallel.
+	if serial := renderExperiment(t, "multisite", 1); serial != got {
+		t.Error("serial run renders differently from parallel run")
+	}
+}

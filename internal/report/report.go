@@ -206,6 +206,38 @@ func singleReplicate(reps [][]metrics.Summary) ([]metrics.Summary, bool) {
 	return out, true
 }
 
+// SiteTable renders the per-site slice of multi-site runs: one row per
+// (strategy, site) with the site-tagged metrics. regions labels the
+// sites; perStrategy holds each strategy's site summaries aligned with
+// names.
+func SiteTable(title string, names []string, regions []string, perStrategy [][]metrics.SiteSummary) (*Table, error) {
+	if len(names) != len(perStrategy) {
+		return nil, fmt.Errorf("report: %d names for %d site-summary sets", len(names), len(perStrategy))
+	}
+	t := &Table{
+		Title:   title,
+		Columns: []string{"Strategy", "Site", "Jobs", "Remote", "Suspend rate", "AvgCT", "AvgWait"},
+	}
+	for i, sums := range perStrategy {
+		for _, s := range sums {
+			region := fmt.Sprintf("site-%d", s.Site)
+			if s.Site < len(regions) {
+				region = regions[s.Site]
+			}
+			t.AddRow(
+				names[i],
+				region,
+				fmt.Sprintf("%d", s.Jobs),
+				fmt.Sprintf("%.1f%%", s.RemotePct),
+				fmt.Sprintf("%.2f%%", s.SuspendRate),
+				fmt.Sprintf("%.1f", s.AvgCT),
+				fmt.Sprintf("%.1f", s.AvgWait),
+			)
+		}
+	}
+	return t, nil
+}
+
 // CDFTable renders a distribution as quantile rows (the text rendering
 // of Figure 2).
 func CDFTable(title string, cdf *stats.CDF) *Table {

@@ -1,0 +1,152 @@
+package sched
+
+import (
+	"testing"
+
+	"netbatch/internal/job"
+)
+
+// fakeSiteView is a hand-wired SiteView: pools are assigned to sites
+// round-trip via siteOf, with per-pool utilization and a delay matrix.
+type fakeSiteView struct {
+	siteOf []int
+	util   []float64
+	cores  []int
+	rtt    [][]float64
+	nSites int
+}
+
+func (v *fakeSiteView) NumPools() int                { return len(v.siteOf) }
+func (v *fakeSiteView) Utilization(p int) float64    { return v.util[p] }
+func (v *fakeSiteView) QueueLen(int) int             { return 0 }
+func (v *fakeSiteView) PoolCores(p int) int          { return v.cores[p] }
+func (v *fakeSiteView) Eligible(int, *job.Spec) bool { return true }
+func (v *fakeSiteView) NumSites() int                { return v.nSites }
+func (v *fakeSiteView) SiteOf(p int) int             { return v.siteOf[p] }
+func (v *fakeSiteView) SitePools(site int) []int {
+	var out []int
+	for p, s := range v.siteOf {
+		if s == site {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+func (v *fakeSiteView) SiteUtilization(site int) float64 {
+	var busy, cores float64
+	for p, s := range v.siteOf {
+		if s == site {
+			busy += v.util[p] * float64(v.cores[p])
+			cores += float64(v.cores[p])
+		}
+	}
+	if cores == 0 {
+		return 0
+	}
+	return busy / cores
+}
+func (v *fakeSiteView) RTT(a, b int) float64 {
+	if v.rtt == nil || a == b {
+		return 0
+	}
+	return v.rtt[a][b]
+}
+
+// twoSiteView: site 0 holds pools 0,1 (hot), site 1 holds pools 2,3
+// (cool), 10 minutes apart.
+func twoSiteView() *fakeSiteView {
+	return &fakeSiteView{
+		siteOf: []int{0, 0, 1, 1},
+		util:   []float64{0.9, 0.8, 0.1, 0.2},
+		cores:  []int{100, 100, 100, 100},
+		rtt:    [][]float64{{0, 10}, {10, 0}},
+		nSites: 2,
+	}
+}
+
+func spec(site int, cands ...int) *job.Spec {
+	return &job.Spec{ID: 1, Work: 1, Cores: 1, Priority: job.PriorityLow, Candidates: cands, Site: site}
+}
+
+func TestLocalityFirst(t *testing.T) {
+	v := twoSiteView()
+	// Origin site 0 has an eligible candidate: stay local despite load.
+	s, err := LocalityFirst{}.SelectSite(0, spec(0, 0, 1, 2, 3), v)
+	if err != nil || s != 0 {
+		t.Fatalf("SelectSite = %d, %v; want 0", s, err)
+	}
+	// No candidate at the origin site: fall back to least utilized.
+	s, err = LocalityFirst{}.SelectSite(0, spec(0, 2, 3), v)
+	if err != nil || s != 1 {
+		t.Fatalf("fallback SelectSite = %d, %v; want 1", s, err)
+	}
+}
+
+func TestLeastUtilizedSite(t *testing.T) {
+	v := twoSiteView()
+	s, err := LeastUtilizedSite{}.SelectSite(0, spec(0, 0, 1, 2, 3), v)
+	if err != nil || s != 1 {
+		t.Fatalf("SelectSite = %d, %v; want cool site 1", s, err)
+	}
+}
+
+func TestLatencyPenalizedUtil(t *testing.T) {
+	v := twoSiteView()
+	// Default penalty (0.005/min): 10 min away costs 0.05, far less
+	// than the 0.70 utilization gap — go remote.
+	s, err := LatencyPenalizedUtil{}.SelectSite(0, spec(0, 0, 1, 2, 3), v)
+	if err != nil || s != 1 {
+		t.Fatalf("SelectSite = %d, %v; want 1", s, err)
+	}
+	// A punitive penalty keeps the job home.
+	s, err = LatencyPenalizedUtil{Penalty: 0.1}.SelectSite(0, spec(0, 0, 1, 2, 3), v)
+	if err != nil || s != 0 {
+		t.Fatalf("penalized SelectSite = %d, %v; want 0", s, err)
+	}
+}
+
+func TestFederatedFiltersCandidatesToSite(t *testing.T) {
+	v := twoSiteView()
+	f := NewFederated(LeastUtilizedSite{}, func() InitialScheduler { return NewUtilizationBased() })
+	p, err := f.SelectPool(0, spec(0, 0, 1, 2, 3), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.SiteOf(p) != 1 {
+		t.Fatalf("pool %d not at selected site 1", p)
+	}
+	if p != 2 {
+		t.Fatalf("pool = %d, want 2 (lowest util at site 1)", p)
+	}
+}
+
+func TestFederatedSingleSiteFallback(t *testing.T) {
+	v := &fakeSiteView{
+		siteOf: []int{0, 0},
+		util:   []float64{0.5, 0.1},
+		cores:  []int{10, 10},
+		nSites: 1,
+	}
+	f := NewFederated(LeastUtilizedSite{}, func() InitialScheduler { return NewUtilizationBased() })
+	p, err := f.SelectPool(0, spec(0, 0, 1), v)
+	if err != nil || p != 1 {
+		t.Fatalf("fallback pool = %d, %v; want 1", p, err)
+	}
+	if got := f.Name(); got != "fed(least-util+util)" {
+		t.Fatalf("Name = %q", got)
+	}
+}
+
+func TestSelectorsErrorWithoutEligibleSite(t *testing.T) {
+	v := twoSiteView()
+	empty := &job.Spec{ID: 9, Work: 1, Cores: 1, Priority: job.PriorityLow, Candidates: []int{}}
+	if _, err := (LeastUtilizedSite{}).SelectSite(0, empty, v); err == nil {
+		t.Fatal("want error for no candidates")
+	}
+	if _, err := (LocalityFirst{}).SelectSite(0, empty, v); err == nil {
+		t.Fatal("want error for no candidates")
+	}
+	if _, err := (LatencyPenalizedUtil{}).SelectSite(0, empty, v); err == nil {
+		t.Fatal("want error for no candidates")
+	}
+}

@@ -28,7 +28,6 @@ package sim
 import (
 	"context"
 	"fmt"
-	"math"
 
 	"netbatch/internal/cluster"
 	"netbatch/internal/core"
@@ -118,6 +117,9 @@ func (c *Config) withDefaults() (Config, error) {
 	if out.UtilStaleness > 0 && out.DisableSampling {
 		return out, fmt.Errorf("sim: UtilStaleness requires sampling (snapshots refresh at sample events)")
 	}
+	if out.Platform.NumSites() > 1 && out.Platform.MaxRTT() > 0 && out.DisableSampling {
+		return out, fmt.Errorf("sim: inter-site RTT requires sampling (view ageing refreshes at sample events)")
+	}
 	if out.DecisionDelay < 0 {
 		return out, fmt.Errorf("sim: negative decision delay %v", out.DecisionDelay)
 	}
@@ -140,6 +142,10 @@ type Result struct {
 	Suspended *stats.TimeSeries
 	// Waiting is the waiting-job-count time series, binned.
 	Waiting *stats.TimeSeries
+	// SiteUtil holds per-site utilization (%) series, indexed by site
+	// ID. Nil on single-site platforms (it would duplicate Util) and
+	// when sampling is disabled.
+	SiteUtil []*stats.TimeSeries
 	// Makespan is when the last job completed, minutes.
 	Makespan float64
 	// Events is the number of processed simulator events. Per-minute
@@ -154,6 +160,12 @@ type Result struct {
 	Migrations int64
 	// WaitMoves counts wait-queue reschedules.
 	WaitMoves int64
+	// CrossSiteSubmits counts initial dispatches to a pool at a site
+	// other than the job's submission site.
+	CrossSiteSubmits int64
+	// CrossSiteMoves counts reschedules (restart, migration or wait
+	// move) that crossed a site boundary, paying the inter-site delay.
+	CrossSiteMoves int64
 }
 
 // Event kinds.
@@ -171,6 +183,13 @@ const (
 type arrivePayload struct {
 	idx  int
 	pool int
+}
+
+// snapPair names one (observer site, target site) utilization-view
+// refresh chain: observer obs's view of tgt's pools refreshes every
+// UtilStaleness + RTT(obs, tgt) minutes on the sample-tick grid.
+type snapPair struct {
+	obs, tgt int
 }
 
 type engine struct {
@@ -192,8 +211,19 @@ type engine struct {
 	busyCores      int
 	suspendedTotal int
 
+	// Site topology, cached from the platform: siteOf maps pool -> site;
+	// siteBusy/siteCores track per-site core usage for the site-tagged
+	// series and the SiteUtilization view.
+	nSites    int
+	siteOf    []int
+	siteBusy  []int
+	siteCores []int
+
 	utilTS, suspTS, waitTS *stats.TimeSeries
-	waitingTotal           int
+	// siteTS holds per-site utilization series; nil on single-site
+	// platforms or with sampling disabled.
+	siteTS       []*stats.TimeSeries
+	waitingTotal int
 
 	// sampleOn and sampleNext drive the incremental sampler: instead of
 	// queueing one evSample event per simulated minute (≈525k heap
@@ -250,6 +280,15 @@ func (e *engine) init() error {
 	for p := 0; p < plat.NumPools(); p++ {
 		e.pools[p] = newPoolRT(plat, plat.Pool(p), e.machines)
 	}
+	e.nSites = plat.NumSites()
+	e.siteOf = make([]int, plat.NumPools())
+	e.siteBusy = make([]int, e.nSites)
+	e.siteCores = make([]int, e.nSites)
+	for p := 0; p < plat.NumPools(); p++ {
+		s := plat.SiteOf(p)
+		e.siteOf[p] = s
+		e.siteCores[s] += plat.Pool(p).Cores
+	}
 	e.jobs = make([]jobRT, len(e.specs))
 	for i := range e.specs {
 		if err := e.specs[i].Validate(); err != nil {
@@ -261,12 +300,22 @@ func (e *engine) init() error {
 					e.specs[i].ID, c, plat.NumPools())
 			}
 		}
+		if s := e.specs[i].Site; s >= e.nSites {
+			return fmt.Errorf("sim: job %d submitted from site %d beyond platform's %d sites",
+				e.specs[i].ID, s, e.nSites)
+		}
 		e.jobs[i] = jobRT{idx: i, j: job.New(e.specs[i]), spec: &e.specs[i]}
 	}
 	e.view = newPoolView(e)
 	e.utilTS = stats.NewTimeSeries(e.cfg.SeriesBin)
 	e.suspTS = stats.NewTimeSeries(e.cfg.SeriesBin)
 	e.waitTS = stats.NewTimeSeries(e.cfg.SeriesBin)
+	if e.nSites > 1 && !e.cfg.DisableSampling {
+		e.siteTS = make([]*stats.TimeSeries, e.nSites)
+		for s := range e.siteTS {
+			e.siteTS[s] = stats.NewTimeSeries(e.cfg.SeriesBin)
+		}
+	}
 
 	if len(e.specs) > 0 {
 		e.q.Schedule(e.specs[0].Submit, evSubmit, 0)
@@ -276,8 +325,16 @@ func (e *engine) init() error {
 			e.sampleNext = e.specs[0].Submit
 			// Stale utilization views refresh on the sample-tick grid;
 			// only those (rare) refresh points still need real events.
-			if e.cfg.UtilStaleness > 0 {
-				e.q.Schedule(e.specs[0].Submit, evSnapshot, nil)
+			// One refresh chain runs per (observer, target) site pair
+			// with a non-zero ageing delay; on a single-site platform
+			// with UtilStaleness > 0 that is exactly one chain,
+			// reproducing the historical single-snapshot behavior.
+			for obs := 0; obs < e.nSites; obs++ {
+				for tgt := 0; tgt < e.nSites; tgt++ {
+					if e.view.delay(obs, tgt) > 0 {
+						e.q.Schedule(e.specs[0].Submit, evSnapshot, snapPair{obs, tgt})
+					}
+				}
 			}
 		}
 	}
@@ -325,7 +382,7 @@ func (e *engine) loop() error {
 			p := ev.Payload.(arrivePayload)
 			err = e.arrival(p.idx, p.pool)
 		case evSnapshot:
-			e.handleSnapshot()
+			e.handleSnapshot(ev.Payload.(snapPair))
 		case evSusDecide:
 			err = e.handleSusDecide(ev.Payload.(int))
 		default:
@@ -354,20 +411,31 @@ func (e *engine) finalize() (*Result, error) {
 	res.Util = e.utilTS
 	res.Suspended = e.suspTS
 	res.Waiting = e.waitTS
+	res.SiteUtil = e.siteTS
 	return &res, nil
 }
 
 // handleSubmit routes a newly submitted job through the virtual pool
-// manager and chains the next submission event.
+// manager and chains the next submission event. Dispatch to a pool at
+// another site pays the one-way inter-site delay before arrival (the
+// interval accrues as wait time, c1).
 func (e *engine) handleSubmit(idx int) error {
 	if e.nextSubmit < len(e.specs) {
 		e.q.Schedule(e.specs[e.nextSubmit].Submit, evSubmit, e.nextSubmit)
 		e.nextSubmit++
 	}
 	rt := &e.jobs[idx]
+	e.view.observe(rt.spec.Site)
 	pool, err := e.cfg.Initial.SelectPool(e.now, rt.spec, e.view)
 	if err != nil {
 		return err
+	}
+	if e.siteOf[pool] != rt.spec.Site {
+		e.res.CrossSiteSubmits++
+		if d := e.plat.RTT(rt.spec.Site, e.siteOf[pool]); d > 0 {
+			e.q.Schedule(e.now+d, evArrive, arrivePayload{idx: idx, pool: pool})
+			return nil
+		}
 	}
 	return e.arrival(idx, pool)
 }
@@ -440,6 +508,7 @@ func (e *engine) startOn(rt *jobRT, mid int) error {
 	mach.freeMemMB -= spec.MemMB
 	p.busyCores += spec.Cores
 	e.busyCores += spec.Cores
+	e.siteBusy[e.siteOf[mach.m.Pool]] += spec.Cores
 	if err := rt.j.Start(e.now, mid, mach.m.Speed); err != nil {
 		return err
 	}
@@ -468,6 +537,7 @@ func (e *engine) preempt(rt *jobRT, victim *jobRT) error {
 	}
 	p.busyCores -= victim.spec.Cores
 	e.busyCores -= victim.spec.Cores
+	e.siteBusy[e.siteOf[mach.m.Pool]] -= victim.spec.Cores
 	mach.suspended = append(mach.suspended, victim)
 	p.suspendedCnt++
 	e.suspendedTotal++
@@ -493,6 +563,8 @@ func (e *engine) handleSusDecide(idx int) error {
 	if rt.j.State() != job.StateSuspended {
 		return nil // resumed or departed meanwhile
 	}
+	// The deciding agent runs at the job's current site.
+	e.view.observe(e.siteOf[rt.j.Pool])
 	if target, move := e.cfg.Policy.OnSuspend(e.now, rt.j, e.view); move {
 		return e.departSuspended(rt, target)
 	}
@@ -516,6 +588,12 @@ func (e *engine) departSuspended(rt *jobRT, target int) error {
 	}
 
 	overhead := e.cfg.RescheduleOverhead
+	if from := e.siteOf[rt.j.Pool]; from != e.siteOf[target] {
+		// Crossing a site boundary pays the inter-site transfer delay on
+		// top of any configured reschedule overhead.
+		overhead += e.plat.RTT(from, e.siteOf[target])
+		e.res.CrossSiteMoves++
+	}
 	if mig, ok := e.cfg.Policy.(core.Migrator); ok {
 		if err := rt.j.MigrateFrom(e.now); err != nil {
 			return err
@@ -578,6 +656,7 @@ func (e *engine) handleFinish(idx int) error {
 	mach.freeMemMB += rt.spec.MemMB
 	p.busyCores -= rt.spec.Cores
 	e.busyCores -= rt.spec.Cores
+	e.siteBusy[e.siteOf[mach.m.Pool]] -= rt.spec.Cores
 	return e.onFree(mid)
 }
 
@@ -659,6 +738,7 @@ func (e *engine) resume(rt *jobRT) error {
 	}
 	p.busyCores += rt.spec.Cores
 	e.busyCores += rt.spec.Cores
+	e.siteBusy[e.siteOf[mach.m.Pool]] += rt.spec.Cores
 	if err := rt.j.Resume(e.now); err != nil {
 		return err
 	}
@@ -680,6 +760,7 @@ func (e *engine) handleWaitTimeout(idx int) error {
 	if th <= 0 {
 		return nil
 	}
+	e.view.observe(e.siteOf[rt.j.Pool])
 	target, move := e.cfg.Policy.OnWaitTimeout(e.now, rt.j, e.view)
 	if !move || target == rt.j.Pool {
 		rt.waitTO = e.q.Schedule(e.now+th, evWaitTimeout, rt.idx)
@@ -688,11 +769,16 @@ func (e *engine) handleWaitTimeout(idx int) error {
 	p := e.pools[rt.j.Pool]
 	p.waitQ.remove(rt)
 	e.waitingTotal--
+	overhead := e.cfg.RescheduleOverhead
+	if from := e.siteOf[rt.j.Pool]; from != e.siteOf[target] {
+		overhead += e.plat.RTT(from, e.siteOf[target])
+		e.res.CrossSiteMoves++
+	}
 	if err := rt.j.RescheduleWait(e.now); err != nil {
 		return err
 	}
 	e.res.WaitMoves++
-	e.route(rt, target, e.cfg.RescheduleOverhead)
+	e.route(rt, target, overhead)
 	return nil
 }
 
@@ -716,59 +802,98 @@ func (e *engine) advanceSamples(now float64) {
 		e.utilTS.Add(e.sampleNext, util)
 		e.suspTS.Add(e.sampleNext, float64(e.suspendedTotal))
 		e.waitTS.Add(e.sampleNext, float64(e.waitingTotal))
+		for s, ts := range e.siteTS {
+			su := 0.0
+			if e.siteCores[s] > 0 {
+				su = float64(e.siteBusy[s]) / float64(e.siteCores[s]) * 100
+			}
+			ts.Add(e.sampleNext, su)
+		}
 		e.sampleNext += e.cfg.SampleEvery
 	}
 }
 
-// handleSnapshot refreshes the stale utilization view (§3.2.2) and
-// schedules the next refresh on the sample-tick grid: the first tick at
-// least UtilStaleness after this one, reproducing the refresh times the
-// per-minute sampler produced by checking staleness at every tick.
-// (Because the event is enqueued a full staleness period ahead rather
-// than one tick ahead, a refresh coinciding exactly with another
-// event's timestamp may order differently than the old sampler did —
-// the same measure-zero tie caveat as advanceSamples.)
-func (e *engine) handleSnapshot() {
-	e.view.maybeSnapshot(e.now)
+// handleSnapshot refreshes one (observer, target) slice of the stale
+// utilization view (§3.2.2, generalized to site pairs) and schedules
+// the pair's next refresh on the sample-tick grid: the first tick at
+// least the pair's ageing delay after this one, reproducing the
+// refresh times the per-minute sampler produced by checking staleness
+// at every tick. (Because the event is enqueued a full period ahead
+// rather than one tick ahead, a refresh coinciding exactly with
+// another event's timestamp may order differently than the old sampler
+// did — the same measure-zero tie caveat as advanceSamples.)
+func (e *engine) handleSnapshot(pair snapPair) {
+	e.view.refresh(pair)
 	if e.completed >= len(e.specs) {
 		return
 	}
+	d := e.view.delay(pair.obs, pair.tgt)
 	next := e.now
-	for next-e.now < e.cfg.UtilStaleness {
+	for next-e.now < d {
 		next += e.cfg.SampleEvery
 	}
-	e.q.Schedule(next, evSnapshot, nil)
+	e.q.Schedule(next, evSnapshot, pair)
 }
 
-// poolView implements sched.PoolView over engine state, optionally with
-// stale utilization snapshots.
+// poolView implements sched.SiteView over engine state. Utilization
+// reads are aged per (observer site, target site) pair: observer obs
+// sees a pool at site t as of the last refresh of the (obs, t) chain,
+// which runs every UtilStaleness + RTT(obs, t) minutes. With a zero
+// delay (same site, no staleness) reads are live. The engine points
+// the observer at the deciding job's site before every scheduler and
+// policy callback.
 type poolView struct {
 	e *engine
-	// snapUtil holds per-pool utilization as of the last snapshot;
-	// empty when staleness is disabled (live reads).
-	snapUtil []float64
-	lastSnap float64
+	// obs is the current observer site.
+	obs int
+	// snap[obs][pool] holds the aged utilization; nil when every
+	// (observer, target) delay is zero (all reads live).
+	snap [][]float64
 }
 
-var _ sched.PoolView = (*poolView)(nil)
+var (
+	_ sched.PoolView = (*poolView)(nil)
+	_ sched.SiteView = (*poolView)(nil)
+)
 
 func newPoolView(e *engine) *poolView {
-	v := &poolView{e: e, lastSnap: math.Inf(-1)}
-	if e.cfg.UtilStaleness > 0 {
-		v.snapUtil = make([]float64, len(e.pools))
+	v := &poolView{e: e}
+	stale := e.cfg.UtilStaleness > 0
+	for obs := 0; obs < e.nSites && !stale; obs++ {
+		for tgt := 0; tgt < e.nSites; tgt++ {
+			if v.delay(obs, tgt) > 0 {
+				stale = true
+				break
+			}
+		}
+	}
+	if stale {
+		v.snap = make([][]float64, e.nSites)
+		for obs := range v.snap {
+			v.snap[obs] = make([]float64, len(e.pools))
+		}
 	}
 	return v
 }
 
-// maybeSnapshot refreshes stale utilization at the staleness period.
-func (v *poolView) maybeSnapshot(now float64) {
-	if v.snapUtil == nil || now-v.lastSnap < v.e.cfg.UtilStaleness {
+// delay returns the view-ageing period for observer obs reading a pool
+// at site tgt: the configured staleness plus the inter-site delay.
+func (v *poolView) delay(obs, tgt int) float64 {
+	return v.e.cfg.UtilStaleness + v.e.plat.RTT(obs, tgt)
+}
+
+// observe points the view at the given observer site.
+func (v *poolView) observe(site int) { v.obs = site }
+
+// refresh copies live utilization of the target site's pools into the
+// observer's snapshot.
+func (v *poolView) refresh(pair snapPair) {
+	if v.snap == nil {
 		return
 	}
-	for p := range v.e.pools {
-		v.snapUtil[p] = v.liveUtil(p)
+	for _, p := range v.e.plat.Site(pair.tgt).Pools {
+		v.snap[pair.obs][p] = v.liveUtil(p)
 	}
-	v.lastSnap = now
 }
 
 func (v *poolView) liveUtil(p int) float64 {
@@ -784,8 +909,8 @@ func (v *poolView) NumPools() int { return len(v.e.pools) }
 
 // Utilization implements sched.PoolView.
 func (v *poolView) Utilization(p int) float64 {
-	if v.snapUtil != nil {
-		return v.snapUtil[p]
+	if v.snap != nil && v.delay(v.obs, v.e.siteOf[p]) > 0 {
+		return v.snap[v.obs][p]
 	}
 	return v.liveUtil(p)
 }
@@ -800,3 +925,29 @@ func (v *poolView) PoolCores(p int) int { return v.e.pools[p].pool.Cores }
 func (v *poolView) Eligible(p int, spec *job.Spec) bool {
 	return v.e.pools[p].eligible(spec)
 }
+
+// NumSites implements sched.SiteView.
+func (v *poolView) NumSites() int { return v.e.nSites }
+
+// SiteOf implements sched.SiteView.
+func (v *poolView) SiteOf(pool int) int { return v.e.siteOf[pool] }
+
+// SitePools implements sched.SiteView.
+func (v *poolView) SitePools(site int) []int { return v.e.plat.Site(site).Pools }
+
+// SiteUtilization implements sched.SiteView: the core-weighted mean of
+// the (aged) per-pool utilizations of the site.
+func (v *poolView) SiteUtilization(site int) float64 {
+	cores := v.e.siteCores[site]
+	if cores == 0 {
+		return 0
+	}
+	var busy float64
+	for _, p := range v.e.plat.Site(site).Pools {
+		busy += v.Utilization(p) * float64(v.e.pools[p].pool.Cores)
+	}
+	return busy / float64(cores)
+}
+
+// RTT implements sched.SiteView.
+func (v *poolView) RTT(a, b int) float64 { return v.e.plat.RTT(a, b) }

@@ -149,6 +149,17 @@ type GeneratorConfig struct {
 	// is drawn from the anchor's group rather than platform-wide.
 	AffinityStrength float64 `json:"affinity_strength"`
 
+	// SitePools assigns pools to data-center sites (a full partition of
+	// the pool universe, site-major). Empty means a single-site trace:
+	// every job carries Site 0. With sites configured, each low-priority
+	// job is assigned an origin site (weighted by the site's pool count)
+	// and burst jobs originate at the site of their first target pool.
+	SitePools [][]int `json:"site_pools,omitempty"`
+	// SiteLocalFraction is the probability a restricted low-priority
+	// job's candidate subset is drawn only from its origin site's pools
+	// (data-placement locality); the rest sample platform-wide.
+	SiteLocalFraction float64 `json:"site_local_fraction,omitempty"`
+
 	// LowWork and HighWork are the service-demand distributions per
 	// priority class.
 	LowWork  WorkDist `json:"low_work"`
@@ -188,6 +199,8 @@ func (c *GeneratorConfig) Validate() error {
 		return fmt.Errorf("generator: memory classes/weights mismatch")
 	case len(c.CoresClasses) == 0 || len(c.CoresClasses) != len(c.CoresWeights):
 		return fmt.Errorf("generator: cores classes/weights mismatch")
+	case c.DiurnalPeriod < 0:
+		return fmt.Errorf("generator: negative diurnal period %v", c.DiurnalPeriod)
 	case c.TaskFraction < 0 || c.TaskFraction > 1:
 		return fmt.Errorf("generator: task fraction %v outside [0,1]", c.TaskFraction)
 	case c.SubsetSize < 0 || c.SubsetSize > c.NumPools:
@@ -198,6 +211,28 @@ func (c *GeneratorConfig) Validate() error {
 		return fmt.Errorf("generator: negative owned weight %v", c.OwnedWeight)
 	case c.AffinityStrength < 0 || c.AffinityStrength > 1:
 		return fmt.Errorf("generator: affinity strength %v outside [0,1]", c.AffinityStrength)
+	case c.SiteLocalFraction < 0 || c.SiteLocalFraction > 1:
+		return fmt.Errorf("generator: site-local fraction %v outside [0,1]", c.SiteLocalFraction)
+	}
+	if len(c.SitePools) > 0 {
+		seen := make(map[int]bool, c.NumPools)
+		for si, s := range c.SitePools {
+			if len(s) == 0 {
+				return fmt.Errorf("generator: site %d has no pools", si)
+			}
+			for _, p := range s {
+				if p < 0 || p >= c.NumPools {
+					return fmt.Errorf("generator: site %d pool %d out of range", si, p)
+				}
+				if seen[p] {
+					return fmt.Errorf("generator: pool %d at multiple sites", p)
+				}
+				seen[p] = true
+			}
+		}
+		if len(seen) != c.NumPools {
+			return fmt.Errorf("generator: sites cover %d of %d pools", len(seen), c.NumPools)
+		}
 	}
 	if len(c.AffinityGroups) > 0 {
 		seen := make(map[int]bool, c.NumPools)
@@ -218,6 +253,15 @@ func (c *GeneratorConfig) Validate() error {
 		if len(seen) != c.NumPools {
 			return fmt.Errorf("generator: affinity groups cover %d of %d pools", len(seen), c.NumPools)
 		}
+	}
+	// Class values must be usable as job requirements and the weight
+	// vectors must be drawable (PickWeighted rejects negative weights
+	// and non-positive totals).
+	if err := validateClasses("memory", c.MemClassesMB, c.MemWeights); err != nil {
+		return err
+	}
+	if err := validateClasses("cores", c.CoresClasses, c.CoresWeights); err != nil {
+		return err
 	}
 	if err := c.LowWork.Validate(); err != nil {
 		return fmt.Errorf("generator: low work: %w", err)
@@ -256,6 +300,27 @@ func (c *GeneratorConfig) Validate() error {
 	return nil
 }
 
+// validateClasses checks one (class values, weights) pair: positive
+// values, non-negative weights, positive total weight.
+func validateClasses(label string, classes []int, weights []float64) error {
+	for i, v := range classes {
+		if v <= 0 {
+			return fmt.Errorf("generator: %s class %d has non-positive value %d", label, i, v)
+		}
+	}
+	var total float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("generator: %s weight %d invalid (%v)", label, i, w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return fmt.Errorf("generator: %s weights sum to %v, want positive", label, total)
+	}
+	return nil
+}
+
 // Generate synthesizes a trace from the configuration. Generation is
 // deterministic: the same config (including Seed) yields the same trace.
 func Generate(cfg GeneratorConfig) (*Trace, error) {
@@ -269,6 +334,10 @@ func Generate(cfg GeneratorConfig) (*Trace, error) {
 	burstRNG := root.Split()
 	taskRNG := root.Split()
 	subsetRNG := root.Split()
+	// siteRNG is split last so single-site traces generated by earlier
+	// versions stay byte-identical; it is only drawn from when SitePools
+	// is configured.
+	siteRNG := root.Split()
 
 	allPools := make([]int, cfg.NumPools)
 	for i := range allPools {
@@ -295,15 +364,47 @@ func Generate(cfg GeneratorConfig) (*Trace, error) {
 			groupOf[p] = gi
 		}
 	}
-	lowCandidates := func() []int {
-		if cfg.SubsetSize == 0 || subsetRNG.Bool(cfg.AllFraction) {
-			return allPools
+	siteOfPool := make([]int, cfg.NumPools)
+	siteWeights := make([]float64, len(cfg.SitePools))
+	for si, s := range cfg.SitePools {
+		siteWeights[si] = float64(len(s))
+		for _, p := range s {
+			siteOfPool[p] = si
 		}
+	}
+	globalCandidates := func() []int {
 		if len(cfg.AffinityGroups) == 0 {
 			return sampleSubset(subsetRNG, poolWeights, cfg.SubsetSize)
 		}
 		return sampleAffinitySubset(subsetRNG, poolWeights, groupOf,
 			cfg.AffinityGroups, cfg.AffinityStrength, cfg.SubsetSize)
+	}
+	// lowJobPlacement draws a low-priority job's origin site and
+	// candidate pool set.
+	lowJobPlacement := func() (int, []int) {
+		if len(cfg.SitePools) == 0 {
+			if cfg.SubsetSize == 0 || subsetRNG.Bool(cfg.AllFraction) {
+				return 0, allPools
+			}
+			return 0, globalCandidates()
+		}
+		site := siteRNG.PickWeighted(siteWeights)
+		if cfg.SubsetSize == 0 || subsetRNG.Bool(cfg.AllFraction) {
+			return site, allPools
+		}
+		if subsetRNG.Bool(cfg.SiteLocalFraction) {
+			// Mask the sampling weights down to the origin site's pools.
+			local := make([]float64, cfg.NumPools)
+			for _, p := range cfg.SitePools[site] {
+				local[p] = poolWeights[p]
+			}
+			k := cfg.SubsetSize
+			if n := len(cfg.SitePools[site]); k > n {
+				k = n
+			}
+			return site, sampleSubset(subsetRNG, local, k)
+		}
+		return site, globalCandidates()
 	}
 
 	var specs []job.Spec
@@ -325,13 +426,15 @@ func Generate(cfg GeneratorConfig) (*Trace, error) {
 			if !arrivalRNG.Bool(rate / maxRate) {
 				continue
 			}
+			site, cands := lowJobPlacement()
 			specs = append(specs, job.Spec{
 				Submit:     t,
 				Work:       cfg.LowWork.Sample(workRNG),
 				Cores:      cfg.CoresClasses[attrRNG.PickWeighted(cfg.CoresWeights)],
 				MemMB:      cfg.MemClassesMB[attrRNG.PickWeighted(cfg.MemWeights)],
 				Priority:   job.PriorityLow,
-				Candidates: lowCandidates(),
+				Candidates: cands,
+				Site:       site,
 			})
 		}
 	}
@@ -350,6 +453,9 @@ func Generate(cfg GeneratorConfig) (*Trace, error) {
 		// downstream.
 		cand := append([]int(nil), pools...)
 		sort.Ints(cand)
+		// Burst jobs belong to the business group at the site owning the
+		// burst's first pool (§2.3: owners submit to the pools they own).
+		burstSite := siteOfPool[cand[0]]
 		end := math.Min(b.Start+b.Duration, cfg.Horizon)
 		t := b.Start
 		for {
@@ -364,6 +470,7 @@ func Generate(cfg GeneratorConfig) (*Trace, error) {
 				MemMB:      cfg.MemClassesMB[attrRNG.PickWeighted(cfg.MemWeights)],
 				Priority:   job.PriorityHigh,
 				Candidates: cand,
+				Site:       burstSite,
 			})
 		}
 	}

@@ -120,6 +120,73 @@ func HighSuspension(seed uint64) GeneratorConfig {
 	return cfg
 }
 
+// PoolsPerSite is the pool count of the multi-site per-site layout
+// (cluster.SiteNetBatchConfig: 1 big, 3 medium, 3 small), used to lay
+// out MultiSiteWeek's site-major pool IDs. SitePoolCores is that
+// site's core count (1500 machines × 4 cores), used to scale arrival
+// rates so per-core load matches the single-site busy week (~40%
+// utilization). Both mirror cluster.SiteNetBatchConfig — the trace
+// layer stays independent of package cluster, so the pairing is
+// asserted by TestMultiSitePresetMatchesPlatform in
+// internal/experiments, which imports both.
+const (
+	PoolsPerSite  = 7
+	SitePoolCores = 6000
+)
+
+// MultiSiteWeek returns the busy-week configuration for an n-site
+// federation built from cluster.SiteNetBatchConfig (7 pools and 6,000
+// cores per site, site-major pool IDs). The trace keeps the paper's
+// structure — diurnal low-priority load at ~40% offered utilization,
+// a main multi-day high-priority burst and a shorter secondary one —
+// but distributes it geographically: every job originates at a site,
+// most restricted candidate subsets stay site-local (data placement),
+// and the bursts crush the owned pools of specific sites, so relief
+// capacity exists mostly across a site boundary. That makes the
+// cross-site dispatch/rescheduling trade-off (delay vs. load) the
+// binding constraint, the multi-site analogue of §3.2.2's staleness
+// caveat.
+func MultiSiteWeek(seed uint64, nSites int) GeneratorConfig {
+	if nSites < 1 {
+		nSites = 1
+	}
+	cfg := baseWeekConfig(seed)
+	cfg.NumPools = PoolsPerSite * nSites
+	cfg.SitePools = make([][]int, nSites)
+	for s := 0; s < nSites; s++ {
+		for i := 0; i < PoolsPerSite; i++ {
+			cfg.SitePools[s] = append(cfg.SitePools[s], s*PoolsPerSite+i)
+		}
+	}
+	cfg.SiteLocalFraction = 0.85
+	// Owned pools: each site's big pool (pool s*7) and first small pool
+	// (pool s*7+4) belong to that site's business groups.
+	cfg.OwnedPools = nil
+	for s := 0; s < nSites; s++ {
+		cfg.OwnedPools = append(cfg.OwnedPools, s*PoolsPerSite, s*PoolsPerSite+4)
+	}
+	// Site-local candidate subsets are 4 of the site's 7 pools; a small
+	// fraction of jobs may run anywhere in the federation.
+	cfg.SubsetSize = 4
+	cfg.AllFraction = 0.05
+	cfg.AffinityGroups = nil // locality is carried by SitePools instead
+	// Scale the base load to the federation's capacity (the single-site
+	// week runs 16.5 jobs/min on ~19.2k cores).
+	cfg.LowRate = 16.5 * float64(SitePoolCores*nSites) / 19200.0
+	// The main burst saturates site 0's owned pools (2,700 cores) for
+	// ~1.7 days; the secondary burst hits the next site's owned pools
+	// (or site 0 again in a 1-site federation).
+	second := cfg.OwnedPools[:2]
+	if nSites > 1 {
+		second = []int{PoolsPerSite, PoolsPerSite + 4}
+	}
+	cfg.Bursts = []Burst{
+		{Start: 2000, Duration: 2500, Rate: 26, Pools: []int{0, 4}},
+		{Start: 6800, Duration: 700, Rate: 7, Pools: append([]int(nil), second...)},
+	}
+	return cfg
+}
+
 // YearLong returns the configuration for the year-scale runs behind
 // Figures 2 and 4: 500,000 minutes with recurring randomly placed
 // bursts. scale shrinks the arrival rate to pair with an equally scaled

@@ -149,7 +149,7 @@ func ReadJSONL(r io.Reader) (*Trace, error) {
 
 // csvHeader is the column layout of the CSV trace format.
 var csvHeader = []string{
-	"id", "submit", "work", "cores", "mem_mb", "os", "priority", "task_id", "candidates",
+	"id", "submit", "work", "cores", "mem_mb", "os", "priority", "task_id", "candidates", "site",
 }
 
 // WriteCSV writes the trace in CSV form with a header row. The
@@ -175,6 +175,7 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 			strconv.Itoa(int(s.Priority)),
 			strconv.FormatInt(s.TaskID, 10),
 			strings.Join(cands, " "),
+			strconv.Itoa(s.Site),
 		}
 		if err := cw.Write(rec); err != nil {
 			return fmt.Errorf("trace: write job %d: %w", s.ID, err)
@@ -253,6 +254,9 @@ func parseCSVRow(row []string) (job.Spec, error) {
 			}
 			s.Candidates = append(s.Candidates, c)
 		}
+	}
+	if s.Site, err = strconv.Atoi(row[9]); err != nil {
+		return s, fmt.Errorf("site: %w", err)
 	}
 	return s, nil
 }
