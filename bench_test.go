@@ -204,9 +204,13 @@ func BenchmarkAblationMigration(b *testing.B) {
 
 // BenchmarkMultiSiteWeek runs one 3-site federation cell (latency-
 // penalized site selection over per-site round-robin, latency-aware
-// combined rescheduling) at bench scale. Sampling stays enabled: the
-// inter-site view ageing refreshes on the sample grid, so this bench
-// also covers the per-site sampling and snapshot-chain overhead.
+// combined rescheduling) at bench scale, once per engine: the serial
+// reference kernel and the partitioned per-site engine (bit-identical
+// results; wall-clock scales with cores on multi-core hardware, while
+// a single-core box pays the synchronization overhead instead). CI
+// uploads both series in the bench artifact. Sampling stays enabled:
+// the inter-site view ageing refreshes on the sample grid, so this
+// bench also covers the per-site sampling and snapshot-chain overhead.
 func BenchmarkMultiSiteWeek(b *testing.B) {
 	sc := experiments.MultiSiteScenario("bench-multisite", 3, 0,
 		func() sched.SiteSelector { return sched.LatencyPenalizedUtil{} })
@@ -224,7 +228,13 @@ func BenchmarkMultiSiteWeek(b *testing.B) {
 		Name: "ResSusWaitLatency",
 		New:  func(uint64) core.Policy { return core.NewResSusWaitLatency() },
 	}
-	runCellBench(b, sc, pf, benchOpts())
+	for _, engine := range []string{sim.EngineSerial, sim.EngineParallel} {
+		b.Run("engine="+engine, func(b *testing.B) {
+			opts := benchOpts()
+			opts.Engine = engine
+			runCellBench(b, sc, pf, opts)
+		})
+	}
 }
 
 // BenchmarkSimulatorThroughput measures raw event throughput of the

@@ -4,8 +4,8 @@
 // Usage:
 //
 //	experiments [-run table1,fig2,...] [-scale 1.0] [-seed 42]
-//	            [-seeds N] [-jobs N] [-timeout 30m] [-out DIR]
-//	            [-overhead MIN]
+//	            [-seeds N] [-jobs N] [-engine serial|parallel]
+//	            [-timeout 30m] [-out DIR] [-overhead MIN]
 //
 // Without -run, every registered experiment executes. Each experiment
 // is a (scenario × policy × seed) matrix executed on a bounded worker
@@ -47,6 +47,7 @@ func run() error {
 		seed     = flag.Uint64("seed", 42, "base random seed for trace generation and policies")
 		seeds    = flag.Int("seeds", 1, "seed replicates per cell; >1 reports mean ± 95% CI")
 		jobs     = flag.Int("jobs", 0, "max concurrent simulations (0 = one per CPU)")
+		engine   = flag.String("engine", "serial", "simulation engine: serial or parallel (per-site partitions; identical results)")
 		timeout  = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = none)")
 		outDir   = flag.String("out", "", "directory for CSV output (optional)")
 		overhead = flag.Float64("overhead", 0, "reschedule transfer overhead in minutes")
@@ -76,6 +77,7 @@ func run() error {
 		Seeds:    *seeds,
 		Scale:    *scale,
 		Jobs:     *jobs,
+		Engine:   *engine,
 		Overhead: *overhead,
 		Context:  ctx,
 	}

@@ -25,13 +25,28 @@ type Event struct {
 	// Payload carries consumer-defined data.
 	Payload any
 
-	seq      uint64
+	// rank breaks ties among events with equal Time: lexicographic on
+	// (phase, class, seq). Plain Schedule uses (0, orderLocal, n-th
+	// schedule), i.e. pure scheduling order — the historical behavior.
+	// Partitioned simulations use SchedulePhased / ScheduleDelivery to
+	// reproduce the creation order a single global queue would have
+	// assigned across partitions (see package sim).
+	rank     [3]uint64
 	index    int
 	canceled bool
 }
 
 // Handle identifies a scheduled event for cancellation.
 type Handle struct{ ev *Event }
+
+// Tie-break class ranks: delivered (cross-partition) events order
+// before locally scheduled ones within the same phase, reproducing
+// creation order (the delivering decision ran before everything the
+// receiving partition scheduled at that phase or later).
+const (
+	orderDelivered = 1
+	orderLocal     = 2
+)
 
 // Queue is a future event list. The zero value is NOT ready to use;
 // construct with New.
@@ -56,8 +71,28 @@ func (q *Queue) Len() int { return q.live }
 // popped events is the caller's responsibility to avoid; the queue
 // itself only orders what it holds.
 func (q *Queue) Schedule(t float64, kind int, payload any) Handle {
+	return q.SchedulePhased(t, kind, payload, 0)
+}
+
+// SchedulePhased adds an event whose tie rank is (phase, local,
+// scheduling order). A partitioned simulation passes the global
+// decision count at the creating event's claim as phase, so that
+// same-time events created before and after a decision order the way
+// one global queue would have ordered them.
+func (q *Queue) SchedulePhased(t float64, kind int, payload any, phase uint64) Handle {
 	q.seq++
-	ev := &Event{Time: t, Kind: kind, Payload: payload, seq: q.seq}
+	ev := &Event{Time: t, Kind: kind, Payload: payload, rank: [3]uint64{phase, orderLocal, q.seq}}
+	heap.Push(&q.h, ev)
+	q.live++
+	return Handle{ev: ev}
+}
+
+// ScheduleDelivery adds a cross-partition event delivered at a round
+// barrier: its tie rank (g, delivered, idx) places it by its creating
+// decision g and send index, before any event the receiving partition
+// scheduled at phase g or later.
+func (q *Queue) ScheduleDelivery(t float64, kind int, payload any, g, idx uint64) Handle {
+	ev := &Event{Time: t, Kind: kind, Payload: payload, rank: [3]uint64{g, orderDelivered, idx}}
 	heap.Push(&q.h, ev)
 	q.live++
 	return Handle{ev: ev}
@@ -92,6 +127,18 @@ func (q *Queue) Pop() *Event {
 	return nil
 }
 
+// NextTime returns the timestamp of the earliest pending event. ok is
+// false when the queue is empty. Partitioned simulations use it to
+// publish per-partition lower bounds (lookahead fences) without
+// exposing the event itself.
+func (q *Queue) NextTime() (t float64, ok bool) {
+	ev := q.Peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.Time, true
+}
+
 // Peek returns the earliest pending event without removing it, or nil if
 // the queue is empty.
 func (q *Queue) Peek() *Event {
@@ -116,7 +163,12 @@ func (h eventHeap) Less(i, j int) bool {
 	if h[i].Time != h[j].Time {
 		return h[i].Time < h[j].Time
 	}
-	return h[i].seq < h[j].seq
+	for k := 0; k < 2; k++ {
+		if h[i].rank[k] != h[j].rank[k] {
+			return h[i].rank[k] < h[j].rank[k]
+		}
+	}
+	return h[i].rank[2] < h[j].rank[2]
 }
 
 func (h eventHeap) Swap(i, j int) {

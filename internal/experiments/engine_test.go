@@ -1,0 +1,127 @@
+package experiments
+
+// Engine determinism at the experiment level: the serial and parallel
+// simulation engines must produce byte-identical rendered reports and
+// hex-float-identical series for the multisite experiment (single-site
+// baseline, 3-site federations, 6-site federation) and for the
+// single-site paper experiments (where the parallel engine falls back
+// to the serial kernel). CI runs this under -race.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"netbatch/internal/sim"
+)
+
+// engineOpts pins every knob that affects output except the engine.
+func engineOpts(engine string) Options {
+	return Options{Seed: 42, Seeds: 1, Scale: 0.03, Engine: engine}
+}
+
+// seriesFingerprint renders every series point in hex so comparison is
+// bit-exact.
+func seriesFingerprint(t *testing.T, out *Output) string {
+	t.Helper()
+	names := make([]string, 0, len(out.Series))
+	for name := range out.Series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&sb, "%s:", name)
+		for _, p := range out.Series[name] {
+			fmt.Fprintf(&sb, " %x/%x", p.X, p.Y)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func runEngine(t *testing.T, id, engine string) (rendered, series string) {
+	t.Helper()
+	e, err := Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Run(engineOpts(engine))
+	if err != nil {
+		t.Fatalf("%s engine %s: %v", id, engine, err)
+	}
+	return renderOutput(t, out), seriesFingerprint(t, out)
+}
+
+// TestMultiSiteEnginesBitIdentical is the determinism contract of the
+// partitioned engine on the experiment that exercises it: fed1 (serial
+// fallback), the three 3-site federations, and the 6-site federation,
+// across all three rescheduling policies.
+func TestMultiSiteEnginesBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment run")
+	}
+	serialOut, serialSeries := runEngine(t, "multisite", sim.EngineSerial)
+	parOut, parSeries := runEngine(t, "multisite", sim.EngineParallel)
+	if serialOut != parOut {
+		t.Errorf("multisite rendered reports differ between engines:\n%s",
+			diffHead(serialOut, parOut))
+	}
+	if serialSeries != parSeries {
+		t.Errorf("multisite series differ between engines:\n%s",
+			diffHead(serialSeries, parSeries))
+	}
+}
+
+// TestSingleSiteEnginesBitIdentical pins the fallback contract on every
+// registered single-site experiment: Engine=parallel must change
+// nothing at all.
+func TestSingleSiteEnginesBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment runs")
+	}
+	for _, id := range IDs() {
+		if id == "multisite" {
+			continue // covered above, with real partitions
+		}
+		id := id
+		t.Run(id, func(t *testing.T) {
+			serialOut, serialSeries := runEngine(t, id, sim.EngineSerial)
+			parOut, parSeries := runEngine(t, id, sim.EngineParallel)
+			if serialOut != parOut {
+				t.Errorf("rendered reports differ between engines:\n%s",
+					diffHead(serialOut, parOut))
+			}
+			if serialSeries != parSeries {
+				t.Errorf("series differ between engines:\n%s",
+					diffHead(serialSeries, parSeries))
+			}
+		})
+	}
+}
+
+// diffHead shows the first few differing lines of two renderings.
+func diffHead(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	var sb strings.Builder
+	shown := 0
+	for i := 0; i < len(al) || i < len(bl); i++ {
+		var x, y string
+		if i < len(al) {
+			x = al[i]
+		}
+		if i < len(bl) {
+			y = bl[i]
+		}
+		if x == y {
+			continue
+		}
+		fmt.Fprintf(&sb, "line %d:\n  serial:   %.160s\n  parallel: %.160s\n", i+1, x, y)
+		if shown++; shown >= 4 {
+			sb.WriteString("  ...\n")
+			break
+		}
+	}
+	return sb.String()
+}

@@ -44,6 +44,11 @@ type Options struct {
 	// Overhead is the reschedule transfer overhead in minutes (the §5
 	// future-work knob; 0 matches the paper's evaluation).
 	Overhead float64
+	// Engine selects the simulation engine for every cell:
+	// sim.EngineSerial (default, also "") or sim.EngineParallel. The
+	// engines produce bit-identical results; parallel executes
+	// multi-site cells with one goroutine per site.
+	Engine string
 	// Context cancels in-flight simulations cooperatively. Nil defaults
 	// to context.Background().
 	Context context.Context

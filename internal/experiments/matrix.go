@@ -211,6 +211,7 @@ func (m Matrix) Run(opts Options) (*MatrixResult, error) {
 			Platform:           plat,
 			Initial:            sc.NewInitial(),
 			Policy:             m.Policies[p].New(policySeed(seed, p)),
+			Engine:             opts.Engine,
 			RescheduleOverhead: opts.Overhead,
 			UtilStaleness:      sc.Staleness,
 			CheckConservation:  true,

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"netbatch/internal/stats"
+)
+
+// accounting is the series-accounting subsystem: the incremental
+// replacement for ASCA's per-minute state scan (§3.1). Instead of
+// queueing one sample event per simulated minute, the shard integrates
+// its piecewise-constant utilization/suspension/wait signals whenever
+// its simulated time advances past pending sample ticks. next marches
+// by repeated addition of SampleEvery from the run's first submission,
+// exactly like the historical event chain, so tick times (and hence
+// bin boundaries) are float-identical to ASCA's every-minute scan.
+//
+// A tick that coincides exactly with an event timestamp reads the
+// state after every event at that instant — a deterministic rule,
+// where the event-driven sampler resolved such (measure-zero for the
+// float-valued synthetic traces) ties by heap insertion order.
+//
+// The subsystem runs in one of two modes:
+//
+//   - serial: ticks are folded straight into the binned TimeSeries
+//     (global utilization, suspended, waiting, plus per-site
+//     utilization on multi-site platforms), reproducing the
+//     monolithic engine's output bit for bit.
+//   - raw (parallel): ticks are logged as raw integer counters per
+//     shard. The merge step recombines the per-site logs into the
+//     global series with exactly the serial mode's float operations,
+//     truncating at the final completion the way the serial loop's
+//     death does — see mergeSeries in parallel.go.
+type accounting struct {
+	sh *shard
+
+	on    bool
+	next  float64
+	every float64
+
+	// Serial sinks.
+	utilTS, suspTS, waitTS *stats.TimeSeries
+	siteTS                 []*stats.TimeSeries
+
+	// Raw per-tick logs (parallel shards). Values are scope totals —
+	// with one site per shard, the site's totals.
+	raw     bool
+	rawBusy []int32
+	rawSusp []int32
+	rawWait []int32
+}
+
+func newAccounting(sh *shard, raw bool) *accounting {
+	a := &accounting{sh: sh, raw: raw, every: sh.w.cfg.SampleEvery}
+	if !raw {
+		// The serial result always carries (possibly empty) series,
+		// even when sampling is disabled.
+		a.utilTS = stats.NewTimeSeries(sh.w.cfg.SeriesBin)
+		a.suspTS = stats.NewTimeSeries(sh.w.cfg.SeriesBin)
+		a.waitTS = stats.NewTimeSeries(sh.w.cfg.SeriesBin)
+	}
+	if sh.w.cfg.DisableSampling || len(sh.w.specs) == 0 {
+		return a
+	}
+	a.on = true
+	a.next = sh.w.start
+	if !raw && sh.w.nSites > 1 {
+		a.siteTS = make([]*stats.TimeSeries, sh.w.nSites)
+		for s := range a.siteTS {
+			a.siteTS[s] = stats.NewTimeSeries(sh.w.cfg.SeriesBin)
+		}
+	}
+	return a
+}
+
+// advanceTo records every pending sample tick with time strictly
+// before now. The observed signals are piecewise-constant between the
+// shard's events, so the current counters are exactly what an
+// event-driven sampler would have read at each of those ticks.
+func (a *accounting) advanceTo(now float64) {
+	if !a.on {
+		return
+	}
+	for a.next < now {
+		a.tick()
+	}
+}
+
+// flushTo records pending ticks up to (but excluding) limit. Parallel
+// shards call it at each round barrier with the round horizon: no
+// event below the horizon can ever arrive afterwards, so the shard's
+// counters at those ticks are final.
+func (a *accounting) flushTo(limit float64) {
+	a.advanceTo(limit)
+}
+
+func (a *accounting) tick() {
+	sh := a.sh
+	if a.raw {
+		a.rawBusy = append(a.rawBusy, int32(sh.scopeBusy))
+		a.rawSusp = append(a.rawSusp, int32(sh.scopeSuspended))
+		a.rawWait = append(a.rawWait, int32(sh.scopeWaiting))
+		a.next += a.every
+		return
+	}
+	// The serial shard spans the whole platform, so the scope counters
+	// are the global ones; the denominator is the platform's machine
+	// core total, exactly as the monolithic sampler computed it.
+	util := 0.0
+	if sh.w.totalCores > 0 {
+		util = float64(sh.scopeBusy) / float64(sh.w.totalCores) * 100
+	}
+	a.utilTS.Add(a.next, util)
+	a.suspTS.Add(a.next, float64(sh.scopeSuspended))
+	a.waitTS.Add(a.next, float64(sh.scopeWaiting))
+	for s, ts := range a.siteTS {
+		su := 0.0
+		if sh.w.siteCores[s] > 0 {
+			su = float64(sh.w.siteBusy[s]) / float64(sh.w.siteCores[s]) * 100
+		}
+		ts.Add(a.next, su)
+	}
+	a.next += a.every
+}

@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"fmt"
+
+	"netbatch/internal/eventq"
+)
+
+// This file is the simulation kernel: a policy-free event loop that
+// owns the clock and the future event list and dispatches typed events
+// to registered subsystems. Everything that gives events meaning —
+// placement and preemption, rescheduling decisions, stale-view
+// snapshots, series accounting — lives in subsystem types (see
+// placement.go, resched.go, snapshot.go, accounting.go) that register
+// their handlers with the kernel at shard construction. The kernel
+// itself never inspects payloads and never touches platform state,
+// which is what lets the serial engine (serial.go) and the partitioned
+// parallel engine (parallel.go) drive identical mechanism code.
+
+// Event kinds. The zero value is reserved so an unregistered kind is
+// caught at dispatch.
+const (
+	evSubmit = iota + 1
+	evFinish
+	evWaitTimeout
+	evArrive
+	evSnapshot
+	evSusDecide
+	numEventKinds
+)
+
+// handlerFunc applies one event's payload to shard state.
+type handlerFunc func(payload any) error
+
+// subsystem is a pluggable simulator mechanism: it wires the event
+// kinds it owns into the kernel's dispatch table. Handlers for kinds
+// registered as deciding consult scheduling or rescheduling policy —
+// shared, order-sensitive state — and the parallel engine serializes
+// them globally in timestamp order; all other handlers touch only
+// their own partition's state.
+type subsystem interface {
+	register(k *kernel)
+}
+
+// evRef identifies a scheduled event for cancellation. It records the
+// owning queues: an alias dispatch may cancel a wait timer that a
+// different shard's kernel scheduled, and cancellation must decrement
+// that queue's live count, not the canceling shard's. For kinds the
+// parallel engine fence-publishes (deciding kinds, and the
+// capacity-handoff kinds that alias risk can promote to deciding) it
+// carries a second handle into the corresponding shadow queue.
+type evRef struct {
+	main    eventq.Handle
+	mainQ   *eventq.Queue
+	shadow  eventq.Handle
+	shadowQ *eventq.Queue
+}
+
+// kernel is one partition's event loop core: clock, queue, dispatch
+// table, and processed-event count.
+type kernel struct {
+	q   *eventq.Queue
+	now float64
+
+	// phase is the tie-rank phase stamped on every locally scheduled
+	// event: the global decision count at the creating event's claim.
+	// Always 0 in the serial engine (pure scheduling order); the
+	// parallel coordinator updates it at each claim so that same-time
+	// events reproduce the creation order of a single global queue.
+	phase uint64
+
+	// events counts dispatched events (serial engine; the parallel
+	// engine counts through per-round logs so it can truncate at the
+	// final completion exactly like the serial loop does).
+	events int64
+
+	handlers [numEventKinds]handlerFunc
+	deciding [numEventKinds]bool
+
+	// decideQ shadows pending deciding events and handoffQ shadows
+	// pending capacity-handoff events (finishes and arrivals), so the
+	// partition can publish the timestamp of its next decision — and,
+	// under alias risk, its next promoted handoff — in O(1). Both are
+	// nil in the serial engine, which needs no fences.
+	decideQ  *eventq.Queue
+	handoffQ *eventq.Queue
+}
+
+func newKernel(trackDecides bool) *kernel {
+	k := &kernel{q: eventq.New()}
+	if trackDecides {
+		k.decideQ = eventq.New()
+		k.handoffQ = eventq.New()
+	}
+	return k
+}
+
+// handle registers a handler for one event kind. Registering a kind
+// twice is a programmer error.
+func (k *kernel) handle(kind int, deciding bool, h handlerFunc) {
+	if k.handlers[kind] != nil {
+		panic(fmt.Sprintf("sim: event kind %d registered twice", kind))
+	}
+	k.handlers[kind] = h
+	k.deciding[kind] = deciding
+}
+
+// schedule adds an event at time t, shadowing fence-published kinds.
+func (k *kernel) schedule(t float64, kind int, payload any) evRef {
+	ref := evRef{main: k.q.SchedulePhased(t, kind, payload, k.phase), mainQ: k.q}
+	switch {
+	case k.decideQ != nil && k.deciding[kind]:
+		ref.shadowQ = k.decideQ
+	case k.handoffQ != nil && (kind == evFinish || kind == evArrive):
+		ref.shadowQ = k.handoffQ
+	}
+	if ref.shadowQ != nil {
+		ref.shadow = ref.shadowQ.SchedulePhased(t, kind, nil, k.phase)
+	}
+	return ref
+}
+
+// deliver adds a cross-partition event at a round barrier, ranked by
+// its creating decision (g) and send index so same-time ties resolve
+// exactly as the serial engine's creation order would.
+func (k *kernel) deliver(t float64, kind int, payload any, g, idx uint64) {
+	k.q.ScheduleDelivery(t, kind, payload, g, idx)
+	if k.handoffQ != nil && (kind == evFinish || kind == evArrive) {
+		k.handoffQ.ScheduleDelivery(t, kind, nil, g, idx)
+	}
+}
+
+// cancel removes a scheduled event (and its shadow) from the queues
+// that own them, which are not necessarily this kernel's.
+func (k *kernel) cancel(ref evRef) {
+	if ref.mainQ != nil {
+		ref.mainQ.Cancel(ref.main)
+	}
+	if ref.shadowQ != nil {
+		ref.shadowQ.Cancel(ref.shadow)
+	}
+}
+
+// nextDecide returns the timestamp of the earliest pending deciding
+// event, or +inf when none is queued.
+func (k *kernel) nextDecide() float64 {
+	return shadowNext(k.decideQ)
+}
+
+// nextHandoff returns the timestamp of the earliest pending finish or
+// arrival, or +inf when none is queued.
+func (k *kernel) nextHandoff() float64 {
+	return shadowNext(k.handoffQ)
+}
+
+func shadowNext(q *eventq.Queue) float64 {
+	if q == nil {
+		return inf
+	}
+	if t, ok := q.NextTime(); ok {
+		return t
+	}
+	return inf
+}
+
+// dispatch applies one popped event through the registered handler.
+func (k *kernel) dispatch(ev *eventq.Event) error {
+	if ev.Kind <= 0 || ev.Kind >= numEventKinds || k.handlers[ev.Kind] == nil {
+		return fmt.Errorf("sim: unknown event kind %d", ev.Kind)
+	}
+	return k.handlers[ev.Kind](ev.Payload)
+}

@@ -1,0 +1,591 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"netbatch/internal/stats"
+)
+
+// This file is the partitioned engine: a conservative parallel
+// discrete-event simulation that runs one shard (kernel + subsystem
+// state) per site on its own goroutine and produces results
+// bit-identical to the serial reference loop.
+//
+// Two mechanisms compose (see docs/ARCHITECTURE.md for the full
+// argument):
+//
+//  1. Closed rounds with lookahead. Every cross-site event — a
+//     cross-site submit dispatch, a cross-site reschedule arrival —
+//     carries at least the inter-site RTT of delay, so with
+//     Δ = min cross-site RTT, a round that starts at the global
+//     minimum next-event time N can let every shard process all its
+//     events in [N, N+Δ) knowing no message generated inside the
+//     round can land inside it. Cross-shard messages accumulate in
+//     per-shard outboxes and are delivered at the round barrier.
+//
+//  2. Decision fences inside a round. Deciding events (submission,
+//     suspension decisions, wait-timeout reschedules) consult shared
+//     scheduler/policy state (round-robin rotations, policy RNG
+//     streams) and may read any site's live pool state through the
+//     view, so they must execute in global timestamp order with every
+//     other shard quiescent at a later time. Each shard publishes the
+//     timestamp of its earliest pending (or future chained) deciding
+//     event; a shard may process a non-deciding event at t only while
+//     t is strictly below every other shard's fence, and may process a
+//     deciding event at t only when every other shard is idle with no
+//     pending event before t. Non-deciding events of different shards
+//     touch disjoint state and run concurrently between fences.
+//
+// Exact cross-shard timestamp ties cannot be ordered the way the
+// serial loop's scheduling-order tie-break does; they are resolved
+// deterministically (decider first, then lower shard index) and
+// flagged in Result.ambiguousTies. Such ties are measure-zero for the
+// float-valued synthetic traces; the one structural tie — the first
+// submission and the initial snapshot refreshes share the trace's
+// start time — is provably ordered (the serial engine schedules the
+// submission first) and is not flagged.
+
+// outMsg is one cross-shard event awaiting barrier delivery. g and idx
+// identify the creating decision and send order for tie ranking.
+type outMsg struct {
+	dest    int
+	t       float64
+	kind    int
+	payload any
+	g       uint64
+	idx     uint64
+}
+
+// parShard is the per-shard parallel bookkeeping.
+type parShard struct {
+	outbox []outMsg
+	// roundTimes/roundFin log this round's processed events: the event
+	// time and, for completions, the finished job index (-1 otherwise).
+	// The final round's log is what lets the merge count events exactly
+	// the way the serial loop — which dies at the last completion —
+	// does.
+	roundTimes []float64
+	roundFin   []int32
+	polls      int64
+	msgSeq     uint64
+}
+
+func (p *parShard) beginRound() {
+	p.roundTimes = p.roundTimes[:0]
+	p.roundFin = p.roundFin[:0]
+}
+
+// shardCtl is one shard's published synchronization state. All fields
+// are read and written only under the coordinator's mutex.
+type shardCtl struct {
+	// next is the timestamp of the shard's earliest unclaimed event
+	// this round (+inf when the shard has drained its round).
+	next     float64
+	nextKind int
+	// fence is the earliest timestamp at which the shard holds — or,
+	// while idle, could ever schedule — a deciding event: the minimum
+	// of its decide shadow queue and its next not-yet-chained
+	// submission.
+	fence float64
+	// busy marks an event being processed right now, at busyTime.
+	// While a shard is busy with a non-deciding event it may spawn new
+	// deciding events, but never earlier than busyTime + minDyn.
+	busy       bool
+	busyDecide bool
+	busyTime   float64
+}
+
+// coordinator owns the round synchronization state shared by all
+// shard goroutines.
+type coordinator struct {
+	w      *world
+	shards []*shard
+	mu     sync.Mutex
+	cond   *sync.Cond
+	ctl    []shardCtl
+	minDyn float64
+
+	aborted bool
+	err     error
+	ties    bool
+
+	// gseq counts executed deciding events; it stamps event ranks (see
+	// kernel.phase) so cross-shard creation order is reproducible.
+	gseq uint64
+}
+
+// refreshFences republishes every shard's fence from its (quiescent)
+// queues. Called under the mutex after each deciding event: a decision
+// can change a peer's alias-risk state (an alias dispatch marks the
+// queue's old owner), which lowers the peer's true fence before the
+// peer itself gets to republish it.
+func (c *coordinator) refreshFences() {
+	for i, sh := range c.shards {
+		c.ctl[i].fence = sh.publishedFence()
+	}
+}
+
+func (c *coordinator) fail(err error) {
+	if !c.aborted {
+		c.aborted = true
+		c.err = err
+	}
+	c.cond.Broadcast()
+}
+
+// canDecide reports whether shard p may execute a deciding event at
+// time t: every other shard must be idle with nothing pending before
+// t. Ties — another shard holding an event at exactly t — are ordered
+// decider-first, then by shard index, and flagged as ambiguous unless
+// they are the structural start-time tie with an initial snapshot
+// refresh (which the serial engine provably orders after the first
+// submission).
+func (c *coordinator) canDecide(p int, t float64, kind int) bool {
+	for qi := range c.ctl {
+		if qi == p {
+			continue
+		}
+		q := &c.ctl[qi]
+		if q.busy {
+			return false
+		}
+		if q.next < t {
+			return false
+		}
+		if q.fence == t && qi < p && q.next == t && c.kindDecides(q.nextKind) {
+			// A tied, immediately claimable deciding event in a
+			// lower-indexed shard goes first. A fence whose event is
+			// buried behind a same-time non-deciding head must NOT defer
+			// us: that head is blocked on our own fence, and deferring
+			// would deadlock the cycle.
+			c.ties = true
+			return false
+		}
+	}
+	for qi := range c.ctl {
+		if qi == p {
+			continue
+		}
+		q := &c.ctl[qi]
+		if q.next == t || q.fence == t {
+			structural := t == c.w.start && kind == evSubmit &&
+				q.nextKind == evSnapshot && q.fence > t
+			if !structural {
+				c.ties = true
+			}
+		}
+	}
+	return true
+}
+
+// kindDecides reports whether an event kind can claim as a deciding
+// event: statically deciding kinds always, capacity handoffs under
+// alias risk (conservatively assumed here — the owner re-evaluates at
+// its own claim).
+func (c *coordinator) kindDecides(kind int) bool {
+	return c.shards[0].k.deciding[kind] || kind == evFinish || kind == evArrive
+}
+
+// canLocal reports whether shard p may execute a non-deciding event at
+// time t: t must lie strictly below every other shard's effective
+// decision fence. A busy shard's fence accounts for deciding events
+// its current handler may still spawn (never earlier than busyTime +
+// minDyn). A fence exactly at t blocks only while its owner can still
+// produce a deciding event at t — an immediately claimable deciding
+// head (decider-first), or a pending earlier event that may spawn one;
+// a same-time non-deciding head tied with the fence cannot run first
+// anyway, so blocking on it would deadlock (the order is then
+// ambiguous and flagged).
+func (c *coordinator) canLocal(p int, t float64) bool {
+	for qi := range c.ctl {
+		if qi == p {
+			continue
+		}
+		q := &c.ctl[qi]
+		f := q.fence
+		if q.busy {
+			lim := q.busyTime
+			if !q.busyDecide {
+				lim += c.minDyn
+			}
+			if lim < f {
+				f = lim
+			}
+		}
+		if t > f {
+			return false
+		}
+		if t == f {
+			if q.busy {
+				return false
+			}
+			if q.next == t && c.kindDecides(q.nextKind) {
+				return false // decider-first
+			}
+			if q.next < t {
+				return false // an earlier event may still spawn a decision at t
+			}
+			// Tied fence the owner cannot claim before us: ambiguous.
+			c.ties = true
+		}
+	}
+	return true
+}
+
+// runShardRound drains one shard's events below horizon H under the
+// claim protocol.
+func (c *coordinator) runShardRound(sh *shard, H float64) {
+	ctl := &c.ctl[sh.index]
+	w := c.w
+	ctx := w.cfg.Context
+	c.mu.Lock()
+	// announce marks that this shard's published state changed (initial
+	// publish, or an event was processed) and peers must be woken. A
+	// fruitless wait republishes identical state and must NOT broadcast:
+	// blocked shards would wake each other in a spin loop, starving the
+	// shard that holds the actual work.
+	announce := true
+	for !c.aborted {
+		ev := sh.k.q.Peek()
+		if ev == nil || ev.Time >= H {
+			break
+		}
+		t := ev.Time
+		if t < sh.k.now {
+			c.fail(fmt.Errorf("sim: event time went backwards: %v -> %v", sh.k.now, t))
+			break
+		}
+		// Capacity-handoff events are promoted to deciding while the
+		// shard has live alias risk: their wait-queue scans may touch
+		// jobs resident at other sites (see shard.aliasRisk).
+		deciding := sh.k.deciding[ev.Kind] ||
+			(sh.aliasRisk > 0 && (ev.Kind == evFinish || ev.Kind == evArrive))
+		fence := sh.publishedFence()
+		if announce || ctl.next != t || ctl.nextKind != ev.Kind || ctl.fence != fence {
+			// Peers must be woken when this shard's published state
+			// changes — including after a fruitless wait, if a peer's
+			// decision canceled our peeked head and moved our queue
+			// forward. Only a truly unchanged republish stays silent.
+			announce = true
+		}
+		ctl.next, ctl.nextKind = t, ev.Kind
+		ctl.fence = fence
+		if announce {
+			c.cond.Broadcast()
+			announce = false
+		}
+		canGo := deciding && c.canDecide(sh.index, t, ev.Kind) ||
+			!deciding && c.canLocal(sh.index, t)
+		if !canGo {
+			// Wait once, then re-evaluate from scratch: while this shard
+			// was blocked, a peer's serialized decision may have canceled
+			// the peeked head (an alias dispatch canceling our wait
+			// timer) or flipped our alias-risk state, changing both the
+			// head event and its classification.
+			c.cond.Wait()
+			continue
+		}
+		sh.k.q.Pop()
+		if sh.k.deciding[ev.Kind] {
+			sh.k.decideQ.Pop()
+		} else if ev.Kind == evFinish || ev.Kind == evArrive {
+			sh.k.handoffQ.Pop()
+		}
+		if deciding {
+			c.gseq++
+		}
+		sh.k.phase = c.gseq
+		ctl.busy, ctl.busyTime, ctl.busyDecide = true, t, deciding
+		// Non-deciding events touch only this shard's state and run
+		// outside the mutex, concurrently with other shards. Deciding
+		// events hold the mutex through dispatch: they may read and
+		// write PEER state (remote views, cross-shard wait-timer
+		// cancels, alias-risk notes), and although peers cannot claim
+		// anything while the decision is in flight, a woken peer still
+		// evaluates its own queues under the mutex at its loop top —
+		// the mutex is what makes those accesses mutually exclusive.
+		// Decisions are globally serialized either way, so this costs
+		// no parallelism.
+		if !deciding {
+			c.mu.Unlock()
+		}
+
+		sh.k.now = t
+		// Record sample ticks strictly before this event; the shard's
+		// sampled signals only change at its own events.
+		sh.acct.advanceTo(t)
+		err := sh.k.dispatch(ev)
+		fin := int32(-1)
+		if ev.Kind == evFinish {
+			fin = int32(ev.Payload.(int))
+		}
+
+		if !deciding {
+			c.mu.Lock()
+		}
+		ctl.busy = false
+		announce = true
+		if deciding {
+			c.refreshFences()
+		}
+		sh.par.roundTimes = append(sh.par.roundTimes, t)
+		sh.par.roundFin = append(sh.par.roundFin, fin)
+		if err != nil {
+			c.fail(fmt.Errorf("sim: t=%v: %w", t, err))
+			break
+		}
+		if sh.par.polls++; ctx != nil && sh.par.polls&63 == 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				c.fail(fmt.Errorf("sim: canceled at t=%v: %w", t, cerr))
+				break
+			}
+		}
+	}
+	ctl.next, ctl.nextKind = inf, 0
+	ctl.busy = false
+	ctl.fence = sh.publishedFence()
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	// Every tick below the horizon is final: no event below H can ever
+	// arrive after this round.
+	sh.acct.flushTo(H)
+}
+
+// publish refreshes every shard's control block from its quiescent
+// queues. Called only at round barriers, before shard goroutines
+// spawn.
+func (c *coordinator) publish(shards []*shard) {
+	for i, sh := range shards {
+		ctl := &c.ctl[i]
+		ctl.busy = false
+		ctl.next, ctl.nextKind = inf, 0
+		if ev := sh.k.q.Peek(); ev != nil {
+			ctl.next, ctl.nextKind = ev.Time, ev.Kind
+		}
+		ctl.fence = sh.publishedFence()
+	}
+}
+
+// runParallel executes the simulation on one shard per site,
+// conservatively synchronized in closed rounds of width
+// Δ = min cross-site RTT.
+func runParallel(w *world) (*Result, error) {
+	delta := w.plat.MinCrossRTT()
+	shards := make([]*shard, w.nSites)
+	for s := range shards {
+		shards[s] = newShard(w, s, []int{s}, true)
+		shards[s].seed()
+	}
+	for _, sh := range shards {
+		sh.peers = shards
+	}
+	c := &coordinator{
+		w:      w,
+		shards: shards,
+		ctl:    make([]shardCtl, len(shards)),
+		minDyn: w.minDyn,
+	}
+	c.cond = sync.NewCond(&c.mu)
+
+	total := len(w.specs)
+	ctx := w.cfg.Context
+	var priorEvents int64
+	completed := 0
+	for completed < total {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("sim: canceled at t=%v: %w", maxNow(shards), err)
+			}
+		}
+		n := inf
+		for _, sh := range shards {
+			if t, ok := sh.k.q.NextTime(); ok && t < n {
+				n = t
+			}
+		}
+		if math.IsInf(n, 1) {
+			return nil, fmt.Errorf("sim: deadlock at t=%v: %d of %d jobs completed and no pending events",
+				maxNow(shards), completed, total)
+		}
+		// The serial loop fails on the first popped event beyond MaxTime.
+		// Rounds must not apply that check per event — the final round
+		// legitimately drains inert events past the last completion that
+		// the serial loop never pops — so the cap is enforced at the
+		// barriers instead: here, when the globally next event is already
+		// beyond it with jobs incomplete, and in mergeParallel, when the
+		// run completed later than the cap (the serial loop would have
+		// failed at that completion event).
+		if n > w.cfg.MaxTime {
+			return nil, fmt.Errorf("sim: exceeded MaxTime %v with %d of %d jobs incomplete",
+				w.cfg.MaxTime, total-completed, total)
+		}
+		h := n + delta
+		for _, sh := range shards {
+			sh.par.beginRound()
+		}
+		c.publish(shards)
+
+		var wg sync.WaitGroup
+		for _, sh := range shards {
+			wg.Add(1)
+			go func(sh *shard) {
+				defer wg.Done()
+				c.runShardRound(sh, h)
+			}(sh)
+		}
+		wg.Wait()
+		if c.err != nil {
+			return nil, c.err
+		}
+
+		// Barrier: deliver cross-shard messages ranked by their
+		// creating decision, reproducing serial creation order.
+		for _, sh := range shards {
+			for _, m := range sh.par.outbox {
+				shards[m.dest].k.deliver(m.t, m.kind, m.payload, m.g, m.idx)
+			}
+			sh.par.outbox = sh.par.outbox[:0]
+		}
+		completed = 0
+		for _, sh := range shards {
+			completed += sh.completed
+		}
+		if completed < total {
+			for _, sh := range shards {
+				priorEvents += int64(len(sh.par.roundTimes))
+			}
+		}
+	}
+	return mergeParallel(w, shards, priorEvents, c)
+}
+
+func maxNow(shards []*shard) float64 {
+	var m float64
+	for _, sh := range shards {
+		if sh.k.now > m {
+			m = sh.k.now
+		}
+	}
+	return m
+}
+
+// mergeParallel recombines per-shard results into one Result
+// bit-identical to the serial engine's: counters sum, series recombine
+// tick-by-tick with the serial sampler's float operations, and the
+// event count truncates the final round at the last completion exactly
+// where the serial loop stopped.
+func mergeParallel(w *world, shards []*shard, priorEvents int64, c *coordinator) (*Result, error) {
+	var res Result
+	for _, sh := range shards {
+		res.Preemptions += sh.res.Preemptions
+		res.Restarts += sh.res.Restarts
+		res.Migrations += sh.res.Migrations
+		res.WaitMoves += sh.res.WaitMoves
+		res.CrossSiteSubmits += sh.res.CrossSiteSubmits
+		res.CrossSiteMoves += sh.res.CrossSiteMoves
+	}
+	if err := finalizeJobs(w, &res); err != nil {
+		return nil, err
+	}
+	if res.Makespan > w.cfg.MaxTime {
+		// The serial loop would have failed at the first event past the
+		// cap instead of finishing the run.
+		return nil, fmt.Errorf("sim: exceeded MaxTime %v: last completion at t=%v",
+			w.cfg.MaxTime, res.Makespan)
+	}
+	res.ambiguousTies = c.ties
+
+	// Locate the completion that ended the run: the finish event at the
+	// makespan. Final-round events the serial loop would have processed
+	// after it (later events of the same shard, by local order) are
+	// excluded from the event count; a co-timed completion in another
+	// shard is an ambiguous tie.
+	owner, ownerPos := -1, -1
+	for si, sh := range shards {
+		for pos, fin := range sh.par.roundFin {
+			if fin >= 0 && sh.par.roundTimes[pos] == res.Makespan {
+				switch {
+				case owner == -1:
+					owner, ownerPos = si, pos
+				case owner == si:
+					ownerPos = pos
+				default:
+					res.ambiguousTies = true
+				}
+			}
+		}
+	}
+	events := priorEvents
+	for si, sh := range shards {
+		for pos, t := range sh.par.roundTimes {
+			switch {
+			case t < res.Makespan:
+				events++
+			case t == res.Makespan:
+				if si == owner && pos <= ownerPos {
+					events++
+				} else if si != owner {
+					res.ambiguousTies = true
+				}
+			}
+		}
+	}
+	res.Events = events
+
+	if !w.cfg.DisableSampling {
+		mergeSeries(w, shards, &res)
+	}
+	return &res, nil
+}
+
+// mergeSeries rebuilds the global (and per-site) time series from the
+// shards' raw per-tick counters, reproducing the serial sampler's
+// float operations tick for tick: global utilization divides the
+// integer sum of per-site busy cores by the platform total, and the
+// series stop strictly before the makespan — the serial loop records a
+// tick only when a later event pops, and no event follows the final
+// completion.
+func mergeSeries(w *world, shards []*shard, res *Result) {
+	bin := w.cfg.SeriesBin
+	util := stats.NewTimeSeries(bin)
+	susp := stats.NewTimeSeries(bin)
+	wait := stats.NewTimeSeries(bin)
+	siteTS := make([]*stats.TimeSeries, w.nSites)
+	for s := range siteTS {
+		siteTS[s] = stats.NewTimeSeries(bin)
+	}
+	n := math.MaxInt
+	for _, sh := range shards {
+		if l := len(sh.acct.rawBusy); l < n {
+			n = l
+		}
+	}
+	t := w.start
+	for i := 0; i < n && t < res.Makespan; i++ {
+		busy, suspended, waiting := 0, 0, 0
+		for _, sh := range shards {
+			busy += int(sh.acct.rawBusy[i])
+			suspended += int(sh.acct.rawSusp[i])
+			waiting += int(sh.acct.rawWait[i])
+		}
+		uv := 0.0
+		if w.totalCores > 0 {
+			uv = float64(busy) / float64(w.totalCores) * 100
+		}
+		util.Add(t, uv)
+		susp.Add(t, float64(suspended))
+		wait.Add(t, float64(waiting))
+		for s, sh := range shards {
+			su := 0.0
+			if w.siteCores[s] > 0 {
+				su = float64(sh.acct.rawBusy[i]) / float64(w.siteCores[s]) * 100
+			}
+			siteTS[s].Add(t, su)
+		}
+		t += w.cfg.SampleEvery
+	}
+	res.Util, res.Suspended, res.Waiting = util, susp, wait
+	res.SiteUtil = siteTS
+}

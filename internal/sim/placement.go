@@ -1,0 +1,324 @@
+package sim
+
+import (
+	"fmt"
+
+	"netbatch/internal/job"
+)
+
+// placementSys is the placement/preemption subsystem: the virtual pool
+// manager's initial dispatch (evSubmit), arrivals at physical pools
+// (evArrive), completions (evFinish), and the capacity-handoff
+// mechanics they share (§2.1/§2.2). Submission is a deciding event —
+// it consults the initial scheduler, whose rotation state is shared
+// across sites; arrivals and completions touch only the owning
+// shard's pools and machines.
+type placementSys struct {
+	sh *shard
+}
+
+func (s *placementSys) register(k *kernel) {
+	sh := s.sh
+	k.handle(evSubmit, true, func(p any) error { return sh.handleSubmit(p.(int)) })
+	k.handle(evArrive, false, func(p any) error {
+		a := p.(arrivePayload)
+		return sh.arrival(a.idx, a.pool)
+	})
+	k.handle(evFinish, false, func(p any) error { return sh.handleFinish(p.(int)) })
+}
+
+// arrivePayload routes a rescheduled job to a destination pool after
+// its transfer delay.
+type arrivePayload struct {
+	idx  int
+	pool int
+}
+
+// handleSubmit routes a newly submitted job through the virtual pool
+// manager and chains the shard's next submission event. Dispatch to a
+// pool at another site pays the one-way inter-site delay before
+// arrival (the interval accrues as wait time, c1).
+func (sh *shard) handleSubmit(idx int) error {
+	if sh.nextSubmit < len(sh.subIdx) {
+		next := sh.subIdx[sh.nextSubmit]
+		sh.k.schedule(sh.w.specs[next].Submit, evSubmit, next)
+		sh.nextSubmit++
+	}
+	rt := &sh.w.jobs[idx]
+	sh.view.observe(rt.spec.Site)
+	pool, err := sh.w.cfg.Initial.SelectPool(sh.k.now, rt.spec, sh.view)
+	if err != nil {
+		return err
+	}
+	if sh.siteOfPool(pool) != rt.spec.Site {
+		sh.res.CrossSiteSubmits++
+		if d := sh.w.plat.RTT(rt.spec.Site, sh.siteOfPool(pool)); d > 0 {
+			sh.send(sh.siteOfPool(pool), sh.k.now+d, evArrive, arrivePayload{idx: idx, pool: pool})
+			return nil
+		}
+	}
+	return sh.arrival(idx, pool)
+}
+
+// arrival lands a job at a physical pool: start it, preempt for it, or
+// queue it.
+func (sh *shard) arrival(idx, pool int) error {
+	rt := &sh.w.jobs[idx]
+	sh.noteResident(idx)
+	if err := rt.j.Enqueue(sh.k.now, pool); err != nil {
+		return err
+	}
+	return sh.tryPlace(rt, sh.w.pools[pool])
+}
+
+// tryPlace implements the physical pool manager's §2.1 dispatch rules.
+func (sh *shard) tryPlace(rt *jobRT, p *poolRT) error {
+	// (1) First eligible available machine.
+	if mid := sh.findFreeMachine(p, rt.spec); mid >= 0 {
+		return sh.startOn(rt, mid)
+	}
+	// (2) Preempt a lower-priority running job.
+	if victim := p.findVictim(rt.spec, sh.w.machines, !sh.w.cfg.SuspendHoldsMemory); victim != nil {
+		return sh.preempt(rt, victim)
+	}
+	// (3) Queue and wait.
+	sh.enqueue(rt, p)
+	return nil
+}
+
+// findFreeMachine searches the pool's class free-stacks for the first
+// available machine satisfying the spec, returning its ID or -1. Among
+// per-class candidates the lowest machine ID wins, approximating the
+// paper's "first eligible machine" list order deterministically.
+func (sh *shard) findFreeMachine(p *poolRT, spec *job.Spec) int {
+	best := -1
+	for ci := range p.classes {
+		cls := &p.classes[ci]
+		if !cls.fits(spec) {
+			continue
+		}
+		if mid := cls.findAvailable(sh.w.machines, spec); mid >= 0 {
+			if best == -1 || mid < best {
+				best = mid
+			}
+		}
+	}
+	return best
+}
+
+// ensureFree registers a machine in its class free-stack when it has
+// spare cores and is not already listed.
+func (sh *shard) ensureFree(p *poolRT, mid int) {
+	mach := &sh.w.machines[mid]
+	if mach.freeCores <= 0 || mach.inFree {
+		return
+	}
+	mach.inFree = true
+	p.classes[mach.class].free = append(p.classes[mach.class].free, mid)
+}
+
+// startOn begins executing rt on machine mid.
+func (sh *shard) startOn(rt *jobRT, mid int) error {
+	mach := &sh.w.machines[mid]
+	spec := rt.spec
+	if mach.freeCores < spec.Cores || mach.freeMemMB < spec.MemMB {
+		return fmt.Errorf("job %d placed on machine %d without capacity", spec.ID, mid)
+	}
+	p := sh.w.pools[mach.m.Pool]
+	mach.freeCores -= spec.Cores
+	mach.freeMemMB -= spec.MemMB
+	p.busyCores += spec.Cores
+	sh.scopeBusy += spec.Cores
+	sh.w.siteBusy[sh.siteOfPool(mach.m.Pool)] += spec.Cores
+	if err := rt.j.Start(sh.k.now, mid, mach.m.Speed); err != nil {
+		return err
+	}
+	rem := rt.j.RemainingAt(sh.k.now)
+	rt.finish = sh.k.schedule(sh.k.now+rem, evFinish, rt.idx)
+	p.pushRunning(rt)
+	sh.ensureFree(p, mid)
+	return nil
+}
+
+// preempt suspends victim and installs rt on the freed machine, then
+// arms the rescheduling decision for the victim.
+func (sh *shard) preempt(rt *jobRT, victim *jobRT) error {
+	mid := victim.j.Machine
+	mach := &sh.w.machines[mid]
+	p := sh.w.pools[mach.m.Pool]
+
+	sh.k.cancel(victim.finish)
+	if err := victim.j.Suspend(sh.k.now); err != nil {
+		return err
+	}
+	sh.res.Preemptions++
+	mach.freeCores += victim.spec.Cores
+	if !sh.w.cfg.SuspendHoldsMemory {
+		mach.freeMemMB += victim.spec.MemMB
+	}
+	p.busyCores -= victim.spec.Cores
+	sh.scopeBusy -= victim.spec.Cores
+	sh.w.siteBusy[sh.siteOfPool(mach.m.Pool)] -= victim.spec.Cores
+	mach.suspended = append(mach.suspended, victim)
+	p.suspendedCnt++
+	sh.scopeSuspended++
+
+	if err := sh.startOn(rt, mid); err != nil {
+		return err
+	}
+
+	// The rescheduling decision for the fresh suspension (§3.2) happens
+	// at the next agent sweep, DecisionDelay later. If the victim has
+	// resumed (or been re-suspended and moved) by then, the stale event
+	// is ignored.
+	sh.k.schedule(sh.k.now+sh.w.cfg.DecisionDelay, evSusDecide, victim.idx)
+
+	// The victim may have freed more cores than the preemptor needs.
+	return sh.onFree(mid)
+}
+
+// enqueue parks a job in the pool's wait queue and arms the policy's
+// wait-timeout timer.
+func (sh *shard) enqueue(rt *jobRT, p *poolRT) {
+	p.waitQ.push(rt)
+	sh.noteSlotPush(rt.idx)
+	rt.enqueuedAt = sh.k.now
+	sh.scopeWaiting++
+	if th := sh.w.cfg.Policy.WaitThreshold(); th > 0 {
+		rt.waitTO = sh.k.schedule(sh.k.now+th, evWaitTimeout, rt.idx)
+	}
+}
+
+// handleFinish completes a running job and redistributes its capacity.
+func (sh *shard) handleFinish(idx int) error {
+	rt := &sh.w.jobs[idx]
+	mid := rt.j.Machine
+	mach := &sh.w.machines[mid]
+	p := sh.w.pools[mach.m.Pool]
+	if err := rt.j.Complete(sh.k.now); err != nil {
+		return err
+	}
+	if sh.w.cfg.CheckConservation {
+		if err := rt.j.CheckConservation(); err != nil {
+			return err
+		}
+	}
+	sh.completed++
+	mach.freeCores += rt.spec.Cores
+	mach.freeMemMB += rt.spec.MemMB
+	p.busyCores -= rt.spec.Cores
+	sh.scopeBusy -= rt.spec.Cores
+	sh.w.siteBusy[sh.siteOfPool(mach.m.Pool)] -= rt.spec.Cores
+	return sh.onFree(mid)
+}
+
+// onFree hands freed capacity on machine mid to, by default, the
+// host's suspended jobs first (host-level resume, §2.2) and then the
+// pool wait queue in priority-FIFO order. With QueueBeatsResume,
+// waiting jobs of strictly higher priority win over a resume.
+func (sh *shard) onFree(mid int) error {
+	mach := &sh.w.machines[mid]
+	p := sh.w.pools[mach.m.Pool]
+	for mach.freeCores > 0 {
+		wrt := p.waitQ.peekFitting(func(rt *jobRT) bool {
+			return machineFits(mach, rt.spec)
+		})
+		srt := bestSuspended(mach, sh.w.cfg.SuspendHoldsMemory)
+		if wrt == nil && srt == nil {
+			break
+		}
+		useWaiting := wrt != nil && (srt == nil ||
+			(sh.w.cfg.QueueBeatsResume && wrt.j.Spec.Priority > srt.j.Spec.Priority))
+		if useWaiting {
+			p.waitQ.remove(wrt)
+			// A revived slot may hand us a job whose last enqueue was at
+			// another site (see waitQueue); dispatching it makes it
+			// resident here, exactly as the serial engine does. This
+			// branch only runs under global quiescence (alias risk
+			// promotes the event to deciding), so telling the queue's
+			// owning shard that the job left is safe.
+			if sh.away != nil && sh.away[wrt.idx] {
+				if owner := sh.peers[sh.siteOfPool(wrt.j.Pool)]; owner != sh {
+					owner.noteAway(wrt.idx)
+				}
+			}
+			sh.noteResident(wrt.idx)
+			sh.scopeWaiting--
+			sh.k.cancel(wrt.waitTO)
+			if err := sh.startOn(wrt, mid); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := sh.resume(srt); err != nil {
+			return err
+		}
+	}
+	sh.ensureFree(p, mid)
+	return nil
+}
+
+// machineFits checks dynamic fit of a spec on a machine.
+func machineFits(mach *machineRT, spec *job.Spec) bool {
+	if spec.OS != "" && spec.OS != mach.m.OS {
+		return false
+	}
+	return mach.freeCores >= spec.Cores && mach.freeMemMB >= spec.MemMB
+}
+
+// bestSuspended returns the suspended job on mach that should resume
+// next — highest priority, then earliest suspended — among those that
+// fit the free capacity, or nil.
+func bestSuspended(mach *machineRT, holdsMem bool) *jobRT {
+	var best *jobRT
+	for _, s := range mach.suspended {
+		if mach.freeCores < s.spec.Cores {
+			continue
+		}
+		// A swapped-out job must re-acquire memory to resume.
+		if !holdsMem && mach.freeMemMB < s.spec.MemMB {
+			continue
+		}
+		if best == nil || s.j.Spec.Priority > best.j.Spec.Priority {
+			best = s
+		}
+	}
+	return best
+}
+
+// resume continues a suspended job on its host.
+func (sh *shard) resume(rt *jobRT) error {
+	mid := rt.j.Machine
+	mach := &sh.w.machines[mid]
+	p := sh.w.pools[mach.m.Pool]
+	if !removeSuspended(mach, rt) {
+		return fmt.Errorf("job %d missing from suspended list on resume", rt.spec.ID)
+	}
+	p.suspendedCnt--
+	sh.scopeSuspended--
+	mach.freeCores -= rt.spec.Cores
+	if !sh.w.cfg.SuspendHoldsMemory {
+		mach.freeMemMB -= rt.spec.MemMB
+	}
+	p.busyCores += rt.spec.Cores
+	sh.scopeBusy += rt.spec.Cores
+	sh.w.siteBusy[sh.siteOfPool(mach.m.Pool)] += rt.spec.Cores
+	if err := rt.j.Resume(sh.k.now); err != nil {
+		return err
+	}
+	rem := rt.j.RemainingAt(sh.k.now)
+	rt.finish = sh.k.schedule(sh.k.now+rem, evFinish, rt.idx)
+	p.pushRunning(rt)
+	return nil
+}
+
+// removeSuspended deletes rt from the machine's suspended list.
+func removeSuspended(mach *machineRT, rt *jobRT) bool {
+	for i, s := range mach.suspended {
+		if s == rt {
+			mach.suspended = append(mach.suspended[:i], mach.suspended[i+1:]...)
+			return true
+		}
+	}
+	return false
+}

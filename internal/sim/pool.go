@@ -4,7 +4,6 @@ import (
 	"sort"
 
 	"netbatch/internal/cluster"
-	"netbatch/internal/eventq"
 	"netbatch/internal/job"
 )
 
@@ -15,9 +14,9 @@ type jobRT struct {
 	spec *job.Spec
 
 	// finish is the pending completion event, valid while running.
-	finish eventq.Handle
+	finish evRef
 	// waitTO is the pending wait-timeout event, valid while queued.
-	waitTO eventq.Handle
+	waitTO evRef
 	// queued marks live membership in a pool wait queue.
 	queued bool
 	// enqueuedAt is when the job entered its current wait queue.

@@ -7,6 +7,16 @@ import (
 // waitQueue is a physical pool's wait queue: strict priority order
 // between classes, FIFO within a class. Entries removed from the middle
 // (wait-timeout reschedules) are tombstoned and skipped lazily.
+//
+// A deliberate — and deliberately preserved — subtlety: slot liveness
+// is the job's queued flag, so a tombstoned slot revives if its job
+// re-enters a wait queue anywhere. A job that leaves this pool and is
+// enqueued again (the same pool after a restart, or another pool after
+// a reschedule) becomes visible to this pool's dispatcher again
+// through its old slots, keeping its former FIFO position — and a
+// dispatcher can thereby start a job that currently waits in a
+// different pool's queue. The parallel engine reproduces this
+// behavior exactly; see the alias-risk machinery in shard.go.
 type waitQueue struct {
 	// classes maps priority -> FIFO ring of entries. Tombstones (entries
 	// with queued=false) are compacted as the head advances.
@@ -15,6 +25,9 @@ type waitQueue struct {
 	prios []job.Priority
 	// n counts live (non-tombstoned) entries.
 	n int
+	// onDrop, when set, observes every slot physically discarded by
+	// compaction (the parallel engine's alias-risk accounting).
+	onDrop func(*jobRT)
 }
 
 // fitScanLimit bounds how deep the dispatcher looks past the queue head
@@ -73,7 +86,7 @@ func (w *waitQueue) remove(rt *jobRT) {
 func (w *waitQueue) peekFitting(fits func(*jobRT) bool) *jobRT {
 	for _, prio := range w.prios {
 		f := w.classes[prio]
-		f.compact()
+		f.compact(w.onDrop)
 		scanned := 0
 		for i := f.head; i < len(f.items) && scanned < fitScanLimit; i++ {
 			rt := f.items[i]
@@ -94,7 +107,7 @@ func (w *waitQueue) peekFitting(fits func(*jobRT) bool) *jobRT {
 func (w *waitQueue) topPriority() job.Priority {
 	for _, prio := range w.prios {
 		f := w.classes[prio]
-		f.compact()
+		f.compact(w.onDrop)
 		for i := f.head; i < len(f.items); i++ {
 			if rt := f.items[i]; rt != nil && rt.queued {
 				return prio
@@ -114,12 +127,15 @@ type fifo struct {
 func (f *fifo) push(rt *jobRT) { f.items = append(f.items, rt) }
 
 // compact advances head past tombstones and reclaims space once the
-// dead prefix dominates.
-func (f *fifo) compact() {
+// dead prefix dominates. Discarded slots are reported to onDrop.
+func (f *fifo) compact(onDrop func(*jobRT)) {
 	for f.head < len(f.items) {
 		rt := f.items[f.head]
 		if rt != nil && rt.queued {
 			break
+		}
+		if rt != nil && onDrop != nil {
+			onDrop(rt)
 		}
 		f.items[f.head] = nil
 		f.head++

@@ -1,0 +1,69 @@
+package sim
+
+import "fmt"
+
+// runSerial drives the whole simulation through a single shard scoped
+// to every site: one global event queue, popped in (time, scheduling
+// order), exactly the monolithic engine's loop. This is the reference
+// semantics the partitioned engine must reproduce bit for bit.
+func runSerial(w *world) (*Result, error) {
+	sh := newShard(w, 0, allSites(w), false)
+	sh.seed()
+	if err := serialLoop(sh); err != nil {
+		return nil, err
+	}
+	res := sh.res
+	res.Events = sh.k.events
+	if err := finalizeJobs(w, &res); err != nil {
+		return nil, err
+	}
+	res.Util = sh.acct.utilTS
+	res.Suspended = sh.acct.suspTS
+	res.Waiting = sh.acct.waitTS
+	res.SiteUtil = sh.acct.siteTS
+	return &res, nil
+}
+
+func allSites(w *world) []int {
+	sites := make([]int, w.nSites)
+	for i := range sites {
+		sites[i] = i
+	}
+	return sites
+}
+
+func serialLoop(sh *shard) error {
+	total := len(sh.w.specs)
+	cfg := &sh.w.cfg
+	ctx := cfg.Context
+	k := sh.k
+	for sh.completed < total {
+		ev := k.q.Pop()
+		if ev == nil {
+			return fmt.Errorf("sim: deadlock at t=%v: %d of %d jobs completed and no pending events",
+				k.now, sh.completed, total)
+		}
+		if ev.Time < k.now {
+			return fmt.Errorf("sim: event time went backwards: %v -> %v", k.now, ev.Time)
+		}
+		k.now = ev.Time
+		if k.now > cfg.MaxTime {
+			return fmt.Errorf("sim: exceeded MaxTime %v with %d of %d jobs incomplete",
+				cfg.MaxTime, total-sh.completed, total)
+		}
+		k.events++
+		if ctx != nil && k.events&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("sim: canceled at t=%v: %w", k.now, err)
+			}
+		}
+		// Record sample ticks strictly before this event; ticks that
+		// coincide with now are recorded only after every state change
+		// at now has been applied (post-event state, see accounting).
+		sh.acct.advanceTo(k.now)
+		if err := k.dispatch(ev); err != nil {
+			return fmt.Errorf("sim: t=%v: %w", k.now, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,420 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"netbatch/internal/cluster"
+	"netbatch/internal/job"
+)
+
+var inf = math.Inf(1)
+
+// world is the immutable run-wide context shared by every shard:
+// configuration, platform topology, validated specs, and the backing
+// arrays whose elements are owned by exactly one shard at a time
+// (machines and pools by site, jobs by current residency).
+type world struct {
+	cfg   Config
+	plat  *cluster.Platform
+	specs []job.Spec
+
+	nSites     int
+	siteOf     []int // pool -> site
+	siteCores  []int
+	totalCores int
+
+	// start is the first submission time; it anchors the sample-tick
+	// grid and the initial snapshot-chain events for every shard.
+	start float64
+
+	// minDyn is the smallest offset at which processing any event can
+	// spawn a new deciding event (suspension decisions arrive
+	// DecisionDelay later, wait timeouts WaitThreshold later; chained
+	// submissions are bounded separately through the static submit
+	// list). The parallel engine's fences rely on it.
+	minDyn float64
+
+	// Shared mutable state, element-ownership partitioned by site.
+	machines []machineRT
+	pools    []*poolRT
+	jobs     []jobRT
+	siteBusy []int
+
+	// snap is the stale utilization view storage: snap[obs][pool] is
+	// observer site obs's aged view of pool. Nil when every
+	// (observer, target) ageing delay is zero (all reads live).
+	// snap[obs][p] is written only by the shard owning p's site and
+	// read only during globally-serialized deciding events.
+	snap [][]float64
+
+	// subBySite[s] lists the indices of specs submitted at site s, in
+	// submission order (specs are sorted by submission time).
+	subBySite [][]int
+}
+
+// buildWorld validates the specs against the platform and allocates
+// the shared runtime state. cfg must already have defaults applied.
+func buildWorld(cfg Config, specs []job.Spec) (*world, error) {
+	plat := cfg.Platform
+	w := &world{cfg: cfg, plat: plat, specs: specs}
+	w.machines = make([]machineRT, plat.NumMachines())
+	for i := 0; i < plat.NumMachines(); i++ {
+		m := plat.Machine(i)
+		w.machines[i] = machineRT{m: m, freeCores: m.Cores, freeMemMB: m.MemMB}
+		w.totalCores += m.Cores
+	}
+	w.pools = make([]*poolRT, plat.NumPools())
+	for p := 0; p < plat.NumPools(); p++ {
+		w.pools[p] = newPoolRT(plat, plat.Pool(p), w.machines)
+	}
+	w.nSites = plat.NumSites()
+	w.siteOf = make([]int, plat.NumPools())
+	w.siteBusy = make([]int, w.nSites)
+	w.siteCores = make([]int, w.nSites)
+	for p := 0; p < plat.NumPools(); p++ {
+		s := plat.SiteOf(p)
+		w.siteOf[p] = s
+		w.siteCores[s] += plat.Pool(p).Cores
+	}
+	w.jobs = make([]jobRT, len(specs))
+	w.subBySite = make([][]int, w.nSites)
+	for i := range specs {
+		if err := specs[i].Validate(); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		for _, c := range specs[i].Candidates {
+			if c >= plat.NumPools() {
+				return nil, fmt.Errorf("sim: job %d references pool %d beyond platform's %d pools",
+					specs[i].ID, c, plat.NumPools())
+			}
+		}
+		if s := specs[i].Site; s >= w.nSites {
+			return nil, fmt.Errorf("sim: job %d submitted from site %d beyond platform's %d sites",
+				specs[i].ID, s, w.nSites)
+		}
+		w.jobs[i] = jobRT{idx: i, j: job.New(specs[i]), spec: &specs[i]}
+		w.subBySite[specs[i].Site] = append(w.subBySite[specs[i].Site], i)
+	}
+	if len(specs) > 0 {
+		w.start = specs[0].Submit
+	}
+	w.minDyn = cfg.DecisionDelay
+	if th := cfg.Policy.WaitThreshold(); th > 0 && th < w.minDyn {
+		w.minDyn = th
+	}
+	if w.stale() {
+		w.snap = make([][]float64, w.nSites)
+		for obs := range w.snap {
+			w.snap[obs] = make([]float64, len(w.pools))
+		}
+	}
+	return w, nil
+}
+
+// ageDelay returns the view-ageing period for observer site obs
+// reading a pool at site tgt: the configured staleness plus the
+// inter-site delay.
+func (w *world) ageDelay(obs, tgt int) float64 {
+	return w.cfg.UtilStaleness + w.plat.RTT(obs, tgt)
+}
+
+// stale reports whether any (observer, target) pair has a non-zero
+// ageing delay, i.e. whether snapshot storage and refresh chains are
+// needed at all.
+func (w *world) stale() bool {
+	if w.cfg.UtilStaleness > 0 {
+		return true
+	}
+	for obs := 0; obs < w.nSites; obs++ {
+		for tgt := 0; tgt < w.nSites; tgt++ {
+			if w.ageDelay(obs, tgt) > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// parallelizable reports whether the partitioned engine can run this
+// configuration: at least two sites, a strictly positive delay on
+// every cross-site edge (the conservative lookahead), and a decision
+// delay within that lookahead — a pending suspension decision must be
+// unable to chase its job across a site boundary (the job is still in
+// transit, never suspended remotely, when any stale decision fires),
+// which is what keeps every event handler's touch set inside its own
+// partition. Anything else falls back to the serial kernel, which is
+// trivially identical.
+func (w *world) parallelizable() bool {
+	minRTT := w.plat.MinCrossRTT()
+	return w.nSites > 1 && minRTT > 0 && len(w.specs) > 0 &&
+		w.cfg.DecisionDelay <= minRTT
+}
+
+// shard is one partition of the simulation: a kernel plus the
+// subsystem state for a subset of sites. The serial engine runs a
+// single shard scoped to every site; the parallel engine runs one
+// shard per site. A shard only ever touches machines, pools and
+// resident jobs of its own sites — cross-site traffic leaves through
+// send and arrives through its kernel queue at round barriers.
+type shard struct {
+	w     *world
+	k     *kernel
+	index int
+	sites []int
+
+	// subIdx are the indices of specs submitted inside this shard's
+	// scope, in submission order; nextSubmit chains them one event at
+	// a time exactly like the monolithic engine did.
+	subIdx     []int
+	nextSubmit int
+
+	scopeBusy      int
+	scopeSuspended int
+	scopeWaiting   int
+	completed      int
+
+	view *poolView
+	acct *accounting
+
+	// Alias-risk tracking (parallel shards only; see the waitQueue
+	// comment for the revival semantics being preserved). A dispatcher
+	// scan of this shard's wait queues touches only shard-resident jobs
+	// — and is therefore safe to run concurrently with other shards —
+	// unless some job that departed this site still has un-compacted
+	// slots in a local FIFO: such a slot can revive while its job
+	// waits at a remote site, and scanning (or dispatching!) it reads
+	// and writes remote-shard state. aliasRisk counts those jobs; while
+	// it is non-zero, the shard's capacity-handoff events (finish,
+	// arrival) are promoted to globally-serialized deciding events and
+	// fence-published, which reproduces the serial engine's ordering
+	// for cross-site alias interactions exactly. All three arrays are
+	// read and written only by this shard.
+	away        []bool  // job departed this site and has not returned
+	slotCount   []int32 // this shard's un-compacted FIFO slots per job
+	riskCounted []bool  // job currently counted in aliasRisk
+	aliasRisk   int
+
+	// peers maps site -> shard in parallel runs (nil otherwise); used
+	// only under global quiescence, to tell a queue's owning shard that
+	// an alias dispatch took its job.
+	peers []*shard
+
+	res Result
+
+	// par holds the parallel-engine bookkeeping; nil in serial runs.
+	par *parShard
+}
+
+// newShard builds a shard over the given sites and registers the
+// subsystems with its kernel.
+func newShard(w *world, index int, sites []int, parallel bool) *shard {
+	sh := &shard{
+		w:     w,
+		k:     newKernel(parallel),
+		index: index,
+		sites: sites,
+	}
+	if len(sites) == w.nSites {
+		sh.subIdx = make([]int, len(w.specs))
+		for i := range sh.subIdx {
+			sh.subIdx[i] = i
+		}
+	} else {
+		for _, s := range sites {
+			sh.subIdx = append(sh.subIdx, w.subBySite[s]...)
+		}
+		if len(sites) > 1 {
+			panic("sim: parallel shards are single-site")
+		}
+	}
+	sh.view = newPoolView(sh)
+	sh.acct = newAccounting(sh, parallel)
+	if parallel {
+		sh.par = &parShard{}
+	}
+	for _, sys := range []subsystem{
+		&placementSys{sh: sh},
+		&reschedSys{sh: sh},
+		&snapshotSys{sh: sh},
+	} {
+		sys.register(sh.k)
+	}
+	if parallel {
+		sh.away = make([]bool, len(w.jobs))
+		sh.slotCount = make([]int32, len(w.jobs))
+		sh.riskCounted = make([]bool, len(w.jobs))
+		for _, s := range sites {
+			for _, p := range w.plat.Site(s).Pools {
+				w.pools[p].waitQ.onDrop = func(rt *jobRT) {
+					sh.slotCount[rt.idx]--
+					sh.recountRisk(rt.idx)
+				}
+			}
+		}
+	}
+	return sh
+}
+
+// recountRisk re-evaluates whether job idx contributes to aliasRisk:
+// it does while it is away from this site with slots still present in
+// a local FIFO.
+func (sh *shard) recountRisk(idx int) {
+	c := sh.away[idx] && sh.slotCount[idx] > 0
+	if c == sh.riskCounted[idx] {
+		return
+	}
+	sh.riskCounted[idx] = c
+	if c {
+		sh.aliasRisk++
+	} else {
+		sh.aliasRisk--
+	}
+}
+
+// noteSlotPush records a new local FIFO slot for job idx.
+func (sh *shard) noteSlotPush(idx int) {
+	if sh.slotCount == nil {
+		return
+	}
+	sh.slotCount[idx]++
+	sh.recountRisk(idx)
+}
+
+// noteResident marks job idx as present at this site again (it
+// arrived, or a revived local slot just dispatched it here).
+func (sh *shard) noteResident(idx int) {
+	if sh.away == nil || !sh.away[idx] {
+		return
+	}
+	sh.away[idx] = false
+	sh.recountRisk(idx)
+}
+
+// noteAway marks job idx as departed to another site.
+func (sh *shard) noteAway(idx int) {
+	if sh.away == nil || sh.away[idx] {
+		return
+	}
+	sh.away[idx] = true
+	sh.recountRisk(idx)
+}
+
+// seed schedules the shard's initial events: its first local
+// submission, and the snapshot refresh chains for every (observer,
+// target-site-in-scope) pair with a non-zero ageing delay — both at
+// the run's global start time, submission first, matching the
+// monolithic engine's initialization order. One refresh chain runs per
+// pair; on a single-site platform with UtilStaleness > 0 that is
+// exactly one chain, reproducing the historical single-snapshot
+// behavior.
+func (sh *shard) seed() {
+	if len(sh.w.specs) == 0 {
+		return
+	}
+	if len(sh.subIdx) > 0 {
+		first := sh.subIdx[0]
+		sh.k.schedule(sh.w.specs[first].Submit, evSubmit, first)
+		sh.nextSubmit = 1
+	}
+	if sh.w.cfg.DisableSampling {
+		return
+	}
+	// Stale utilization views refresh on the sample-tick grid; only
+	// those (rare) refresh points need real events. The chain for pair
+	// (obs, tgt) is owned by tgt's shard: the refresh reads tgt's live
+	// pool state.
+	for obs := 0; obs < sh.w.nSites; obs++ {
+		for _, tgt := range sh.sites {
+			if sh.w.ageDelay(obs, tgt) > 0 {
+				sh.k.schedule(sh.w.start, evSnapshot, snapPair{obs, tgt})
+			}
+		}
+	}
+}
+
+// nextChainSubmit returns the submission time of the shard's earliest
+// not-yet-scheduled submit event, or +inf. Together with the decide
+// shadow queue it lower-bounds every deciding event this shard can
+// ever schedule, which is what the parallel engine's fences publish.
+func (sh *shard) nextChainSubmit() float64 {
+	if sh.nextSubmit < len(sh.subIdx) {
+		return sh.w.specs[sh.subIdx[sh.nextSubmit]].Submit
+	}
+	return inf
+}
+
+// decideFence returns the timestamp below which this shard is
+// guaranteed not to hold (or later create, while idle) any pending
+// deciding event.
+func (sh *shard) decideFence() float64 {
+	f := sh.k.nextDecide()
+	if t := sh.nextChainSubmit(); t < f {
+		f = t
+	}
+	return f
+}
+
+// publishedFence is what the shard advertises to its peers: the
+// earliest timestamp at which it may execute an event that reads or
+// writes another shard's state. Three sources bound it: pending (and
+// future chained-submission) deciding events; while alias risk is
+// live, pending finishes and arrivals (they are then serialized too);
+// and — crucially — decisions that do not exist yet: processing any
+// pending event at time u can arm a suspension decision or wait
+// timeout no earlier than u + minDyn, so the fence can never exceed
+// the next event's time plus that offset.
+func (sh *shard) publishedFence() float64 {
+	f := sh.decideFence()
+	if sh.aliasRisk > 0 {
+		if t := sh.k.nextHandoff(); t < f {
+			f = t
+		}
+	}
+	if t, ok := sh.k.q.NextTime(); ok && t+sh.w.minDyn < f {
+		f = t + sh.w.minDyn
+	}
+	return f
+}
+
+// send schedules an event for the pool-owning shard: locally when the
+// destination site is in scope (always, in the serial engine),
+// otherwise into the outbox for delivery at the next round barrier.
+// Cross-shard events always carry at least the inter-site RTT of
+// delay, which is what keeps rounds closed under the lookahead. A job
+// routed away is marked departed for the alias-risk accounting.
+func (sh *shard) send(destSite int, t float64, kind int, payload any) {
+	if sh.par == nil || destSite == sh.sites[0] {
+		sh.k.schedule(t, kind, payload)
+		return
+	}
+	if a, ok := payload.(arrivePayload); ok {
+		sh.noteAway(a.idx)
+	}
+	sh.par.msgSeq++
+	sh.par.outbox = append(sh.par.outbox, outMsg{
+		dest: destSite, t: t, kind: kind, payload: payload,
+		g: sh.k.phase, idx: sh.par.msgSeq,
+	})
+}
+
+// siteOfPool is a convenience accessor.
+func (sh *shard) siteOfPool(pool int) int { return sh.w.siteOf[pool] }
+
+// finalize assembles the common parts of a Result from the world's job
+// records: completion check, job list, and makespan. Counter and
+// series assembly differ per engine and stay with the callers.
+func finalizeJobs(w *world, res *Result) error {
+	res.Jobs = make([]*job.Job, len(w.jobs))
+	for i := range w.jobs {
+		res.Jobs[i] = w.jobs[i].j
+		if w.jobs[i].j.State() != job.StateCompleted {
+			return fmt.Errorf("sim: job %d finished run in state %v",
+				w.jobs[i].spec.ID, w.jobs[i].j.State())
+		}
+		if c := w.jobs[i].j.Completed; c > res.Makespan {
+			res.Makespan = c
+		}
+	}
+	return nil
+}

@@ -23,6 +23,17 @@
 //     alternate pool (losing progress — NetBatch restarts from the
 //     beginning, §2.3/§3.2) or, for migration policies, to move it with
 //     progress preserved.
+//
+// Architecturally the engine is a small policy-free event kernel
+// (kernel.go) plus pluggable subsystems — placement/preemption
+// (placement.go), dynamic rescheduling (resched.go), stale-view
+// snapshots (snapshot.go) and series accounting (accounting.go) —
+// registered with the kernel per shard (shard.go). Two engines drive
+// the same subsystem code: the serial reference loop (serial.go) and a
+// conservatively-synchronized parallel engine that runs one shard per
+// site (parallel.go), selected by Config.Engine. See
+// docs/ARCHITECTURE.md for the layering and the synchronization
+// protocol.
 package sim
 
 import (
@@ -31,10 +42,22 @@ import (
 
 	"netbatch/internal/cluster"
 	"netbatch/internal/core"
-	"netbatch/internal/eventq"
 	"netbatch/internal/job"
 	"netbatch/internal/sched"
 	"netbatch/internal/stats"
+)
+
+// Engine names for Config.Engine.
+const (
+	// EngineSerial is the single-threaded reference kernel.
+	EngineSerial = "serial"
+	// EngineParallel partitions the simulation per site and executes
+	// the partitions on separate goroutines, synchronized conservatively
+	// with lookahead derived from the minimum inter-site RTT. Results
+	// are bit-identical to EngineSerial. Configurations the partitioned
+	// engine cannot accelerate (single site, a zero cross-site delay, or
+	// an empty trace) fall back to the serial kernel.
+	EngineParallel = "parallel"
 )
 
 // Config parameterizes one simulation run.
@@ -45,6 +68,11 @@ type Config struct {
 	Initial sched.InitialScheduler
 	// Policy is the dynamic rescheduling strategy. Required.
 	Policy core.Policy
+
+	// Engine selects the execution engine: EngineSerial (default, also
+	// "") or EngineParallel. Both produce identical results; see the
+	// engine constants.
+	Engine string
 
 	// SampleEvery is the state-sampling period in minutes (ASCA samples
 	// every minute; default 1).
@@ -101,6 +129,12 @@ func (c *Config) withDefaults() (Config, error) {
 	}
 	if out.Policy == nil {
 		return out, fmt.Errorf("sim: config needs a rescheduling policy")
+	}
+	switch out.Engine {
+	case "", EngineSerial, EngineParallel:
+	default:
+		return out, fmt.Errorf("sim: unknown engine %q (want %q or %q)",
+			out.Engine, EngineSerial, EngineParallel)
 	}
 	if out.SampleEvery <= 0 {
 		out.SampleEvery = 1
@@ -166,83 +200,13 @@ type Result struct {
 	// CrossSiteMoves counts reschedules (restart, migration or wait
 	// move) that crossed a site boundary, paying the inter-site delay.
 	CrossSiteMoves int64
-}
 
-// Event kinds.
-const (
-	evSubmit = iota + 1
-	evFinish
-	evWaitTimeout
-	evArrive
-	evSnapshot
-	evSusDecide
-)
-
-// arrivePayload routes a rescheduled job to a destination pool after
-// its transfer delay.
-type arrivePayload struct {
-	idx  int
-	pool int
-}
-
-// snapPair names one (observer site, target site) utilization-view
-// refresh chain: observer obs's view of tgt's pools refreshes every
-// UtilStaleness + RTT(obs, tgt) minutes on the sample-tick grid.
-type snapPair struct {
-	obs, tgt int
-}
-
-type engine struct {
-	cfg  Config
-	plat *cluster.Platform
-
-	q   *eventq.Queue
-	now float64
-
-	specs    []job.Spec
-	jobs     []jobRT
-	machines []machineRT
-	pools    []*poolRT
-
-	nextSubmit int
-	completed  int
-
-	totalCores     int
-	busyCores      int
-	suspendedTotal int
-
-	// Site topology, cached from the platform: siteOf maps pool -> site;
-	// siteBusy/siteCores track per-site core usage for the site-tagged
-	// series and the SiteUtilization view.
-	nSites    int
-	siteOf    []int
-	siteBusy  []int
-	siteCores []int
-
-	utilTS, suspTS, waitTS *stats.TimeSeries
-	// siteTS holds per-site utilization series; nil on single-site
-	// platforms or with sampling disabled.
-	siteTS       []*stats.TimeSeries
-	waitingTotal int
-
-	// sampleOn and sampleNext drive the incremental sampler: instead of
-	// queueing one evSample event per simulated minute (≈525k heap
-	// operations for a year-long run), the engine integrates the
-	// piecewise-constant utilization/suspension/wait signals whenever
-	// simulated time advances past pending sample ticks. sampleNext
-	// marches by repeated addition of SampleEvery, exactly like the old
-	// event chain did, so tick times (and hence bin boundaries) are
-	// float-identical to ASCA's §3.1 every-minute state scan. A tick
-	// that coincides exactly with an event timestamp reads the state
-	// after every event at that instant — a deterministic rule, where
-	// the event-driven sampler resolved such (measure-zero for the
-	// float-valued synthetic traces) ties by heap insertion order.
-	sampleOn   bool
-	sampleNext float64
-
-	view *poolView
-
-	res Result
+	// ambiguousTies records that the parallel engine observed at least
+	// one cross-partition pair of events with exactly equal timestamps
+	// whose serial order it cannot reconstruct. Such ties are
+	// measure-zero for float-valued traces; the fuzz harness skips
+	// serial-vs-parallel comparison when the flag is set.
+	ambiguousTies bool
 }
 
 // Run simulates the specs on the configured platform until every job
@@ -253,701 +217,12 @@ func Run(cfg Config, specs []job.Spec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &engine{
-		cfg:   full,
-		plat:  full.Platform,
-		q:     eventq.New(),
-		specs: specs,
-	}
-	if err := e.init(); err != nil {
-		return nil, err
-	}
-	if err := e.loop(); err != nil {
-		return nil, err
-	}
-	return e.finalize()
-}
-
-func (e *engine) init() error {
-	plat := e.plat
-	e.machines = make([]machineRT, plat.NumMachines())
-	for i := 0; i < plat.NumMachines(); i++ {
-		m := plat.Machine(i)
-		e.machines[i] = machineRT{m: m, freeCores: m.Cores, freeMemMB: m.MemMB}
-		e.totalCores += m.Cores
-	}
-	e.pools = make([]*poolRT, plat.NumPools())
-	for p := 0; p < plat.NumPools(); p++ {
-		e.pools[p] = newPoolRT(plat, plat.Pool(p), e.machines)
-	}
-	e.nSites = plat.NumSites()
-	e.siteOf = make([]int, plat.NumPools())
-	e.siteBusy = make([]int, e.nSites)
-	e.siteCores = make([]int, e.nSites)
-	for p := 0; p < plat.NumPools(); p++ {
-		s := plat.SiteOf(p)
-		e.siteOf[p] = s
-		e.siteCores[s] += plat.Pool(p).Cores
-	}
-	e.jobs = make([]jobRT, len(e.specs))
-	for i := range e.specs {
-		if err := e.specs[i].Validate(); err != nil {
-			return fmt.Errorf("sim: %w", err)
-		}
-		for _, c := range e.specs[i].Candidates {
-			if c >= plat.NumPools() {
-				return fmt.Errorf("sim: job %d references pool %d beyond platform's %d pools",
-					e.specs[i].ID, c, plat.NumPools())
-			}
-		}
-		if s := e.specs[i].Site; s >= e.nSites {
-			return fmt.Errorf("sim: job %d submitted from site %d beyond platform's %d sites",
-				e.specs[i].ID, s, e.nSites)
-		}
-		e.jobs[i] = jobRT{idx: i, j: job.New(e.specs[i]), spec: &e.specs[i]}
-	}
-	e.view = newPoolView(e)
-	e.utilTS = stats.NewTimeSeries(e.cfg.SeriesBin)
-	e.suspTS = stats.NewTimeSeries(e.cfg.SeriesBin)
-	e.waitTS = stats.NewTimeSeries(e.cfg.SeriesBin)
-	if e.nSites > 1 && !e.cfg.DisableSampling {
-		e.siteTS = make([]*stats.TimeSeries, e.nSites)
-		for s := range e.siteTS {
-			e.siteTS[s] = stats.NewTimeSeries(e.cfg.SeriesBin)
-		}
-	}
-
-	if len(e.specs) > 0 {
-		e.q.Schedule(e.specs[0].Submit, evSubmit, 0)
-		e.nextSubmit = 1
-		if !e.cfg.DisableSampling {
-			e.sampleOn = true
-			e.sampleNext = e.specs[0].Submit
-			// Stale utilization views refresh on the sample-tick grid;
-			// only those (rare) refresh points still need real events.
-			// One refresh chain runs per (observer, target) site pair
-			// with a non-zero ageing delay; on a single-site platform
-			// with UtilStaleness > 0 that is exactly one chain,
-			// reproducing the historical single-snapshot behavior.
-			for obs := 0; obs < e.nSites; obs++ {
-				for tgt := 0; tgt < e.nSites; tgt++ {
-					if e.view.delay(obs, tgt) > 0 {
-						e.q.Schedule(e.specs[0].Submit, evSnapshot, snapPair{obs, tgt})
-					}
-				}
-			}
-		}
-	}
-	return nil
-}
-
-func (e *engine) loop() error {
-	total := len(e.specs)
-	ctx := e.cfg.Context
-	for e.completed < total {
-		ev := e.q.Pop()
-		if ev == nil {
-			return fmt.Errorf("sim: deadlock at t=%v: %d of %d jobs completed and no pending events",
-				e.now, e.completed, total)
-		}
-		if ev.Time < e.now {
-			return fmt.Errorf("sim: event time went backwards: %v -> %v", e.now, ev.Time)
-		}
-		e.now = ev.Time
-		if e.now > e.cfg.MaxTime {
-			return fmt.Errorf("sim: exceeded MaxTime %v with %d of %d jobs incomplete",
-				e.cfg.MaxTime, total-e.completed, total)
-		}
-		e.res.Events++
-		if ctx != nil && e.res.Events&255 == 0 {
-			if err := ctx.Err(); err != nil {
-				return fmt.Errorf("sim: canceled at t=%v: %w", e.now, err)
-			}
-		}
-		// Record sample ticks strictly before this event; ticks that
-		// coincide with e.now are recorded only after every state change
-		// at e.now has been applied (post-event state, see advanceSamples).
-		if e.sampleOn {
-			e.advanceSamples(e.now)
-		}
-		var err error
-		switch ev.Kind {
-		case evSubmit:
-			err = e.handleSubmit(ev.Payload.(int))
-		case evFinish:
-			err = e.handleFinish(ev.Payload.(int))
-		case evWaitTimeout:
-			err = e.handleWaitTimeout(ev.Payload.(int))
-		case evArrive:
-			p := ev.Payload.(arrivePayload)
-			err = e.arrival(p.idx, p.pool)
-		case evSnapshot:
-			e.handleSnapshot(ev.Payload.(snapPair))
-		case evSusDecide:
-			err = e.handleSusDecide(ev.Payload.(int))
-		default:
-			err = fmt.Errorf("sim: unknown event kind %d", ev.Kind)
-		}
-		if err != nil {
-			return fmt.Errorf("sim: t=%v: %w", e.now, err)
-		}
-	}
-	return nil
-}
-
-func (e *engine) finalize() (*Result, error) {
-	res := e.res
-	res.Jobs = make([]*job.Job, len(e.jobs))
-	for i := range e.jobs {
-		res.Jobs[i] = e.jobs[i].j
-		if e.jobs[i].j.State() != job.StateCompleted {
-			return nil, fmt.Errorf("sim: job %d finished run in state %v",
-				e.jobs[i].spec.ID, e.jobs[i].j.State())
-		}
-		if c := e.jobs[i].j.Completed; c > res.Makespan {
-			res.Makespan = c
-		}
-	}
-	res.Util = e.utilTS
-	res.Suspended = e.suspTS
-	res.Waiting = e.waitTS
-	res.SiteUtil = e.siteTS
-	return &res, nil
-}
-
-// handleSubmit routes a newly submitted job through the virtual pool
-// manager and chains the next submission event. Dispatch to a pool at
-// another site pays the one-way inter-site delay before arrival (the
-// interval accrues as wait time, c1).
-func (e *engine) handleSubmit(idx int) error {
-	if e.nextSubmit < len(e.specs) {
-		e.q.Schedule(e.specs[e.nextSubmit].Submit, evSubmit, e.nextSubmit)
-		e.nextSubmit++
-	}
-	rt := &e.jobs[idx]
-	e.view.observe(rt.spec.Site)
-	pool, err := e.cfg.Initial.SelectPool(e.now, rt.spec, e.view)
+	w, err := buildWorld(full, specs)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	if e.siteOf[pool] != rt.spec.Site {
-		e.res.CrossSiteSubmits++
-		if d := e.plat.RTT(rt.spec.Site, e.siteOf[pool]); d > 0 {
-			e.q.Schedule(e.now+d, evArrive, arrivePayload{idx: idx, pool: pool})
-			return nil
-		}
+	if full.Engine == EngineParallel && w.parallelizable() {
+		return runParallel(w)
 	}
-	return e.arrival(idx, pool)
+	return runSerial(w)
 }
-
-// arrival lands a job at a physical pool: start it, preempt for it, or
-// queue it.
-func (e *engine) arrival(idx, pool int) error {
-	rt := &e.jobs[idx]
-	if err := rt.j.Enqueue(e.now, pool); err != nil {
-		return err
-	}
-	return e.tryPlace(rt, e.pools[pool])
-}
-
-// tryPlace implements the physical pool manager's §2.1 dispatch rules.
-func (e *engine) tryPlace(rt *jobRT, p *poolRT) error {
-	// (1) First eligible available machine.
-	if mid := e.findFreeMachine(p, rt.spec); mid >= 0 {
-		return e.startOn(rt, mid)
-	}
-	// (2) Preempt a lower-priority running job.
-	if victim := p.findVictim(rt.spec, e.machines, !e.cfg.SuspendHoldsMemory); victim != nil {
-		return e.preempt(rt, victim)
-	}
-	// (3) Queue and wait.
-	e.enqueue(rt, p)
-	return nil
-}
-
-// findFreeMachine searches the pool's class free-stacks for the first
-// available machine satisfying the spec, returning its ID or -1. Among
-// per-class candidates the lowest machine ID wins, approximating the
-// paper's "first eligible machine" list order deterministically.
-func (e *engine) findFreeMachine(p *poolRT, spec *job.Spec) int {
-	best := -1
-	for ci := range p.classes {
-		cls := &p.classes[ci]
-		if !cls.fits(spec) {
-			continue
-		}
-		if mid := cls.findAvailable(e.machines, spec); mid >= 0 {
-			if best == -1 || mid < best {
-				best = mid
-			}
-		}
-	}
-	return best
-}
-
-// ensureFree registers a machine in its class free-stack when it has
-// spare cores and is not already listed.
-func (e *engine) ensureFree(p *poolRT, mid int) {
-	mach := &e.machines[mid]
-	if mach.freeCores <= 0 || mach.inFree {
-		return
-	}
-	mach.inFree = true
-	p.classes[mach.class].free = append(p.classes[mach.class].free, mid)
-}
-
-// startOn begins executing rt on machine mid.
-func (e *engine) startOn(rt *jobRT, mid int) error {
-	mach := &e.machines[mid]
-	spec := rt.spec
-	if mach.freeCores < spec.Cores || mach.freeMemMB < spec.MemMB {
-		return fmt.Errorf("job %d placed on machine %d without capacity", spec.ID, mid)
-	}
-	p := e.pools[mach.m.Pool]
-	mach.freeCores -= spec.Cores
-	mach.freeMemMB -= spec.MemMB
-	p.busyCores += spec.Cores
-	e.busyCores += spec.Cores
-	e.siteBusy[e.siteOf[mach.m.Pool]] += spec.Cores
-	if err := rt.j.Start(e.now, mid, mach.m.Speed); err != nil {
-		return err
-	}
-	rem := rt.j.RemainingAt(e.now)
-	rt.finish = e.q.Schedule(e.now+rem, evFinish, rt.idx)
-	p.pushRunning(rt)
-	e.ensureFree(p, mid)
-	return nil
-}
-
-// preempt suspends victim and installs rt on the freed machine, then
-// consults the rescheduling policy about the victim's future.
-func (e *engine) preempt(rt *jobRT, victim *jobRT) error {
-	mid := victim.j.Machine
-	mach := &e.machines[mid]
-	p := e.pools[mach.m.Pool]
-
-	e.q.Cancel(victim.finish)
-	if err := victim.j.Suspend(e.now); err != nil {
-		return err
-	}
-	e.res.Preemptions++
-	mach.freeCores += victim.spec.Cores
-	if !e.cfg.SuspendHoldsMemory {
-		mach.freeMemMB += victim.spec.MemMB
-	}
-	p.busyCores -= victim.spec.Cores
-	e.busyCores -= victim.spec.Cores
-	e.siteBusy[e.siteOf[mach.m.Pool]] -= victim.spec.Cores
-	mach.suspended = append(mach.suspended, victim)
-	p.suspendedCnt++
-	e.suspendedTotal++
-
-	if err := e.startOn(rt, mid); err != nil {
-		return err
-	}
-
-	// The rescheduling decision for the fresh suspension (§3.2) happens
-	// at the next agent sweep, DecisionDelay later. If the victim has
-	// resumed (or been re-suspended and moved) by then, the stale event
-	// is ignored.
-	e.q.Schedule(e.now+e.cfg.DecisionDelay, evSusDecide, victim.idx)
-
-	// The victim may have freed more cores than the preemptor needs.
-	return e.onFree(mid)
-}
-
-// handleSusDecide consults the rescheduling policy about a job that was
-// suspended one decision sweep ago.
-func (e *engine) handleSusDecide(idx int) error {
-	rt := &e.jobs[idx]
-	if rt.j.State() != job.StateSuspended {
-		return nil // resumed or departed meanwhile
-	}
-	// The deciding agent runs at the job's current site.
-	e.view.observe(e.siteOf[rt.j.Pool])
-	if target, move := e.cfg.Policy.OnSuspend(e.now, rt.j, e.view); move {
-		return e.departSuspended(rt, target)
-	}
-	return nil
-}
-
-// departSuspended removes a suspended job from its host and routes it
-// toward target, restarting (progress lost) or migrating (progress
-// kept) per the policy.
-func (e *engine) departSuspended(rt *jobRT, target int) error {
-	mid := rt.j.Machine
-	mach := &e.machines[mid]
-	p := e.pools[mach.m.Pool]
-	if !removeSuspended(mach, rt) {
-		return fmt.Errorf("job %d not found in machine %d suspended list", rt.spec.ID, mid)
-	}
-	p.suspendedCnt--
-	e.suspendedTotal--
-	if e.cfg.SuspendHoldsMemory {
-		mach.freeMemMB += rt.spec.MemMB
-	}
-
-	overhead := e.cfg.RescheduleOverhead
-	if from := e.siteOf[rt.j.Pool]; from != e.siteOf[target] {
-		// Crossing a site boundary pays the inter-site transfer delay on
-		// top of any configured reschedule overhead.
-		overhead += e.plat.RTT(from, e.siteOf[target])
-		e.res.CrossSiteMoves++
-	}
-	if mig, ok := e.cfg.Policy.(core.Migrator); ok {
-		if err := rt.j.MigrateFrom(e.now); err != nil {
-			return err
-		}
-		e.res.Migrations++
-		overhead += mig.MigrationOverhead()
-	} else {
-		if err := rt.j.RestartFrom(e.now); err != nil {
-			return err
-		}
-		e.res.Restarts++
-	}
-	e.route(rt, target, overhead)
-	return e.onFree(mid)
-}
-
-// route delivers a job in transit to a pool, after overhead minutes.
-func (e *engine) route(rt *jobRT, pool int, overhead float64) {
-	e.q.Schedule(e.now+overhead, evArrive, arrivePayload{idx: rt.idx, pool: pool})
-}
-
-// removeSuspended deletes rt from the machine's suspended list.
-func removeSuspended(mach *machineRT, rt *jobRT) bool {
-	for i, s := range mach.suspended {
-		if s == rt {
-			mach.suspended = append(mach.suspended[:i], mach.suspended[i+1:]...)
-			return true
-		}
-	}
-	return false
-}
-
-// enqueue parks a job in the pool's wait queue and arms the policy's
-// wait-timeout timer.
-func (e *engine) enqueue(rt *jobRT, p *poolRT) {
-	p.waitQ.push(rt)
-	rt.enqueuedAt = e.now
-	e.waitingTotal++
-	if th := e.cfg.Policy.WaitThreshold(); th > 0 {
-		rt.waitTO = e.q.Schedule(e.now+th, evWaitTimeout, rt.idx)
-	}
-}
-
-// handleFinish completes a running job and redistributes its capacity.
-func (e *engine) handleFinish(idx int) error {
-	rt := &e.jobs[idx]
-	mid := rt.j.Machine
-	mach := &e.machines[mid]
-	p := e.pools[mach.m.Pool]
-	if err := rt.j.Complete(e.now); err != nil {
-		return err
-	}
-	if e.cfg.CheckConservation {
-		if err := rt.j.CheckConservation(); err != nil {
-			return err
-		}
-	}
-	e.completed++
-	mach.freeCores += rt.spec.Cores
-	mach.freeMemMB += rt.spec.MemMB
-	p.busyCores -= rt.spec.Cores
-	e.busyCores -= rt.spec.Cores
-	e.siteBusy[e.siteOf[mach.m.Pool]] -= rt.spec.Cores
-	return e.onFree(mid)
-}
-
-// onFree hands freed capacity on machine mid to, by default, the
-// host's suspended jobs first (host-level resume, §2.2) and then the
-// pool wait queue in priority-FIFO order. With QueueBeatsResume,
-// waiting jobs of strictly higher priority win over a resume.
-func (e *engine) onFree(mid int) error {
-	mach := &e.machines[mid]
-	p := e.pools[mach.m.Pool]
-	for mach.freeCores > 0 {
-		wrt := p.waitQ.peekFitting(func(rt *jobRT) bool {
-			return machineFits(mach, rt.spec)
-		})
-		srt := bestSuspended(mach, e.cfg.SuspendHoldsMemory)
-		if wrt == nil && srt == nil {
-			break
-		}
-		useWaiting := wrt != nil && (srt == nil ||
-			(e.cfg.QueueBeatsResume && wrt.j.Spec.Priority > srt.j.Spec.Priority))
-		if useWaiting {
-			p.waitQ.remove(wrt)
-			e.waitingTotal--
-			e.q.Cancel(wrt.waitTO)
-			if err := e.startOn(wrt, mid); err != nil {
-				return err
-			}
-			continue
-		}
-		if err := e.resume(srt); err != nil {
-			return err
-		}
-	}
-	e.ensureFree(p, mid)
-	return nil
-}
-
-// machineFits checks dynamic fit of a spec on a machine.
-func machineFits(mach *machineRT, spec *job.Spec) bool {
-	if spec.OS != "" && spec.OS != mach.m.OS {
-		return false
-	}
-	return mach.freeCores >= spec.Cores && mach.freeMemMB >= spec.MemMB
-}
-
-// bestSuspended returns the suspended job on mach that should resume
-// next — highest priority, then earliest suspended — among those that
-// fit the free capacity, or nil.
-func bestSuspended(mach *machineRT, holdsMem bool) *jobRT {
-	var best *jobRT
-	for _, s := range mach.suspended {
-		if mach.freeCores < s.spec.Cores {
-			continue
-		}
-		// A swapped-out job must re-acquire memory to resume.
-		if !holdsMem && mach.freeMemMB < s.spec.MemMB {
-			continue
-		}
-		if best == nil || s.j.Spec.Priority > best.j.Spec.Priority {
-			best = s
-		}
-	}
-	return best
-}
-
-// resume continues a suspended job on its host.
-func (e *engine) resume(rt *jobRT) error {
-	mid := rt.j.Machine
-	mach := &e.machines[mid]
-	p := e.pools[mach.m.Pool]
-	if !removeSuspended(mach, rt) {
-		return fmt.Errorf("job %d missing from suspended list on resume", rt.spec.ID)
-	}
-	p.suspendedCnt--
-	e.suspendedTotal--
-	mach.freeCores -= rt.spec.Cores
-	if !e.cfg.SuspendHoldsMemory {
-		mach.freeMemMB -= rt.spec.MemMB
-	}
-	p.busyCores += rt.spec.Cores
-	e.busyCores += rt.spec.Cores
-	e.siteBusy[e.siteOf[mach.m.Pool]] += rt.spec.Cores
-	if err := rt.j.Resume(e.now); err != nil {
-		return err
-	}
-	rem := rt.j.RemainingAt(e.now)
-	rt.finish = e.q.Schedule(e.now+rem, evFinish, rt.idx)
-	p.pushRunning(rt)
-	return nil
-}
-
-// handleWaitTimeout applies the policy's waiting-job rescheduling
-// (§3.3): a job stalled past the threshold may dequeue itself and move
-// to an alternate pool; otherwise the timer re-arms.
-func (e *engine) handleWaitTimeout(idx int) error {
-	rt := &e.jobs[idx]
-	if !rt.queued || rt.j.State() != job.StateWaiting {
-		return nil // stale timer: the job was dispatched meanwhile
-	}
-	th := e.cfg.Policy.WaitThreshold()
-	if th <= 0 {
-		return nil
-	}
-	e.view.observe(e.siteOf[rt.j.Pool])
-	target, move := e.cfg.Policy.OnWaitTimeout(e.now, rt.j, e.view)
-	if !move || target == rt.j.Pool {
-		rt.waitTO = e.q.Schedule(e.now+th, evWaitTimeout, rt.idx)
-		return nil
-	}
-	p := e.pools[rt.j.Pool]
-	p.waitQ.remove(rt)
-	e.waitingTotal--
-	overhead := e.cfg.RescheduleOverhead
-	if from := e.siteOf[rt.j.Pool]; from != e.siteOf[target] {
-		overhead += e.plat.RTT(from, e.siteOf[target])
-		e.res.CrossSiteMoves++
-	}
-	if err := rt.j.RescheduleWait(e.now); err != nil {
-		return err
-	}
-	e.res.WaitMoves++
-	e.route(rt, target, overhead)
-	return nil
-}
-
-// advanceSamples records every pending per-minute state sample (ASCA
-// "samples at each minute the current states of all NetBatch
-// components", §3.1) with tick time strictly before now. The observed
-// signals are piecewise-constant between events, so the current
-// counters are exactly what an event-driven sampler would have read at
-// each of those ticks. Ticks that land exactly on an event timestamp
-// (possible only for hand-built integral workloads; the synthetic
-// traces produce irrational-ish float times that never hit the grid)
-// are deferred until time moves past them, i.e. they observe the
-// post-event state, and a tick coinciding with the final completion is
-// not recorded — the event chain it replaces died with the last job.
-func (e *engine) advanceSamples(now float64) {
-	for e.sampleNext < now {
-		util := 0.0
-		if e.totalCores > 0 {
-			util = float64(e.busyCores) / float64(e.totalCores) * 100
-		}
-		e.utilTS.Add(e.sampleNext, util)
-		e.suspTS.Add(e.sampleNext, float64(e.suspendedTotal))
-		e.waitTS.Add(e.sampleNext, float64(e.waitingTotal))
-		for s, ts := range e.siteTS {
-			su := 0.0
-			if e.siteCores[s] > 0 {
-				su = float64(e.siteBusy[s]) / float64(e.siteCores[s]) * 100
-			}
-			ts.Add(e.sampleNext, su)
-		}
-		e.sampleNext += e.cfg.SampleEvery
-	}
-}
-
-// handleSnapshot refreshes one (observer, target) slice of the stale
-// utilization view (§3.2.2, generalized to site pairs) and schedules
-// the pair's next refresh on the sample-tick grid: the first tick at
-// least the pair's ageing delay after this one, reproducing the
-// refresh times the per-minute sampler produced by checking staleness
-// at every tick. (Because the event is enqueued a full period ahead
-// rather than one tick ahead, a refresh coinciding exactly with
-// another event's timestamp may order differently than the old sampler
-// did — the same measure-zero tie caveat as advanceSamples.)
-func (e *engine) handleSnapshot(pair snapPair) {
-	e.view.refresh(pair)
-	if e.completed >= len(e.specs) {
-		return
-	}
-	d := e.view.delay(pair.obs, pair.tgt)
-	next := e.now
-	for next-e.now < d {
-		next += e.cfg.SampleEvery
-	}
-	e.q.Schedule(next, evSnapshot, pair)
-}
-
-// poolView implements sched.SiteView over engine state. Utilization
-// reads are aged per (observer site, target site) pair: observer obs
-// sees a pool at site t as of the last refresh of the (obs, t) chain,
-// which runs every UtilStaleness + RTT(obs, t) minutes. With a zero
-// delay (same site, no staleness) reads are live. The engine points
-// the observer at the deciding job's site before every scheduler and
-// policy callback.
-type poolView struct {
-	e *engine
-	// obs is the current observer site.
-	obs int
-	// snap[obs][pool] holds the aged utilization; nil when every
-	// (observer, target) delay is zero (all reads live).
-	snap [][]float64
-}
-
-var (
-	_ sched.PoolView = (*poolView)(nil)
-	_ sched.SiteView = (*poolView)(nil)
-)
-
-func newPoolView(e *engine) *poolView {
-	v := &poolView{e: e}
-	stale := e.cfg.UtilStaleness > 0
-	for obs := 0; obs < e.nSites && !stale; obs++ {
-		for tgt := 0; tgt < e.nSites; tgt++ {
-			if v.delay(obs, tgt) > 0 {
-				stale = true
-				break
-			}
-		}
-	}
-	if stale {
-		v.snap = make([][]float64, e.nSites)
-		for obs := range v.snap {
-			v.snap[obs] = make([]float64, len(e.pools))
-		}
-	}
-	return v
-}
-
-// delay returns the view-ageing period for observer obs reading a pool
-// at site tgt: the configured staleness plus the inter-site delay.
-func (v *poolView) delay(obs, tgt int) float64 {
-	return v.e.cfg.UtilStaleness + v.e.plat.RTT(obs, tgt)
-}
-
-// observe points the view at the given observer site.
-func (v *poolView) observe(site int) { v.obs = site }
-
-// refresh copies live utilization of the target site's pools into the
-// observer's snapshot.
-func (v *poolView) refresh(pair snapPair) {
-	if v.snap == nil {
-		return
-	}
-	for _, p := range v.e.plat.Site(pair.tgt).Pools {
-		v.snap[pair.obs][p] = v.liveUtil(p)
-	}
-}
-
-func (v *poolView) liveUtil(p int) float64 {
-	pool := v.e.pools[p]
-	if pool.pool.Cores == 0 {
-		return 0
-	}
-	return float64(pool.busyCores) / float64(pool.pool.Cores)
-}
-
-// NumPools implements sched.PoolView.
-func (v *poolView) NumPools() int { return len(v.e.pools) }
-
-// Utilization implements sched.PoolView.
-func (v *poolView) Utilization(p int) float64 {
-	if v.snap != nil && v.delay(v.obs, v.e.siteOf[p]) > 0 {
-		return v.snap[v.obs][p]
-	}
-	return v.liveUtil(p)
-}
-
-// QueueLen implements sched.PoolView.
-func (v *poolView) QueueLen(p int) int { return v.e.pools[p].waitQ.Len() }
-
-// PoolCores implements sched.PoolView.
-func (v *poolView) PoolCores(p int) int { return v.e.pools[p].pool.Cores }
-
-// Eligible implements sched.PoolView.
-func (v *poolView) Eligible(p int, spec *job.Spec) bool {
-	return v.e.pools[p].eligible(spec)
-}
-
-// NumSites implements sched.SiteView.
-func (v *poolView) NumSites() int { return v.e.nSites }
-
-// SiteOf implements sched.SiteView.
-func (v *poolView) SiteOf(pool int) int { return v.e.siteOf[pool] }
-
-// SitePools implements sched.SiteView.
-func (v *poolView) SitePools(site int) []int { return v.e.plat.Site(site).Pools }
-
-// SiteUtilization implements sched.SiteView: the core-weighted mean of
-// the (aged) per-pool utilizations of the site.
-func (v *poolView) SiteUtilization(site int) float64 {
-	cores := v.e.siteCores[site]
-	if cores == 0 {
-		return 0
-	}
-	var busy float64
-	for _, p := range v.e.plat.Site(site).Pools {
-		busy += v.Utilization(p) * float64(v.e.pools[p].pool.Cores)
-	}
-	return busy / float64(cores)
-}
-
-// RTT implements sched.SiteView.
-func (v *poolView) RTT(a, b int) float64 { return v.e.plat.RTT(a, b) }
