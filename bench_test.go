@@ -237,6 +237,38 @@ func BenchmarkMultiSiteWeek(b *testing.B) {
 	}
 }
 
+// BenchmarkFaultsMultiSiteWeek runs one 3-site federation cell of the
+// faulty busy week — machine crashes, staggered maintenance windows,
+// kill-and-requeue victims — once per engine, mirroring
+// BenchmarkMultiSiteWeek. It times the fault & maintenance subsystem's
+// overhead on the hot path (kill sweeps, downtime spans, requeue
+// cascades) and keeps the serial-vs-parallel pair in the CI bench
+// artifact honest under faults.
+func BenchmarkFaultsMultiSiteWeek(b *testing.B) {
+	sc := experiments.FaultScenario("bench-faults", 3, sim.VictimRequeue)
+	tr, err := sc.Trace(42, benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plat, err := sc.Platform(benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc.Trace = func(uint64, float64) (*trace.Trace, error) { return tr, nil }
+	sc.Platform = func(float64) (*cluster.Platform, error) { return plat, nil }
+	pf := experiments.PolicyFactory{
+		Name: "ResSusWaitLatency",
+		New:  func(uint64) core.Policy { return core.NewResSusWaitLatency() },
+	}
+	for _, engine := range []string{sim.EngineSerial, sim.EngineParallel} {
+		b.Run("engine="+engine, func(b *testing.B) {
+			opts := benchOpts()
+			opts.Engine = engine
+			runCellBench(b, sc, pf, opts)
+		})
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw event throughput of the
 // engine on the busy-week workload. Unlike the other benches it calls
 // sim.Run directly (no metrics.Summarize, no conservation checks): its

@@ -22,6 +22,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -30,6 +31,7 @@ import (
 
 	"netbatch/internal/experiments"
 	"netbatch/internal/report"
+	"netbatch/internal/sim"
 )
 
 func main() {
@@ -41,6 +43,7 @@ func main() {
 
 func run() error {
 	var (
+		list     = flag.Bool("list", false, "list registered experiments and engines, then exit")
 		runIDs   = flag.String("run", "", "comma-separated experiment IDs (default: all)")
 		scenario = flag.String("scenario", "", "alias for -run")
 		scale    = flag.Float64("scale", 1.0, "platform+workload scale (1.0 = paper scale)")
@@ -62,6 +65,9 @@ func run() error {
 		defer cancel()
 	}
 
+	if *list {
+		return printRegistry(os.Stdout)
+	}
 	ids := experiments.IDs()
 	if *scenario != "" {
 		if *runIDs != "" {
@@ -84,7 +90,7 @@ func run() error {
 	for _, id := range ids {
 		e, err := experiments.Get(strings.TrimSpace(id))
 		if err != nil {
-			return err
+			return fmt.Errorf("%w\nrun with -list to see the registered scenarios and engines", err)
 		}
 		start := time.Now()
 		out, err := e.Run(opts)
@@ -108,6 +114,23 @@ func run() error {
 			}
 		}
 	}
+	return nil
+}
+
+// printRegistry lists every registered experiment and the available
+// simulation engines.
+func printRegistry(w io.Writer) error {
+	fmt.Fprintln(w, "registered experiments (-run/-scenario):")
+	for _, id := range experiments.IDs() {
+		e, err := experiments.Get(id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  %-10s %s\n", id, e.Title)
+	}
+	fmt.Fprintln(w, "\nengines (-engine):")
+	fmt.Fprintf(w, "  %-10s single-threaded reference kernel (default)\n", sim.EngineSerial)
+	fmt.Fprintf(w, "  %-10s one goroutine per site, conservatively synchronized; bit-identical results\n", sim.EngineParallel)
 	return nil
 }
 

@@ -82,8 +82,8 @@ func TestSingleSiteEnginesBitIdentical(t *testing.T) {
 		t.Skip("full experiment runs")
 	}
 	for _, id := range IDs() {
-		if id == "multisite" {
-			continue // covered above, with real partitions
+		if id == "multisite" || id == "faults" {
+			continue // covered above / below, with real partitions
 		}
 		id := id
 		t.Run(id, func(t *testing.T) {
@@ -98,6 +98,26 @@ func TestSingleSiteEnginesBitIdentical(t *testing.T) {
 					diffHead(serialSeries, parSeries))
 			}
 		})
+	}
+}
+
+// TestFaultsEnginesBitIdentical extends the determinism contract to
+// the fault & maintenance subsystem: the faults experiment — crashes,
+// maintenance windows, kill/requeue and drain cells on 1/3/6-site
+// federations — must render byte-identically under both engines.
+func TestFaultsEnginesBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment run")
+	}
+	serialOut, serialSeries := runEngine(t, "faults", sim.EngineSerial)
+	parOut, parSeries := runEngine(t, "faults", sim.EngineParallel)
+	if serialOut != parOut {
+		t.Errorf("faults rendered reports differ between engines:\n%s",
+			diffHead(serialOut, parOut))
+	}
+	if serialSeries != parSeries {
+		t.Errorf("faults series differ between engines:\n%s",
+			diffHead(serialSeries, parSeries))
 	}
 }
 

@@ -33,10 +33,20 @@ type Scenario struct {
 	// Staleness is the §3.2.2 utilization-view propagation delay in
 	// minutes (0 = live view).
 	Staleness float64
+	// Faults optionally enables the engine's fault & maintenance
+	// subsystem under the given regime for every cell. The per-cell
+	// fault stream seed forks from the replicate seed with a fixed
+	// key, so replicates see independent fault sequences and results
+	// stay coordinate-deterministic.
+	Faults *trace.FaultRegime
 	// Tune optionally adjusts the final engine config (ablation knobs
 	// such as DisableSampling or QueueBeatsResume).
 	Tune func(*sim.Config)
 }
+
+// faultSeedKey derives a cell's fault stream from its replicate seed
+// without overlapping the trace or policy derivations.
+const faultSeedKey = 0xFA017
 
 // Matrix is a declarative (scenario × policy × seed) experiment plan.
 // Run executes every cell on a bounded worker pool; results are
@@ -216,6 +226,9 @@ func (m Matrix) Run(opts Options) (*MatrixResult, error) {
 			UtilStaleness:      sc.Staleness,
 			CheckConservation:  true,
 			Context:            ctx,
+		}
+		if sc.Faults != nil {
+			cfg.Faults = simFaultConfig(*sc.Faults, stats.ForkSeed(seed, faultSeedKey))
 		}
 		if sc.Tune != nil {
 			sc.Tune(&cfg)

@@ -49,7 +49,7 @@ func byName(t *testing.T, out *Output) map[string]int {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"fig2", "fig3", "fig4", "highsusp", "multisite", "table1", "table2", "table3", "table4", "table5"}
+	want := []string{"faults", "fig2", "fig3", "fig4", "highsusp", "multisite", "table1", "table2", "table3", "table4", "table5"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v", got)

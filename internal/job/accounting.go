@@ -59,6 +59,9 @@ type Accounting struct {
 	Restarts int `json:"restarts"`
 	// WaitReschedules counts wait-queue reschedules (no progress lost).
 	WaitReschedules int `json:"wait_reschedules"`
+	// Kills counts fault-induced aborts (machine crash or maintenance
+	// window), each destroying the attempt's progress like a restart.
+	Kills int `json:"kills,omitempty"`
 }
 
 // Wasted returns the paper's per-job wasted completion time: wait +
@@ -223,6 +226,29 @@ func (j *Job) RestartFrom(now float64) error {
 	j.attemptExecWall = 0
 	j.progress = 0
 	j.acct.Restarts++
+	j.Machine = -1
+	return nil
+}
+
+// Kill aborts the job at time now after its host machine failed or
+// entered a maintenance window, destroying the current attempt's
+// progress (NetBatch restarts killed jobs from the beginning, like any
+// restart). Legal from StateRunning and StateSuspended; the job enters
+// StateTransit until the platform requeues it, and any interval spent
+// there accrues as reschedule overhead.
+func (j *Job) Kill(now float64) error {
+	switch j.state {
+	case StateRunning, StateSuspended:
+	default:
+		return fmt.Errorf("job %d: kill from state %v", j.Spec.ID, j.state)
+	}
+	if err := j.transition(now, StateTransit); err != nil {
+		return err
+	}
+	j.acct.WastedExec += j.attemptExecWall
+	j.attemptExecWall = 0
+	j.progress = 0
+	j.acct.Kills++
 	j.Machine = -1
 	return nil
 }

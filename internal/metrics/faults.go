@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"fmt"
+
+	"netbatch/internal/job"
+)
+
+// FaultStats is the raw fault-counter slice of a completed run. It
+// mirrors the engine's fault counters so this package does not import
+// the simulator; the experiment layer copies them over.
+type FaultStats struct {
+	// Crashes counts machine-crash events; MaintWindows counts
+	// maintenance-window openings.
+	Crashes      int64 `json:"crashes"`
+	MaintWindows int64 `json:"maint_windows"`
+	// Kills counts jobs killed by crashes or maintenance; Requeues
+	// counts their kill-and-requeue dispatches.
+	Kills    int64 `json:"kills"`
+	Requeues int64 `json:"requeues"`
+	// WorkLost is the execution wall-clock destroyed by kills, minutes.
+	WorkLost float64 `json:"work_lost"`
+	// DownCoreMinutes is the capacity lost to downtime (integral of
+	// down cores over the run), and CoreMinutes the run's total
+	// capacity (platform cores × makespan).
+	DownCoreMinutes float64 `json:"down_core_minutes"`
+	CoreMinutes     float64 `json:"core_minutes"`
+}
+
+// FaultSummary is the run-level fault & maintenance metric set: the
+// raw counters plus availability (capacity-weighted uptime) and
+// goodput (the share of executed wall-clock that survived to
+// completion rather than being destroyed by a kill).
+type FaultSummary struct {
+	FaultStats
+
+	// AvailabilityPct is 100 × (1 − DownCoreMinutes / CoreMinutes).
+	AvailabilityPct float64 `json:"availability_pct"`
+	// GoodputPct is 100 × (total exec − WorkLost) / total exec.
+	GoodputPct float64 `json:"goodput_pct"`
+	// TotalExec is the executed wall-clock over all jobs, minutes
+	// (the goodput denominator).
+	TotalExec float64 `json:"total_exec"`
+}
+
+// SummarizeFaults computes the fault metric set over completed jobs
+// and the engine's fault counters. With zero counters (faults
+// disabled) availability and goodput are both 100%.
+func SummarizeFaults(jobs []*job.Job, fs FaultStats) (FaultSummary, error) {
+	out := FaultSummary{FaultStats: fs, AvailabilityPct: 100, GoodputPct: 100}
+	for _, j := range jobs {
+		if j.State() != job.StateCompleted {
+			return out, fmt.Errorf("metrics: job %d incomplete (%v)", j.Spec.ID, j.State())
+		}
+		out.TotalExec += j.Acct().Exec
+	}
+	if fs.CoreMinutes > 0 {
+		out.AvailabilityPct = 100 * (1 - fs.DownCoreMinutes/fs.CoreMinutes)
+	}
+	if out.TotalExec > 0 {
+		out.GoodputPct = 100 * (out.TotalExec - fs.WorkLost) / out.TotalExec
+	}
+	return out, nil
+}

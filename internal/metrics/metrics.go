@@ -59,6 +59,9 @@ type Summary struct {
 	// Suspensions totals preemption events (≥ SuspendedJobs; jobs can
 	// be suspended repeatedly, §2.2).
 	Suspensions int `json:"suspensions"`
+	// Kills totals fault-induced aborts (machine crashes, maintenance
+	// windows); zero on fault-free runs.
+	Kills int `json:"kills,omitempty"`
 }
 
 // Summarize computes the Summary over completed jobs. It returns an
@@ -86,6 +89,7 @@ func Summarize(jobs []*job.Job) (Summary, error) {
 		s.Restarts += a.Restarts
 		s.WaitReschedules += a.WaitReschedules
 		s.Suspensions += a.Suspensions
+		s.Kills += a.Kills
 		if j.EverSuspended() {
 			s.SuspendedJobs++
 			ctSusp.Add(ct)

@@ -112,6 +112,19 @@ func TestGoldenWeekScenario(t *testing.T) {
 	checkGolden(t, "week", renderExperiment(t, "table1", 0))
 }
 
+func TestGoldenFaultsScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment run")
+	}
+	got := renderExperiment(t, "faults", 0)
+	checkGolden(t, "faults", got)
+	// Same bar as the multisite golden: cell-level parallelism must not
+	// change a byte of the rendered fault report.
+	if serial := renderExperiment(t, "faults", 1); serial != got {
+		t.Error("serial run renders differently from parallel run")
+	}
+}
+
 func TestGoldenMultiSiteScenario(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment run")

@@ -238,6 +238,33 @@ func SiteTable(title string, names []string, regions []string, perStrategy [][]m
 	return t, nil
 }
 
+// FaultTable renders the fault & maintenance slice of a run set: one
+// row per strategy/cell with availability, goodput and the raw fault
+// counters.
+func FaultTable(title string, names []string, sums []metrics.FaultSummary) (*Table, error) {
+	if len(names) != len(sums) {
+		return nil, fmt.Errorf("report: %d names for %d fault summaries", len(names), len(sums))
+	}
+	t := &Table{
+		Title: title,
+		Columns: []string{"Strategy", "Availability", "Goodput",
+			"Crashes", "Windows", "Kills", "Requeues", "Work lost"},
+	}
+	for i, s := range sums {
+		t.AddRow(
+			names[i],
+			fmt.Sprintf("%.2f%%", s.AvailabilityPct),
+			fmt.Sprintf("%.2f%%", s.GoodputPct),
+			fmt.Sprintf("%d", s.Crashes),
+			fmt.Sprintf("%d", s.MaintWindows),
+			fmt.Sprintf("%d", s.Kills),
+			fmt.Sprintf("%d", s.Requeues),
+			fmt.Sprintf("%.0f", s.WorkLost),
+		)
+	}
+	return t, nil
+}
+
 // CDFTable renders a distribution as quantile rows (the text rendering
 // of Figure 2).
 func CDFTable(title string, cdf *stats.CDF) *Table {

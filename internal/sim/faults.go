@@ -1,0 +1,380 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"netbatch/internal/stats"
+)
+
+// faultSys is the fault & maintenance subsystem: deterministic machine
+// crashes (exponential inter-crash and repair times per site) and
+// scheduled maintenance windows (fixed cadence, rotating machine
+// blocks). It is the first mechanism registered purely through the
+// kernel's open event-kind registry — neither the kernel nor the
+// engines know it exists.
+//
+// All four kinds are capacity handoffs: their handlers touch only the
+// owning site's machines, pools and resident jobs — plus the site's
+// private fault stream and downtime log — except that redistributing
+// capacity (a repair, a window end, or the requeue cascade of a kill)
+// scans wait queues, whose revived slots can reach jobs resident at
+// other sites. The alias-risk promotion that already protects finishes
+// and arrivals therefore covers faults with no new machinery, and the
+// serial ≡ parallel bit-identity contract extends to fault runs.
+//
+// Determinism: each site's stream is forked from FaultConfig.Seed with
+// stats.SplitKey, so it is independent of site count, engine, and
+// every other site's draws; all fault events of a site execute in that
+// site's local time order in both engines. With the zero FaultConfig
+// the subsystem is not registered at all — no events, no RNG
+// construction, outputs byte-identical to pre-fault builds.
+
+// Victim-job policies for machines taken down by maintenance windows.
+// Crashes are unplanned and always kill-and-requeue.
+const (
+	// VictimRequeue kills every job running or suspended on the
+	// machine and requeues it through the existing wait-queue path of
+	// its pool (progress destroyed, like any NetBatch restart).
+	VictimRequeue = "requeue"
+	// VictimDrain lets running jobs finish on the machine while it
+	// accepts no new placements, preemptions or resumes; suspended
+	// jobs stay parked until the window ends, unless a pending
+	// rescheduling sweep (§3.2) moves one to another pool meanwhile —
+	// the dynamic-rescheduling mechanism keeps working during windows.
+	VictimDrain = "drain"
+)
+
+// FaultConfig parameterizes the fault & maintenance subsystem. The
+// zero value disables it entirely: no fault events are scheduled, no
+// RNG state is created, and every output is byte-identical to a run
+// without the subsystem.
+type FaultConfig struct {
+	// MTBF is the mean time between machine crashes per site, in
+	// minutes (exponential gaps). 0 disables crashes.
+	MTBF float64
+	// MTTR is the mean repair time in minutes (exponential). Required
+	// when MTBF > 0.
+	MTTR float64
+	// MaintPeriod is the cadence of scheduled per-site maintenance
+	// windows in minutes. 0 disables windows. First windows are
+	// staggered across sites.
+	MaintPeriod float64
+	// MaintDuration is each window's length in minutes. Must be
+	// positive and below MaintPeriod when windows are enabled.
+	MaintDuration float64
+	// MaintFraction is the fraction of a site's machines taken down
+	// per window (a rotating contiguous block, at least one machine).
+	// Defaults to 0.25 when windows are enabled.
+	MaintFraction float64
+	// Victim selects the maintenance victim-job policy: VictimRequeue
+	// (default) or VictimDrain.
+	Victim string
+	// Seed drives the per-site fault streams (crash gaps, victim
+	// machines, repair durations), forked per site with stats.SplitKey.
+	Seed uint64
+}
+
+// enabled reports whether any fault mechanism is configured.
+func (f *FaultConfig) enabled() bool { return f.MTBF > 0 || f.MaintPeriod > 0 }
+
+// validate normalizes defaults and reports configuration errors.
+// Called from Config.withDefaults; a disabled config is left untouched.
+func (f *FaultConfig) validate() error {
+	if f.MTBF < 0 || f.MTTR < 0 || f.MaintPeriod < 0 || f.MaintDuration < 0 {
+		return fmt.Errorf("sim: negative fault parameter %+v", *f)
+	}
+	if !f.enabled() {
+		return nil
+	}
+	if f.MTBF > 0 && f.MTTR <= 0 {
+		return fmt.Errorf("sim: crashes need a positive MTTR (got %v)", f.MTTR)
+	}
+	if f.MaintPeriod > 0 {
+		if f.MaintDuration <= 0 || f.MaintDuration >= f.MaintPeriod {
+			return fmt.Errorf("sim: maintenance duration %v outside (0, period %v)",
+				f.MaintDuration, f.MaintPeriod)
+		}
+		if f.MaintFraction < 0 || f.MaintFraction > 1 {
+			return fmt.Errorf("sim: maintenance fraction %v outside [0,1]", f.MaintFraction)
+		}
+		if f.MaintFraction == 0 {
+			f.MaintFraction = 0.25
+		}
+	}
+	switch f.Victim {
+	case "":
+		f.Victim = VictimRequeue
+	case VictimRequeue, VictimDrain:
+	default:
+		return fmt.Errorf("sim: unknown victim policy %q (want %q or %q)",
+			f.Victim, VictimRequeue, VictimDrain)
+	}
+	return nil
+}
+
+// Downtime span categories.
+const (
+	spanCrash = int8(iota)
+	spanMaint
+)
+
+// downSpan is one machine's downtime interval in a site's fault log;
+// to stays +inf while the machine is down. Result counters derive from
+// the logs clamped to the makespan, so both engines compute identical
+// values even though the parallel engine's final round may process
+// repair events the serial loop never pops.
+type downSpan struct {
+	from, to float64
+	cores    int
+	kind     int8
+}
+
+// siteFaults is one site's fault state, owned by the site's shard.
+type siteFaults struct {
+	rng *stats.RNG
+	// spans logs every downtime interval of the site's machines.
+	spans []downSpan
+	// windowStarts logs maintenance window start times.
+	windowStarts []float64
+	// workLost accumulates execution wall-clock destroyed by the
+	// site's kills. Kept per site — not per shard — because float
+	// addition does not commute: both engines add a site's losses in
+	// the same local order and finalizeFaults sums sites in index
+	// order, keeping the total bit-identical.
+	workLost float64
+	// maintNext is the next window start; maintIdx rotates the window's
+	// machine block through the site.
+	maintNext float64
+	maintIdx  int
+}
+
+// maintEndPayload carries the machines a window actually took down.
+type maintEndPayload struct {
+	site  int
+	taken []int
+}
+
+type faultSys struct {
+	sh *shard
+
+	// Allocated event kinds, all capacity handoffs.
+	crash, repair, maintStart, maintEnd kind
+}
+
+func (s *faultSys) register(k *kernel) {
+	s.crash = k.registerHandoffKind("fault.crash", func(p any) error { return s.handleCrash(p.(int)) })
+	s.repair = k.registerHandoffKind("fault.repair", func(p any) error { return s.handleRepair(p.(int)) })
+	s.maintStart = k.registerHandoffKind("fault.maintStart", func(p any) error { return s.handleMaintStart(p.(int)) })
+	s.maintEnd = k.registerHandoffKind("fault.maintEnd", func(p any) error { return s.handleMaintEnd(p.(maintEndPayload)) })
+}
+
+// seed schedules each in-scope site's first crash and first
+// maintenance window. Both chains start strictly after the trace start
+// and re-arm themselves from their handlers, like the submission chain.
+func (s *faultSys) seed() {
+	sh := s.sh
+	cfg := &sh.w.cfg.Faults
+	for _, site := range sh.sites {
+		f := &sh.w.faults[site]
+		if cfg.MTBF > 0 {
+			sh.k.schedule(sh.w.start+f.rng.Exp(cfg.MTBF), s.crash, site)
+		}
+		if cfg.MaintPeriod > 0 {
+			sh.k.schedule(f.maintNext, s.maintStart, site)
+		}
+	}
+}
+
+// handleCrash fails one machine at the site: a uniformly drawn victim
+// among the machines currently up loses all its jobs (killed and
+// requeued through the pool's wait-queue path) and stays down for an
+// exponential repair time. The next crash is chained first so the
+// site's stream order is (gap, victim, repair) per crash.
+func (s *faultSys) handleCrash(site int) error {
+	sh := s.sh
+	cfg := &sh.w.cfg.Faults
+	f := &sh.w.faults[site]
+	sh.k.schedule(sh.k.now+f.rng.Exp(cfg.MTBF), s.crash, site)
+
+	ups := make([]int, 0, len(sh.w.machBySite[site]))
+	for _, mid := range sh.w.machBySite[site] {
+		if !sh.w.machines[mid].down {
+			ups = append(ups, mid)
+		}
+	}
+	if len(ups) == 0 {
+		return nil // whole site already down; the crash is absorbed
+	}
+	mid := ups[f.rng.IntN(len(ups))]
+	s.takeDown(site, mid, spanCrash)
+	if err := sh.killMachineJobs(mid); err != nil {
+		return err
+	}
+	sh.k.schedule(sh.k.now+f.rng.Exp(cfg.MTTR), s.repair, mid)
+	return nil
+}
+
+// handleRepair brings a crashed machine back and redistributes its
+// capacity through the standard handoff path.
+func (s *faultSys) handleRepair(mid int) error {
+	s.bringUp(mid)
+	return s.sh.onFree(mid)
+}
+
+// handleMaintStart opens a maintenance window at the site: a rotating
+// contiguous block of MaintFraction of its machines goes down for
+// MaintDuration minutes, with victims handled per the configured
+// policy. Machines already down (crashed) are skipped — their repair
+// owns their recovery. The next window is chained immediately.
+func (s *faultSys) handleMaintStart(site int) error {
+	sh := s.sh
+	cfg := &sh.w.cfg.Faults
+	f := &sh.w.faults[site]
+	f.windowStarts = append(f.windowStarts, sh.k.now)
+	sh.k.schedule(sh.k.now+cfg.MaintPeriod, s.maintStart, site)
+
+	machines := sh.w.machBySite[site]
+	count := int(math.Round(cfg.MaintFraction * float64(len(machines))))
+	if count < 1 {
+		count = 1
+	}
+	if count > len(machines) {
+		count = len(machines)
+	}
+	start := f.maintIdx % len(machines)
+	f.maintIdx += count
+	// The window is atomic: every machine in the block goes down before
+	// any victim is handled, so a kill-and-requeue cannot land a victim
+	// on a machine the same window is about to take away.
+	var taken []int
+	for i := 0; i < count; i++ {
+		mid := machines[(start+i)%len(machines)]
+		if sh.w.machines[mid].down {
+			continue
+		}
+		s.takeDown(site, mid, spanMaint)
+		taken = append(taken, mid)
+	}
+	if cfg.Victim == VictimRequeue {
+		for _, mid := range taken {
+			if err := sh.killMachineJobs(mid); err != nil {
+				return err
+			}
+		}
+	}
+	if len(taken) > 0 {
+		sh.k.schedule(sh.k.now+cfg.MaintDuration, s.maintEnd, maintEndPayload{site: site, taken: taken})
+	}
+	return nil
+}
+
+// handleMaintEnd closes a window: every machine it took down comes
+// back and hands its capacity off (resuming drained suspended jobs
+// first, then serving the wait queue, like any freed capacity).
+func (s *faultSys) handleMaintEnd(p maintEndPayload) error {
+	for _, mid := range p.taken {
+		s.bringUp(mid)
+		if err := s.sh.onFree(mid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// takeDown marks the machine down and opens its downtime span.
+func (s *faultSys) takeDown(site, mid int, spanKind int8) {
+	f := &s.sh.w.faults[site]
+	mach := &s.sh.w.machines[mid]
+	mach.down = true
+	mach.spanIdx = len(f.spans)
+	f.spans = append(f.spans, downSpan{from: s.sh.k.now, to: inf, cores: mach.m.Cores, kind: spanKind})
+}
+
+// bringUp clears the down mark and closes the machine's span.
+func (s *faultSys) bringUp(mid int) {
+	mach := &s.sh.w.machines[mid]
+	site := s.sh.w.siteOf[mach.m.Pool]
+	s.sh.w.faults[site].spans[mach.spanIdx].to = s.sh.k.now
+	mach.down = false
+}
+
+// killMachineJobs kills every job running or suspended on mid —
+// running jobs in start order, then suspended jobs in suspension
+// order — and requeues each through the existing wait-queue path of
+// its current pool. The machine must already be marked down, so the
+// requeue cascade can never place a job back onto it.
+func (sh *shard) killMachineJobs(mid int) error {
+	mach := &sh.w.machines[mid]
+	p := sh.w.pools[mach.m.Pool]
+	site := sh.siteOfPool(mach.m.Pool)
+	for len(mach.running) > 0 {
+		rt := mach.running[0]
+		mach.running = mach.running[1:]
+		sh.k.cancel(rt.finish)
+		mach.freeCores += rt.spec.Cores
+		mach.freeMemMB += rt.spec.MemMB
+		p.busyCores -= rt.spec.Cores
+		sh.addBusy(mach.m.Pool, -rt.spec.Cores)
+		if err := sh.killAndRequeue(rt, mach.m.Pool, site); err != nil {
+			return err
+		}
+	}
+	for len(mach.suspended) > 0 {
+		rt := mach.suspended[0]
+		mach.suspended = mach.suspended[1:]
+		p.suspendedCnt--
+		sh.scopeSuspended--
+		if sh.w.cfg.SuspendHoldsMemory {
+			mach.freeMemMB += rt.spec.MemMB
+		}
+		if err := sh.killAndRequeue(rt, mach.m.Pool, site); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// killAndRequeue destroys rt's progress and lands it back at pool as a
+// fresh arrival (start elsewhere, preempt, or queue — §2.1 rules).
+func (sh *shard) killAndRequeue(rt *jobRT, pool, site int) error {
+	before := rt.j.Acct().WastedExec
+	if err := rt.j.Kill(sh.k.now); err != nil {
+		return err
+	}
+	sh.w.faults[site].workLost += rt.j.Acct().WastedExec - before
+	sh.res.Kills++
+	sh.res.Requeues++
+	return sh.arrival(rt.idx, pool)
+}
+
+// finalizeFaults derives the engine-independent fault counters from
+// the per-site downtime logs, clamped to the makespan: the serial loop
+// dies at the final completion leaving open spans behind, while the
+// parallel engine's last round may process repairs past it — clamping
+// makes both read identically. Crash/window events at or after the
+// makespan never count (the serial loop never popped them).
+func finalizeFaults(w *world, res *Result) {
+	if w.faults == nil {
+		return
+	}
+	for s := range w.faults {
+		f := &w.faults[s]
+		res.WorkLost += f.workLost
+		for _, span := range f.spans {
+			if span.from >= res.Makespan {
+				continue
+			}
+			to := math.Min(span.to, res.Makespan)
+			res.DownCoreMinutes += float64(span.cores) * (to - span.from)
+			if span.kind == spanCrash {
+				res.Crashes++
+			}
+		}
+		for _, t := range f.windowStarts {
+			if t < res.Makespan {
+				res.MaintWindows++
+			}
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package sim
+
+// Unit and property tests for the fault & maintenance subsystem:
+// deterministic maintenance-window semantics under both victim
+// policies, crash kill/requeue mechanics, zero-config byte identity,
+// and the serial ≡ parallel bit-identity contract extended to runs
+// with faults enabled.
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"netbatch/internal/job"
+)
+
+// maintOnly returns a FaultConfig with deterministic maintenance
+// windows and no crashes. On a single-site platform the first window
+// opens at start + period/2.
+func maintOnly(period, duration, fraction float64, victim string) FaultConfig {
+	return FaultConfig{
+		MaintPeriod:   period,
+		MaintDuration: duration,
+		MaintFraction: fraction,
+		Victim:        victim,
+	}
+}
+
+func TestMaintenanceDrainLetsRunningJobsFinish(t *testing.T) {
+	p := miniPlatform(t, 2) // one pool, two 1-core machines
+	// Windows every 100 min, 40 long, all machines: down over [50,90],
+	// [150,190], ... Job 1 runs straight through under drain; job 2
+	// arrives mid-window and must wait for the window end.
+	cfg := baseConfig(p)
+	cfg.Faults = maintOnly(100, 40, 1.0, VictimDrain)
+	specs := []job.Spec{
+		lowJob(1, 0, 200, 0),
+		lowJob(2, 60, 10, 0),
+	}
+	res := run(t, cfg, specs)
+	if got := res.Jobs[0].Completed; got != 200 {
+		t.Errorf("drained job completed at %v, want 200", got)
+	}
+	if got := res.Jobs[1].Completed; got != 100 {
+		t.Errorf("window-blocked job completed at %v, want 100 (start at window end 90)", got)
+	}
+	if res.Kills != 0 || res.Requeues != 0 || res.WorkLost != 0 {
+		t.Errorf("drain killed jobs: kills=%d requeues=%d workLost=%v",
+			res.Kills, res.Requeues, res.WorkLost)
+	}
+	if res.MaintWindows != 2 {
+		t.Errorf("MaintWindows = %d, want 2 (starts 50 and 150, makespan 200)", res.MaintWindows)
+	}
+	// Two machines down for two full 40-minute windows.
+	if res.DownCoreMinutes != 160 {
+		t.Errorf("DownCoreMinutes = %v, want 160", res.DownCoreMinutes)
+	}
+	if res.Crashes != 0 {
+		t.Errorf("Crashes = %d, want 0", res.Crashes)
+	}
+}
+
+func TestMaintenanceRequeueKillsAndRestarts(t *testing.T) {
+	p := miniPlatform(t, 2)
+	cfg := baseConfig(p)
+	cfg.Faults = maintOnly(100, 40, 1.0, VictimRequeue)
+	// Job 1 anchors the window grid at t=0 (windows over [50,90],
+	// [150,190], ...) and finishes before the first window. Job 2 starts
+	// at 40, is killed by the window at 50 (10 minutes of progress
+	// lost), requeues against a fully-down pool, restarts at the window
+	// end 90 and finishes at 120.
+	specs := []job.Spec{
+		lowJob(1, 0, 5, 0),
+		lowJob(2, 40, 30, 0),
+	}
+	res := run(t, cfg, specs)
+	j := res.Jobs[1]
+	if j.Completed != 120 {
+		t.Fatalf("killed job completed at %v, want 120", j.Completed)
+	}
+	a := j.Acct()
+	if a.Kills != 1 || a.WastedExec != 10 || a.Wait != 40 || a.Exec != 40 {
+		t.Errorf("accounting = %+v, want kills=1 wastedExec=10 wait=40 exec=40", a)
+	}
+	if res.Kills != 1 || res.Requeues != 1 || res.WorkLost != 10 {
+		t.Errorf("counters: kills=%d requeues=%d workLost=%v, want 1/1/10",
+			res.Kills, res.Requeues, res.WorkLost)
+	}
+}
+
+func TestCrashKillsRequeuesAndRepairs(t *testing.T) {
+	// A single 1-core machine with an aggressive crash rate: the
+	// 100-minute job is all but guaranteed to be killed at least once,
+	// requeued on the same (only) machine after each repair, and must
+	// still complete with conservation intact.
+	p := miniPlatform(t, 1)
+	cfg := baseConfig(p)
+	cfg.Faults = FaultConfig{MTBF: 40, MTTR: 10, Seed: 7}
+	cfg.MaxTime = 100000
+	res := run(t, cfg, []job.Spec{lowJob(1, 0, 100, 0)})
+	if res.Crashes == 0 {
+		t.Fatal("expected at least one crash before the makespan")
+	}
+	if res.Kills == 0 || res.Requeues != res.Kills {
+		t.Errorf("kills=%d requeues=%d, want kills>0 and equal", res.Kills, res.Requeues)
+	}
+	a := res.Jobs[0].Acct()
+	if a.Kills != int(res.Kills) {
+		t.Errorf("job kills %d != result kills %d", a.Kills, res.Kills)
+	}
+	if res.WorkLost <= 0 || res.DownCoreMinutes <= 0 {
+		t.Errorf("workLost=%v downCoreMinutes=%v, want both positive", res.WorkLost, res.DownCoreMinutes)
+	}
+}
+
+func TestFaultsZeroConfigByteIdentical(t *testing.T) {
+	// A zero FaultConfig must not change anything: no subsystem
+	// registration, no RNG, identical fingerprints.
+	r := rand.New(rand.NewPCG(11, 13))
+	plat, specs, err := randomFederation(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(f FaultConfig) Config {
+		return Config{
+			Platform:          plat,
+			Initial:           federatedInitial(siteSelectorForIndex(1)),
+			Policy:            multiSitePolicyForIndex(1, 3),
+			CheckConservation: true,
+			Faults:            f,
+		}
+	}
+	base, err := Run(mk(FaultConfig{}), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed and victim alone do not enable the subsystem.
+	inert, err := Run(mk(FaultConfig{Seed: 99, Victim: VictimDrain}), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(base) != fingerprint(inert) {
+		t.Fatal("inert fault config changed the run")
+	}
+	if base.Crashes != 0 || base.Kills != 0 || base.DownCoreMinutes != 0 {
+		t.Fatalf("fault counters nonzero on fault-free run: %+v", base)
+	}
+}
+
+func TestFaultConfigValidation(t *testing.T) {
+	p := miniPlatform(t, 1)
+	specs := []job.Spec{lowJob(1, 0, 10, 0)}
+	bad := []FaultConfig{
+		{MTBF: 100},                            // crashes need MTTR
+		{MTBF: -1, MTTR: 5},                    // negative
+		{MaintPeriod: 100},                     // windows need duration
+		{MaintPeriod: 100, MaintDuration: 100}, // duration >= period
+		{MaintPeriod: 100, MaintDuration: 10, Victim: "x"}, // unknown victim
+		{MaintPeriod: 100, MaintDuration: 10, MaintFraction: 1.5},
+	}
+	for i, f := range bad {
+		cfg := baseConfig(p)
+		cfg.Faults = f
+		if _, err := Run(cfg, specs); err == nil {
+			t.Errorf("config %d (%+v) accepted, want error", i, f)
+		}
+	}
+}
+
+// randomFaults draws a fault regime scaled to the short random
+// federations: frequent enough that crashes and windows actually fire
+// within a few-hundred-minute trace.
+func randomFaults(r *rand.Rand, seed uint64) FaultConfig {
+	f := FaultConfig{
+		MTBF: 60 + r.Float64()*400,
+		MTTR: 10 + r.Float64()*80,
+		Seed: seed ^ 0xFA17,
+	}
+	if r.IntN(4) > 0 { // most runs also get maintenance windows
+		f.MaintPeriod = 150 + r.Float64()*500
+		f.MaintDuration = 20 + r.Float64()*80
+		f.MaintFraction = 0.2 + r.Float64()*0.6
+	}
+	if r.IntN(2) == 0 {
+		f.Victim = VictimDrain
+	}
+	return f
+}
+
+// TestParallelMatchesSerialRandomFederationsWithFaults is the
+// engine-identity property test with the fault subsystem enabled:
+// random federations, random fault regimes, every policy and site
+// selector — job records, counters (including the fault set) and
+// series must match bit for bit.
+func TestParallelMatchesSerialRandomFederationsWithFaults(t *testing.T) {
+	cfgQuick := &quick.Config{MaxCount: 24}
+	err := quick.Check(func(seed uint64, polPick, selPick uint8) bool {
+		r := rand.New(rand.NewPCG(seed, seed^0xFA5EED))
+		plat, specs, err := randomFederation(r)
+		if err != nil {
+			t.Logf("workload: %v", err)
+			return false
+		}
+		faults := randomFaults(r, seed)
+		mk := func() Config {
+			return Config{
+				Platform:          plat,
+				Initial:           federatedInitial(siteSelectorForIndex(int(selPick))),
+				Policy:            multiSitePolicyForIndex(int(polPick), seed),
+				Faults:            faults,
+				CheckConservation: true,
+				MaxTime:           200000,
+			}
+		}
+		serialRes, err := Run(mk(), specs)
+		if err != nil {
+			t.Logf("serial: %v", err)
+			return false
+		}
+		par := mk()
+		par.Engine = EngineParallel
+		parRes, err := Run(par, specs)
+		if err != nil {
+			t.Logf("parallel: %v", err)
+			return false
+		}
+		if parRes.ambiguousTies {
+			t.Logf("seed %d: ambiguous tie observed, skipping comparison", seed)
+			return true
+		}
+		a, b := fingerprint(serialRes), fingerprint(parRes)
+		if a != b {
+			t.Logf("seed %d sel %d pol %d: engines diverge under faults:\n%s",
+				seed, selPick%3, polPick%4, firstDiff(a, b))
+			return false
+		}
+		return true
+	}, cfgQuick)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,31 +2,62 @@ package sim
 
 // FuzzParallelOrdering model-checks the partitioned engine's
 // cross-partition event ordering against the serial kernel: a fuzzed
-// (seed, policy, site selector, staleness) coordinate synthesizes a
-// random multi-site federation and workload, both engines simulate the
-// same trace, and every observable — job records, counters, series —
-// must match bit for bit. Runs where the parallel engine reports an
-// ambiguous cross-partition timestamp tie (possible with fuzzed
-// integer delays; the serial scheduling-order tie-break is not
-// reconstructible) skip the comparison but still require both engines
-// to complete cleanly. The committed corpus pins the coordinates that
-// found real ordering bugs during development: a cross-site alias
-// dispatch, an arrival/refresh tie on the sample grid, and a stale
-// decision fence ahead of an unclaimed spawning event.
+// (seed, policy, site selector, staleness, fault regime) coordinate
+// synthesizes a random multi-site federation and workload, both
+// engines simulate the same trace, and every observable — job records,
+// counters (including the fault set), series — must match bit for bit.
+// faultPick == 0 reproduces the historical fault-free corpus; any other
+// value enables machine crashes (and, depending on its low bits,
+// maintenance windows under either victim policy). Runs where the
+// parallel engine reports an ambiguous cross-partition timestamp tie
+// (possible with fuzzed integer delays; the serial scheduling-order
+// tie-break is not reconstructible) skip the comparison but still
+// require both engines to complete cleanly. The committed corpus pins
+// the coordinates that found real ordering bugs during development: a
+// cross-site alias dispatch, an arrival/refresh tie on the sample
+// grid, a stale decision fence ahead of an unclaimed spawning event,
+// and a machine crash whose kill-requeue races a cross-site arrival
+// (the coordinate class that exposed the cross-alias victim hazard —
+// see the crossAliased promotion in shard.go).
 
 import (
 	"math/rand/v2"
 	"testing"
 )
 
+// fuzzFaults derives a fault regime from one fuzz byte pair: zero
+// disables the subsystem entirely (historical behavior); otherwise
+// crashes are always on and the low bits of faultPick select window
+// cadence and victim policy.
+func fuzzFaults(seed uint64, faultPick, victimPick byte) FaultConfig {
+	if faultPick == 0 {
+		return FaultConfig{}
+	}
+	f := FaultConfig{
+		MTBF: 40 + float64(faultPick)*3,
+		MTTR: 15 + float64(victimPick%16)*5,
+		Seed: seed ^ 0xFA17,
+	}
+	if faultPick%4 != 0 {
+		f.MaintPeriod = 150 + float64(faultPick%4)*150
+		f.MaintDuration = 40
+		f.MaintFraction = 0.3
+	}
+	if victimPick%2 == 1 {
+		f.Victim = VictimDrain
+	}
+	return f
+}
+
 func FuzzParallelOrdering(f *testing.F) {
-	f.Add(uint64(0x64ccd4a6193fcb8f), byte(0xcb), byte(0x38), byte(0x3e))
-	f.Add(uint64(0xaeb86490e1d38afc), byte(0xaa), byte(0x67), byte(0x8d))
-	f.Add(uint64(0xcd3965e7d3eebe1f), byte(0x65), byte(0x8b), byte(0xda))
-	f.Add(uint64(0x770d30828739e4ab), byte(0x0b), byte(0x97), byte(0xac))
-	f.Add(uint64(42), byte(0), byte(0), byte(0))
-	f.Add(uint64(7), byte(1), byte(2), byte(20))
-	f.Fuzz(func(t *testing.T, seed uint64, polPick, selPick, staleness byte) {
+	f.Add(uint64(0x64ccd4a6193fcb8f), byte(0xcb), byte(0x38), byte(0x3e), byte(0), byte(0))
+	f.Add(uint64(0xaeb86490e1d38afc), byte(0xaa), byte(0x67), byte(0x8d), byte(0), byte(0))
+	f.Add(uint64(0xcd3965e7d3eebe1f), byte(0x65), byte(0x8b), byte(0xda), byte(0), byte(0))
+	f.Add(uint64(0x770d30828739e4ab), byte(0x0b), byte(0x97), byte(0xac), byte(0), byte(0))
+	f.Add(uint64(42), byte(0), byte(0), byte(0), byte(0), byte(0))
+	f.Add(uint64(7), byte(1), byte(2), byte(20), byte(0), byte(0))
+	f.Add(uint64(11), byte(3), byte(2), byte(5), byte(9), byte(1))
+	f.Fuzz(func(t *testing.T, seed uint64, polPick, selPick, staleness, faultPick, victimPick byte) {
 		r := rand.New(rand.NewPCG(seed, seed^0x9e3779b9))
 		plat, specs, err := randomFederation(r)
 		if err != nil {
@@ -44,6 +75,7 @@ func FuzzParallelOrdering(f *testing.F) {
 				Initial:           federatedInitial(siteSelectorForIndex(int(selPick))),
 				Policy:            multiSitePolicyForIndex(int(polPick), seed),
 				UtilStaleness:     float64(staleness % 40),
+				Faults:            fuzzFaults(seed, faultPick, victimPick),
 				CheckConservation: true,
 				MaxTime:           20000,
 			}

@@ -10,34 +10,53 @@ import (
 // owns the clock and the future event list and dispatches typed events
 // to registered subsystems. Everything that gives events meaning —
 // placement and preemption, rescheduling decisions, stale-view
-// snapshots, series accounting — lives in subsystem types (see
-// placement.go, resched.go, snapshot.go, accounting.go) that register
-// their handlers with the kernel at shard construction. The kernel
-// itself never inspects payloads and never touches platform state,
-// which is what lets the serial engine (serial.go) and the partitioned
-// parallel engine (parallel.go) drive identical mechanism code.
+// snapshots, machine faults, series accounting — lives in subsystem
+// types (see placement.go, resched.go, snapshot.go, faults.go,
+// accounting.go) that register their handlers with the kernel at shard
+// construction. The kernel itself never inspects payloads and never
+// touches platform state, which is what lets the serial engine
+// (serial.go) and the partitioned parallel engine (parallel.go) drive
+// identical mechanism code.
+//
+// Event kinds are an open registry, not a closed enum: a subsystem
+// allocates each kind it owns with registerKind/registerHandoffKind
+// and receives an opaque handle back, so new mechanisms plug in
+// without touching the kernel or the engines. Kind numbering follows
+// registration order; because every shard registers the same
+// subsystem list in the same order, the numbering is identical across
+// the partitions of one run (runParallel verifies this), which is what
+// lets cross-shard deliveries carry kind values between kernels. Kind
+// numbers never influence event ordering — the queue orders purely on
+// (time, tie rank) — so the numbering is free to change as subsystems
+// come and go.
 
-// Event kinds. The zero value is reserved so an unregistered kind is
-// caught at dispatch.
-const (
-	evSubmit = iota + 1
-	evFinish
-	evWaitTimeout
-	evArrive
-	evSnapshot
-	evSusDecide
-	numEventKinds
-)
+// kind is an opaque handle for a registered event kind. The zero value
+// is reserved so an unregistered kind is caught at dispatch.
+type kind int
 
 // handlerFunc applies one event's payload to shard state.
 type handlerFunc func(payload any) error
 
-// subsystem is a pluggable simulator mechanism: it wires the event
-// kinds it owns into the kernel's dispatch table. Handlers for kinds
-// registered as deciding consult scheduling or rescheduling policy —
-// shared, order-sensitive state — and the parallel engine serializes
-// them globally in timestamp order; all other handlers touch only
-// their own partition's state.
+// kindInfo is one registry entry: the kind's diagnostic name, its
+// synchronization class, and its handler.
+type kindInfo struct {
+	name    string
+	handler handlerFunc
+
+	// deciding kinds consult scheduling or rescheduling policy —
+	// shared, order-sensitive state — and the parallel engine
+	// serializes them globally in timestamp order.
+	deciding bool
+	// handoff kinds redistribute machine capacity (completions,
+	// arrivals, fault repairs): their wait-queue scans touch only
+	// shard-local state unless the shard has live alias risk, in which
+	// case the parallel engine promotes them to deciding (see
+	// shard.aliasRisk).
+	handoff bool
+}
+
+// subsystem is a pluggable simulator mechanism: it allocates the event
+// kinds it owns from the kernel's registry and wires in its handlers.
 type subsystem interface {
 	register(k *kernel)
 }
@@ -46,9 +65,9 @@ type subsystem interface {
 // owning queues: an alias dispatch may cancel a wait timer that a
 // different shard's kernel scheduled, and cancellation must decrement
 // that queue's live count, not the canceling shard's. For kinds the
-// parallel engine fence-publishes (deciding kinds, and the
-// capacity-handoff kinds that alias risk can promote to deciding) it
-// carries a second handle into the corresponding shadow queue.
+// parallel engine fence-publishes (deciding kinds, and the handoff
+// kinds that alias risk can promote to deciding) it carries a second
+// handle into the corresponding shadow queue.
 type evRef struct {
 	main    eventq.Handle
 	mainQ   *eventq.Queue
@@ -56,8 +75,8 @@ type evRef struct {
 	shadowQ *eventq.Queue
 }
 
-// kernel is one partition's event loop core: clock, queue, dispatch
-// table, and processed-event count.
+// kernel is one partition's event loop core: clock, queue, kind
+// registry, and processed-event count.
 type kernel struct {
 	q   *eventq.Queue
 	now float64
@@ -74,20 +93,21 @@ type kernel struct {
 	// final completion exactly like the serial loop does).
 	events int64
 
-	handlers [numEventKinds]handlerFunc
-	deciding [numEventKinds]bool
+	// kinds is the event-kind registry. Index 0 is reserved so the
+	// zero kind is caught at dispatch.
+	kinds []kindInfo
 
 	// decideQ shadows pending deciding events and handoffQ shadows
-	// pending capacity-handoff events (finishes and arrivals), so the
-	// partition can publish the timestamp of its next decision — and,
-	// under alias risk, its next promoted handoff — in O(1). Both are
-	// nil in the serial engine, which needs no fences.
+	// pending capacity-handoff events, so the partition can publish
+	// the timestamp of its next decision — and, under alias risk, its
+	// next promoted handoff — in O(1). Both are nil in the serial
+	// engine, which needs no fences.
 	decideQ  *eventq.Queue
 	handoffQ *eventq.Queue
 }
 
 func newKernel(trackDecides bool) *kernel {
-	k := &kernel{q: eventq.New()}
+	k := &kernel{q: eventq.New(), kinds: make([]kindInfo, 1)}
 	if trackDecides {
 		k.decideQ = eventq.New()
 		k.handoffQ = eventq.New()
@@ -95,27 +115,53 @@ func newKernel(trackDecides bool) *kernel {
 	return k
 }
 
-// handle registers a handler for one event kind. Registering a kind
-// twice is a programmer error.
-func (k *kernel) handle(kind int, deciding bool, h handlerFunc) {
-	if k.handlers[kind] != nil {
-		panic(fmt.Sprintf("sim: event kind %d registered twice", kind))
+// registerKind allocates a new event kind owned by the calling
+// subsystem and installs its handler. deciding marks kinds whose
+// handlers consult shared scheduler/policy state and must execute in
+// global timestamp order under the parallel engine.
+func (k *kernel) registerKind(name string, deciding bool, h handlerFunc) kind {
+	if h == nil {
+		panic(fmt.Sprintf("sim: event kind %q registered with nil handler", name))
 	}
-	k.handlers[kind] = h
-	k.deciding[kind] = deciding
+	for _, info := range k.kinds[1:] {
+		if info.name == name {
+			panic(fmt.Sprintf("sim: event kind %q registered twice", name))
+		}
+	}
+	k.kinds = append(k.kinds, kindInfo{name: name, deciding: deciding, handler: h})
+	return kind(len(k.kinds) - 1)
 }
 
+// registerHandoffKind allocates a capacity-handoff kind: non-deciding
+// in the serial order, but promoted to deciding by the parallel engine
+// while the owning shard has live alias risk, because redistributing
+// capacity scans wait queues whose revived slots can reach jobs
+// resident at other sites.
+func (k *kernel) registerHandoffKind(name string, h handlerFunc) kind {
+	id := k.registerKind(name, false, h)
+	k.kinds[id].handoff = true
+	return id
+}
+
+// decides reports whether the kind is statically deciding. The
+// argument is an int because it usually arrives from an eventq.Event.
+func (k *kernel) decides(kd int) bool { return k.kinds[kd].deciding }
+
+// isHandoff reports whether the kind is a capacity handoff.
+func (k *kernel) isHandoff(kd int) bool { return k.kinds[kd].handoff }
+
 // schedule adds an event at time t, shadowing fence-published kinds.
-func (k *kernel) schedule(t float64, kind int, payload any) evRef {
-	ref := evRef{main: k.q.SchedulePhased(t, kind, payload, k.phase), mainQ: k.q}
+func (k *kernel) schedule(t float64, kd kind, payload any) evRef {
+	ref := evRef{main: k.q.SchedulePhased(t, int(kd), payload, k.phase), mainQ: k.q}
+	info := &k.kinds[kd]
 	switch {
-	case k.decideQ != nil && k.deciding[kind]:
+	case k.decideQ != nil && info.deciding:
 		ref.shadowQ = k.decideQ
-	case k.handoffQ != nil && (kind == evFinish || kind == evArrive):
+	case k.handoffQ != nil && info.handoff:
 		ref.shadowQ = k.handoffQ
 	}
 	if ref.shadowQ != nil {
-		ref.shadow = ref.shadowQ.SchedulePhased(t, kind, nil, k.phase)
+		ref.shadow = ref.shadowQ.SchedulePhased(t, int(kd), nil, k.phase)
 	}
 	return ref
 }
@@ -123,10 +169,10 @@ func (k *kernel) schedule(t float64, kind int, payload any) evRef {
 // deliver adds a cross-partition event at a round barrier, ranked by
 // its creating decision (g) and send index so same-time ties resolve
 // exactly as the serial engine's creation order would.
-func (k *kernel) deliver(t float64, kind int, payload any, g, idx uint64) {
-	k.q.ScheduleDelivery(t, kind, payload, g, idx)
-	if k.handoffQ != nil && (kind == evFinish || kind == evArrive) {
-		k.handoffQ.ScheduleDelivery(t, kind, nil, g, idx)
+func (k *kernel) deliver(t float64, kd kind, payload any, g, idx uint64) {
+	k.q.ScheduleDelivery(t, int(kd), payload, g, idx)
+	if k.handoffQ != nil && k.kinds[kd].handoff {
+		k.handoffQ.ScheduleDelivery(t, int(kd), nil, g, idx)
 	}
 }
 
@@ -147,8 +193,8 @@ func (k *kernel) nextDecide() float64 {
 	return shadowNext(k.decideQ)
 }
 
-// nextHandoff returns the timestamp of the earliest pending finish or
-// arrival, or +inf when none is queued.
+// nextHandoff returns the timestamp of the earliest pending capacity
+// handoff, or +inf when none is queued.
 func (k *kernel) nextHandoff() float64 {
 	return shadowNext(k.handoffQ)
 }
@@ -163,10 +209,27 @@ func shadowNext(q *eventq.Queue) float64 {
 	return inf
 }
 
+// sameKinds reports whether two kernels allocated identical kind
+// tables — the cross-partition consistency the parallel engine relies
+// on to ship kind values between shards.
+func sameKinds(a, b *kernel) bool {
+	if len(a.kinds) != len(b.kinds) {
+		return false
+	}
+	for i := 1; i < len(a.kinds); i++ {
+		if a.kinds[i].name != b.kinds[i].name ||
+			a.kinds[i].deciding != b.kinds[i].deciding ||
+			a.kinds[i].handoff != b.kinds[i].handoff {
+			return false
+		}
+	}
+	return true
+}
+
 // dispatch applies one popped event through the registered handler.
 func (k *kernel) dispatch(ev *eventq.Event) error {
-	if ev.Kind <= 0 || ev.Kind >= numEventKinds || k.handlers[ev.Kind] == nil {
+	if ev.Kind <= 0 || ev.Kind >= len(k.kinds) {
 		return fmt.Errorf("sim: unknown event kind %d", ev.Kind)
 	}
-	return k.handlers[ev.Kind](ev.Payload)
+	return k.kinds[ev.Kind].handler(ev.Payload)
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"netbatch/internal/stats"
@@ -52,15 +53,30 @@ import (
 type outMsg struct {
 	dest    int
 	t       float64
-	kind    int
+	kind    kind
 	payload any
 	g       uint64
 	idx     uint64
 }
 
+// busyShift is one busy-core mutation a shard applied to a machine at
+// another site (see shard.addBusy): run-scoped, used by the series
+// merge to move the sample attribution from the executing shard to the
+// machine's site.
+type busyShift struct {
+	t     float64
+	exec  int
+	site  int
+	delta int32
+}
+
 // parShard is the per-shard parallel bookkeeping.
 type parShard struct {
 	outbox []outMsg
+
+	// busyShifts logs cross-site busy mutations for the whole run
+	// (NOT cleared per round).
+	busyShifts []busyShift
 	// roundTimes/roundFin log this round's processed events: the event
 	// time and, for completions, the finished job index (-1 otherwise).
 	// The final round's log is what lets the merge count events exactly
@@ -98,7 +114,9 @@ type shardCtl struct {
 }
 
 // coordinator owns the round synchronization state shared by all
-// shard goroutines.
+// shard goroutines. The same condvar carries both signals the protocol
+// needs: intra-round claim hand-offs, and the round start/finish
+// edges that drive the persistent per-shard workers.
 type coordinator struct {
 	w      *world
 	shards []*shard
@@ -106,6 +124,18 @@ type coordinator struct {
 	cond   *sync.Cond
 	ctl    []shardCtl
 	minDyn float64
+
+	// kSubmit and kSnapshot are the registry-allocated kinds behind
+	// the one structural start-time tie canDecide must not flag.
+	kSubmit, kSnapshot int
+
+	// Round sequencing for the persistent shard workers (all under
+	// mu): round increments to start a round at horizon, running
+	// counts shards still draining it, stop tells workers to exit.
+	round   int
+	horizon float64
+	running int
+	stop    bool
 
 	aborted bool
 	err     error
@@ -142,7 +172,7 @@ func (c *coordinator) fail(err error) {
 // they are the structural start-time tie with an initial snapshot
 // refresh (which the serial engine provably orders after the first
 // submission).
-func (c *coordinator) canDecide(p int, t float64, kind int) bool {
+func (c *coordinator) canDecide(p int, t float64, kd int) bool {
 	for qi := range c.ctl {
 		if qi == p {
 			continue
@@ -154,7 +184,7 @@ func (c *coordinator) canDecide(p int, t float64, kind int) bool {
 		if q.next < t {
 			return false
 		}
-		if q.fence == t && qi < p && q.next == t && c.kindDecides(q.nextKind) {
+		if q.fence == t && qi < p && q.next == t && c.kindMayDecide(q.nextKind) {
 			// A tied, immediately claimable deciding event in a
 			// lower-indexed shard goes first. A fence whose event is
 			// buried behind a same-time non-deciding head must NOT defer
@@ -170,8 +200,8 @@ func (c *coordinator) canDecide(p int, t float64, kind int) bool {
 		}
 		q := &c.ctl[qi]
 		if q.next == t || q.fence == t {
-			structural := t == c.w.start && kind == evSubmit &&
-				q.nextKind == evSnapshot && q.fence > t
+			structural := t == c.w.start && kd == c.kSubmit &&
+				q.nextKind == c.kSnapshot && q.fence > t
 			if !structural {
 				c.ties = true
 			}
@@ -180,12 +210,13 @@ func (c *coordinator) canDecide(p int, t float64, kind int) bool {
 	return true
 }
 
-// kindDecides reports whether an event kind can claim as a deciding
+// kindMayDecide reports whether an event kind can claim as a deciding
 // event: statically deciding kinds always, capacity handoffs under
 // alias risk (conservatively assumed here — the owner re-evaluates at
-// its own claim).
-func (c *coordinator) kindDecides(kind int) bool {
-	return c.shards[0].k.deciding[kind] || kind == evFinish || kind == evArrive
+// its own claim). Both bits come from the kind registry.
+func (c *coordinator) kindMayDecide(kd int) bool {
+	k := c.shards[0].k
+	return k.decides(kd) || k.isHandoff(kd)
 }
 
 // canLocal reports whether shard p may execute a non-deciding event at
@@ -221,7 +252,7 @@ func (c *coordinator) canLocal(p int, t float64) bool {
 			if q.busy {
 				return false
 			}
-			if q.next == t && c.kindDecides(q.nextKind) {
+			if q.next == t && c.kindMayDecide(q.nextKind) {
 				return false // decider-first
 			}
 			if q.next < t {
@@ -260,8 +291,8 @@ func (c *coordinator) runShardRound(sh *shard, H float64) {
 		// Capacity-handoff events are promoted to deciding while the
 		// shard has live alias risk: their wait-queue scans may touch
 		// jobs resident at other sites (see shard.aliasRisk).
-		deciding := sh.k.deciding[ev.Kind] ||
-			(sh.aliasRisk > 0 && (ev.Kind == evFinish || ev.Kind == evArrive))
+		deciding := sh.k.decides(ev.Kind) ||
+			((sh.aliasRisk > 0 || sh.w.crossAliased) && sh.k.isHandoff(ev.Kind))
 		fence := sh.publishedFence()
 		if announce || ctl.next != t || ctl.nextKind != ev.Kind || ctl.fence != fence {
 			// Peers must be woken when this shard's published state
@@ -288,9 +319,9 @@ func (c *coordinator) runShardRound(sh *shard, H float64) {
 			continue
 		}
 		sh.k.q.Pop()
-		if sh.k.deciding[ev.Kind] {
+		if sh.k.decides(ev.Kind) {
 			sh.k.decideQ.Pop()
-		} else if ev.Kind == evFinish || ev.Kind == evArrive {
+		} else if sh.k.isHandoff(ev.Kind) {
 			sh.k.handoffQ.Pop()
 		}
 		if deciding {
@@ -318,7 +349,7 @@ func (c *coordinator) runShardRound(sh *shard, H float64) {
 		sh.acct.advanceTo(t)
 		err := sh.k.dispatch(ev)
 		fin := int32(-1)
-		if ev.Kind == evFinish {
+		if ev.Kind == int(sh.place.finish) {
 			fin = int32(ev.Payload.(int))
 		}
 
@@ -370,7 +401,10 @@ func (c *coordinator) publish(shards []*shard) {
 
 // runParallel executes the simulation on one shard per site,
 // conservatively synchronized in closed rounds of width
-// Δ = min cross-site RTT.
+// Δ = min cross-site RTT. Each shard gets one long-lived worker
+// goroutine for the whole run, parked on the coordinator condvar
+// between rounds — spawning per round would churn O(rounds × sites)
+// goroutines, and small lookaheads make rounds plentiful.
 func runParallel(w *world) (*Result, error) {
 	delta := w.plat.MinCrossRTT()
 	shards := make([]*shard, w.nSites)
@@ -380,14 +414,60 @@ func runParallel(w *world) (*Result, error) {
 	}
 	for _, sh := range shards {
 		sh.peers = shards
+		if !sameKinds(shards[0].k, sh.k) {
+			return nil, fmt.Errorf("sim: shard %d allocated a different event-kind table", sh.index)
+		}
 	}
 	c := &coordinator{
-		w:      w,
-		shards: shards,
-		ctl:    make([]shardCtl, len(shards)),
-		minDyn: w.minDyn,
+		w:         w,
+		shards:    shards,
+		ctl:       make([]shardCtl, len(shards)),
+		minDyn:    w.minDyn,
+		kSubmit:   int(shards[0].place.submit),
+		kSnapshot: int(shards[0].snaps.snapshot),
 	}
 	c.cond = sync.NewCond(&c.mu)
+
+	// Persistent round workers: each waits for the round counter to
+	// advance, drains its shard below the published horizon, and
+	// reports back through running. All transitions ride the one
+	// condvar; a worker woken by claim traffic between rounds simply
+	// re-checks the round counter.
+	var wg sync.WaitGroup
+	for _, sh := range shards {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			last := 0
+			for {
+				c.mu.Lock()
+				for !c.stop && c.round == last {
+					c.cond.Wait()
+				}
+				if c.stop {
+					c.mu.Unlock()
+					return
+				}
+				last = c.round
+				h := c.horizon
+				c.mu.Unlock()
+				c.runShardRound(sh, h)
+				c.mu.Lock()
+				if c.running--; c.running == 0 {
+					c.cond.Broadcast()
+				}
+				c.mu.Unlock()
+			}
+		}(sh)
+	}
+	stopWorkers := func() {
+		c.mu.Lock()
+		c.stop = true
+		c.cond.Broadcast()
+		c.mu.Unlock()
+		wg.Wait()
+	}
+	defer stopWorkers()
 
 	total := len(w.specs)
 	ctx := w.cfg.Context
@@ -421,23 +501,27 @@ func runParallel(w *world) (*Result, error) {
 			return nil, fmt.Errorf("sim: exceeded MaxTime %v with %d of %d jobs incomplete",
 				w.cfg.MaxTime, total-completed, total)
 		}
-		h := n + delta
 		for _, sh := range shards {
 			sh.par.beginRound()
 		}
 		c.publish(shards)
 
-		var wg sync.WaitGroup
-		for _, sh := range shards {
-			wg.Add(1)
-			go func(sh *shard) {
-				defer wg.Done()
-				c.runShardRound(sh, h)
-			}(sh)
+		// Start the round and wait for every worker to drain it. The
+		// mutex hand-offs here give the workers release/acquire edges
+		// over everything the coordinator wrote between rounds (barrier
+		// deliveries, round logs), and vice versa.
+		c.mu.Lock()
+		c.horizon = n + delta
+		c.running = len(shards)
+		c.round++
+		c.cond.Broadcast()
+		for c.running > 0 {
+			c.cond.Wait()
 		}
-		wg.Wait()
-		if c.err != nil {
-			return nil, c.err
+		err := c.err
+		c.mu.Unlock()
+		if err != nil {
+			return nil, err
 		}
 
 		// Barrier: deliver cross-shard messages ranked by their
@@ -485,10 +569,13 @@ func mergeParallel(w *world, shards []*shard, priorEvents int64, c *coordinator)
 		res.WaitMoves += sh.res.WaitMoves
 		res.CrossSiteSubmits += sh.res.CrossSiteSubmits
 		res.CrossSiteMoves += sh.res.CrossSiteMoves
+		res.Kills += sh.res.Kills
+		res.Requeues += sh.res.Requeues
 	}
 	if err := finalizeJobs(w, &res); err != nil {
 		return nil, err
 	}
+	finalizeFaults(w, &res)
 	if res.Makespan > w.cfg.MaxTime {
 		// The serial loop would have failed at the first event past the
 		// cap instead of finishing the run.
@@ -556,6 +643,23 @@ func mergeSeries(w *world, shards []*shard, res *Result) {
 	for s := range siteTS {
 		siteTS[s] = stats.NewTimeSeries(bin)
 	}
+	// Cross-site busy shifts (serialized mutations of a remote site's
+	// machines, possible only after a cross-site alias dispatch): the
+	// executing shard's raw samples include them in its own scope, while
+	// the serial site series attribute them to the machine's site. corr
+	// re-attributes tick by tick: +delta to the machine's site, −delta
+	// to the executor's. Shifts of different shards carry distinct
+	// timestamps (they happen under global serialization; exact ties are
+	// measure-zero and flagged elsewhere), so a stable sort by time
+	// reproduces the serial application order.
+	var shifts []busyShift
+	for _, sh := range shards {
+		shifts = append(shifts, sh.par.busyShifts...)
+	}
+	sort.SliceStable(shifts, func(a, b int) bool { return shifts[a].t < shifts[b].t })
+	corr := make([]int, w.nSites)
+	next := 0
+
 	n := math.MaxInt
 	for _, sh := range shards {
 		if l := len(sh.acct.rawBusy); l < n {
@@ -564,6 +668,13 @@ func mergeSeries(w *world, shards []*shard, res *Result) {
 	}
 	t := w.start
 	for i := 0; i < n && t < res.Makespan; i++ {
+		// A tick reads post-event state at its own timestamp, so shifts
+		// at exactly t apply to it.
+		for next < len(shifts) && shifts[next].t <= t {
+			corr[shifts[next].site] += int(shifts[next].delta)
+			corr[shifts[next].exec] -= int(shifts[next].delta)
+			next++
+		}
 		busy, suspended, waiting := 0, 0, 0
 		for _, sh := range shards {
 			busy += int(sh.acct.rawBusy[i])
@@ -580,7 +691,7 @@ func mergeSeries(w *world, shards []*shard, res *Result) {
 		for s, sh := range shards {
 			su := 0.0
 			if w.siteCores[s] > 0 {
-				su = float64(sh.acct.rawBusy[i]) / float64(w.siteCores[s]) * 100
+				su = float64(int(sh.acct.rawBusy[i])+corr[s]) / float64(w.siteCores[s]) * 100
 			}
 			siteTS[s].Add(t, su)
 		}

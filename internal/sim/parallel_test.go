@@ -30,12 +30,14 @@ func fingerprint(res *Result) string {
 	fmt.Fprintf(&sb, "makespan=%x events=%d pre=%d restarts=%d mig=%d waitmoves=%d xsub=%d xmove=%d\n",
 		res.Makespan, res.Events, res.Preemptions, res.Restarts, res.Migrations,
 		res.WaitMoves, res.CrossSiteSubmits, res.CrossSiteMoves)
+	fmt.Fprintf(&sb, "crashes=%d maint=%d kills=%d requeues=%d worklost=%x downcm=%x\n",
+		res.Crashes, res.MaintWindows, res.Kills, res.Requeues, res.WorkLost, res.DownCoreMinutes)
 	for _, j := range res.Jobs {
 		a := j.Acct()
-		fmt.Fprintf(&sb, "job %d: pool=%d mach=%d first=%x done=%x w=%x s=%x we=%x ro=%x e=%x sus=%d re=%d wr=%d\n",
+		fmt.Fprintf(&sb, "job %d: pool=%d mach=%d first=%x done=%x w=%x s=%x we=%x ro=%x e=%x sus=%d re=%d wr=%d k=%d\n",
 			j.Spec.ID, j.Pool, j.Machine, j.FirstStart, j.Completed,
 			a.Wait, a.Suspend, a.WastedExec, a.RescheduleOverhead, a.Exec,
-			a.Suspensions, a.Restarts, a.WaitReschedules)
+			a.Suspensions, a.Restarts, a.WaitReschedules, a.Kills)
 	}
 	series := func(name string, ts *stats.TimeSeries) {
 		if ts == nil {

@@ -7,24 +7,29 @@ import (
 )
 
 // placementSys is the placement/preemption subsystem: the virtual pool
-// manager's initial dispatch (evSubmit), arrivals at physical pools
-// (evArrive), completions (evFinish), and the capacity-handoff
+// manager's initial dispatch (submit), arrivals at physical pools
+// (arrive), completions (finish), and the capacity-handoff
 // mechanics they share (§2.1/§2.2). Submission is a deciding event —
 // it consults the initial scheduler, whose rotation state is shared
 // across sites; arrivals and completions touch only the owning
 // shard's pools and machines.
 type placementSys struct {
 	sh *shard
+
+	// Allocated event kinds: submission is deciding; arrivals and
+	// completions are capacity handoffs (promoted to deciding under
+	// alias risk).
+	submit, arrive, finish kind
 }
 
 func (s *placementSys) register(k *kernel) {
 	sh := s.sh
-	k.handle(evSubmit, true, func(p any) error { return sh.handleSubmit(p.(int)) })
-	k.handle(evArrive, false, func(p any) error {
+	s.submit = k.registerKind("submit", true, func(p any) error { return sh.handleSubmit(p.(int)) })
+	s.arrive = k.registerHandoffKind("arrive", func(p any) error {
 		a := p.(arrivePayload)
 		return sh.arrival(a.idx, a.pool)
 	})
-	k.handle(evFinish, false, func(p any) error { return sh.handleFinish(p.(int)) })
+	s.finish = k.registerHandoffKind("finish", func(p any) error { return sh.handleFinish(p.(int)) })
 }
 
 // arrivePayload routes a rescheduled job to a destination pool after
@@ -41,7 +46,7 @@ type arrivePayload struct {
 func (sh *shard) handleSubmit(idx int) error {
 	if sh.nextSubmit < len(sh.subIdx) {
 		next := sh.subIdx[sh.nextSubmit]
-		sh.k.schedule(sh.w.specs[next].Submit, evSubmit, next)
+		sh.k.schedule(sh.w.specs[next].Submit, sh.place.submit, next)
 		sh.nextSubmit++
 	}
 	rt := &sh.w.jobs[idx]
@@ -53,7 +58,7 @@ func (sh *shard) handleSubmit(idx int) error {
 	if sh.siteOfPool(pool) != rt.spec.Site {
 		sh.res.CrossSiteSubmits++
 		if d := sh.w.plat.RTT(rt.spec.Site, sh.siteOfPool(pool)); d > 0 {
-			sh.send(sh.siteOfPool(pool), sh.k.now+d, evArrive, arrivePayload{idx: idx, pool: pool})
+			sh.send(sh.siteOfPool(pool), sh.k.now+d, sh.place.arrive, arrivePayload{idx: idx, pool: pool})
 			return nil
 		}
 	}
@@ -110,7 +115,7 @@ func (sh *shard) findFreeMachine(p *poolRT, spec *job.Spec) int {
 // spare cores and is not already listed.
 func (sh *shard) ensureFree(p *poolRT, mid int) {
 	mach := &sh.w.machines[mid]
-	if mach.freeCores <= 0 || mach.inFree {
+	if mach.down || mach.freeCores <= 0 || mach.inFree {
 		return
 	}
 	mach.inFree = true
@@ -121,6 +126,9 @@ func (sh *shard) ensureFree(p *poolRT, mid int) {
 func (sh *shard) startOn(rt *jobRT, mid int) error {
 	mach := &sh.w.machines[mid]
 	spec := rt.spec
+	if mach.down {
+		return fmt.Errorf("job %d placed on down machine %d", spec.ID, mid)
+	}
 	if mach.freeCores < spec.Cores || mach.freeMemMB < spec.MemMB {
 		return fmt.Errorf("job %d placed on machine %d without capacity", spec.ID, mid)
 	}
@@ -128,14 +136,14 @@ func (sh *shard) startOn(rt *jobRT, mid int) error {
 	mach.freeCores -= spec.Cores
 	mach.freeMemMB -= spec.MemMB
 	p.busyCores += spec.Cores
-	sh.scopeBusy += spec.Cores
-	sh.w.siteBusy[sh.siteOfPool(mach.m.Pool)] += spec.Cores
+	sh.addBusy(mach.m.Pool, spec.Cores)
 	if err := rt.j.Start(sh.k.now, mid, mach.m.Speed); err != nil {
 		return err
 	}
 	rem := rt.j.RemainingAt(sh.k.now)
-	rt.finish = sh.k.schedule(sh.k.now+rem, evFinish, rt.idx)
+	rt.finish = sh.k.schedule(sh.k.now+rem, sh.place.finish, rt.idx)
 	p.pushRunning(rt)
+	mach.running = append(mach.running, rt)
 	sh.ensureFree(p, mid)
 	return nil
 }
@@ -151,14 +159,14 @@ func (sh *shard) preempt(rt *jobRT, victim *jobRT) error {
 	if err := victim.j.Suspend(sh.k.now); err != nil {
 		return err
 	}
+	removeRunning(mach, victim)
 	sh.res.Preemptions++
 	mach.freeCores += victim.spec.Cores
 	if !sh.w.cfg.SuspendHoldsMemory {
 		mach.freeMemMB += victim.spec.MemMB
 	}
 	p.busyCores -= victim.spec.Cores
-	sh.scopeBusy -= victim.spec.Cores
-	sh.w.siteBusy[sh.siteOfPool(mach.m.Pool)] -= victim.spec.Cores
+	sh.addBusy(mach.m.Pool, -victim.spec.Cores)
 	mach.suspended = append(mach.suspended, victim)
 	p.suspendedCnt++
 	sh.scopeSuspended++
@@ -171,7 +179,7 @@ func (sh *shard) preempt(rt *jobRT, victim *jobRT) error {
 	// at the next agent sweep, DecisionDelay later. If the victim has
 	// resumed (or been re-suspended and moved) by then, the stale event
 	// is ignored.
-	sh.k.schedule(sh.k.now+sh.w.cfg.DecisionDelay, evSusDecide, victim.idx)
+	sh.k.schedule(sh.k.now+sh.w.cfg.DecisionDelay, sh.dyn.susDecide, victim.idx)
 
 	// The victim may have freed more cores than the preemptor needs.
 	return sh.onFree(mid)
@@ -185,7 +193,7 @@ func (sh *shard) enqueue(rt *jobRT, p *poolRT) {
 	rt.enqueuedAt = sh.k.now
 	sh.scopeWaiting++
 	if th := sh.w.cfg.Policy.WaitThreshold(); th > 0 {
-		rt.waitTO = sh.k.schedule(sh.k.now+th, evWaitTimeout, rt.idx)
+		rt.waitTO = sh.k.schedule(sh.k.now+th, sh.dyn.waitTimeout, rt.idx)
 	}
 }
 
@@ -204,11 +212,11 @@ func (sh *shard) handleFinish(idx int) error {
 		}
 	}
 	sh.completed++
+	removeRunning(mach, rt)
 	mach.freeCores += rt.spec.Cores
 	mach.freeMemMB += rt.spec.MemMB
 	p.busyCores -= rt.spec.Cores
-	sh.scopeBusy -= rt.spec.Cores
-	sh.w.siteBusy[sh.siteOfPool(mach.m.Pool)] -= rt.spec.Cores
+	sh.addBusy(mach.m.Pool, -rt.spec.Cores)
 	return sh.onFree(mid)
 }
 
@@ -218,6 +226,11 @@ func (sh *shard) handleFinish(idx int) error {
 // waiting jobs of strictly higher priority win over a resume.
 func (sh *shard) onFree(mid int) error {
 	mach := &sh.w.machines[mid]
+	if mach.down {
+		// Crashed or in maintenance: freed capacity is unusable until
+		// the repair / window-end event redistributes it.
+		return nil
+	}
 	p := sh.w.pools[mach.m.Pool]
 	for mach.freeCores > 0 {
 		wrt := p.waitQ.peekFitting(func(rt *jobRT) bool {
@@ -236,10 +249,15 @@ func (sh *shard) onFree(mid int) error {
 			// resident here, exactly as the serial engine does. This
 			// branch only runs under global quiescence (alias risk
 			// promotes the event to deciding), so telling the queue's
-			// owning shard that the job left is safe.
+			// owning shard that the job left is safe. The dispatch also
+			// leaves the job's Pool label pointing at the other site,
+			// opening every cross-partition hazard the crossAliased flag
+			// guards against — from here on, all capacity handoffs
+			// serialize.
 			if sh.away != nil && sh.away[wrt.idx] {
 				if owner := sh.peers[sh.siteOfPool(wrt.j.Pool)]; owner != sh {
 					owner.noteAway(wrt.idx)
+					sh.w.crossAliased = true
 				}
 			}
 			sh.noteResident(wrt.idx)
@@ -301,14 +319,14 @@ func (sh *shard) resume(rt *jobRT) error {
 		mach.freeMemMB -= rt.spec.MemMB
 	}
 	p.busyCores += rt.spec.Cores
-	sh.scopeBusy += rt.spec.Cores
-	sh.w.siteBusy[sh.siteOfPool(mach.m.Pool)] += rt.spec.Cores
+	sh.addBusy(mach.m.Pool, rt.spec.Cores)
 	if err := rt.j.Resume(sh.k.now); err != nil {
 		return err
 	}
 	rem := rt.j.RemainingAt(sh.k.now)
-	rt.finish = sh.k.schedule(sh.k.now+rem, evFinish, rt.idx)
+	rt.finish = sh.k.schedule(sh.k.now+rem, sh.place.finish, rt.idx)
 	p.pushRunning(rt)
+	mach.running = append(mach.running, rt)
 	return nil
 }
 
@@ -317,6 +335,18 @@ func removeSuspended(mach *machineRT, rt *jobRT) bool {
 	for i, s := range mach.suspended {
 		if s == rt {
 			mach.suspended = append(mach.suspended[:i], mach.suspended[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// removeRunning deletes rt from the machine's running list. The list
+// is bounded by the machine's core count, so the scan is tiny.
+func removeRunning(mach *machineRT, rt *jobRT) bool {
+	for i, s := range mach.running {
+		if s == rt {
+			mach.running = append(mach.running[:i], mach.running[i+1:]...)
 			return true
 		}
 	}

@@ -34,8 +34,21 @@ type machineRT struct {
 	// suspended holds preempted jobs parked on this host, in suspension
 	// order (FIFO).
 	suspended []*jobRT
+	// running holds the jobs currently executing on this host, in start
+	// order. Maintained for the fault subsystem's kill sweeps; bounded
+	// by the machine's core count.
+	running []*jobRT
 	// class is the index of the machine's class within its pool.
 	class int
+	// down marks the machine unavailable (crashed or in a maintenance
+	// window): no placements, preemptions or resumes until it comes
+	// back. Under the drain victim policy, running jobs continue to
+	// completion on a down machine, but their freed capacity stays
+	// unusable until the window ends.
+	down bool
+	// spanIdx indexes the machine's open downtime span in its site's
+	// fault log while down.
+	spanIdx int
 }
 
 // machineClass groups identical machines in a pool for fast
@@ -175,6 +188,14 @@ func (c *machineClass) findAvailable(machines []machineRT, spec *job.Spec) int {
 			c.free = append(c.free[:i], c.free[i+1:]...)
 			continue
 		}
+		if mach.down {
+			// Down machines leave the stack like exhausted ones (no scan
+			// budget spent); the repair / window-end handler re-registers
+			// them through ensureFree.
+			mach.inFree = false
+			c.free = append(c.free[:i], c.free[i+1:]...)
+			continue
+		}
 		scanned++
 		if mach.freeCores >= spec.Cores && mach.freeMemMB >= spec.MemMB {
 			return mid
@@ -201,13 +222,23 @@ func (p *poolRT) findVictim(spec *job.Spec, machines []machineRT, releaseMem boo
 		}
 		for i := len(stack) - 1; i >= 0; i-- {
 			v := stack[i]
-			// Prune entries that are no longer running in this pool.
+			// Prune entries that are no longer running in this pool. Note
+			// the test reads j.Pool — the pool of the job's last enqueue —
+			// not the machine's pool: an alias-revived slot (see waitQueue)
+			// can dispatch a job onto another pool's machine, and its old
+			// entry here then still matches. Preempting such a victim
+			// installs this pool's arrival on the other pool's machine —
+			// possibly at another site — which is deliberate, preserved
+			// seed behavior; the parallel engine serializes it (see the
+			// cross-alias promotion in shard.go).
 			if v.j.State() != job.StateRunning || v.j.Pool != p.pool.ID {
 				stack = append(stack[:i], stack[i+1:]...)
 				continue
 			}
 			mach := &machines[v.j.Machine]
-			if !victimWorks(v, mach, spec, releaseMem) {
+			// A draining machine's jobs run to completion but free no
+			// usable capacity, so preempting them is pointless.
+			if mach.down || !victimWorks(v, mach, spec, releaseMem) {
 				continue
 			}
 			stack = append(stack[:i], stack[i+1:]...)

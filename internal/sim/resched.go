@@ -9,18 +9,21 @@ import (
 
 // reschedSys is the dynamic-rescheduling subsystem: the paper's
 // primary mechanism (§3). It owns the suspension-decision sweep
-// (evSusDecide) and the wait-queue stall timer (evWaitTimeout). Both
+// (susDecide) and the wait-queue stall timer (waitTimeout). Both
 // are deciding events: they consult the core.Policy — whose random
 // streams are order-sensitive — and read the (aged) utilization view,
 // so the parallel engine executes them in global timestamp order.
 type reschedSys struct {
 	sh *shard
+
+	// Allocated event kinds, both deciding.
+	susDecide, waitTimeout kind
 }
 
 func (s *reschedSys) register(k *kernel) {
 	sh := s.sh
-	k.handle(evSusDecide, true, func(p any) error { return sh.handleSusDecide(p.(int)) })
-	k.handle(evWaitTimeout, true, func(p any) error { return sh.handleWaitTimeout(p.(int)) })
+	s.susDecide = k.registerKind("susDecide", true, func(p any) error { return sh.handleSusDecide(p.(int)) })
+	s.waitTimeout = k.registerKind("waitTimeout", true, func(p any) error { return sh.handleWaitTimeout(p.(int)) })
 }
 
 // handleSusDecide consults the rescheduling policy about a job that was
@@ -81,7 +84,7 @@ func (sh *shard) departSuspended(rt *jobRT, target int) error {
 // The destination may be another shard's site; cross-site overhead
 // always includes the inter-site RTT, preserving the lookahead.
 func (sh *shard) route(rt *jobRT, pool int, overhead float64) {
-	sh.send(sh.siteOfPool(pool), sh.k.now+overhead, evArrive, arrivePayload{idx: rt.idx, pool: pool})
+	sh.send(sh.siteOfPool(pool), sh.k.now+overhead, sh.place.arrive, arrivePayload{idx: rt.idx, pool: pool})
 }
 
 // handleWaitTimeout applies the policy's waiting-job rescheduling
@@ -99,7 +102,7 @@ func (sh *shard) handleWaitTimeout(idx int) error {
 	sh.view.observe(sh.siteOfPool(rt.j.Pool))
 	target, move := sh.w.cfg.Policy.OnWaitTimeout(sh.k.now, rt.j, sh.view)
 	if !move || target == rt.j.Pool {
-		rt.waitTO = sh.k.schedule(sh.k.now+th, evWaitTimeout, rt.idx)
+		rt.waitTO = sh.k.schedule(sh.k.now+th, sh.dyn.waitTimeout, rt.idx)
 		return nil
 	}
 	p := sh.w.pools[rt.j.Pool]

@@ -17,6 +17,7 @@ func runSerial(w *world) (*Result, error) {
 	if err := finalizeJobs(w, &res); err != nil {
 		return nil, err
 	}
+	finalizeFaults(w, &res)
 	res.Util = sh.acct.utilTS
 	res.Suspended = sh.acct.suspTS
 	res.Waiting = sh.acct.waitTS

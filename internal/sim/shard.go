@@ -6,6 +6,7 @@ import (
 
 	"netbatch/internal/cluster"
 	"netbatch/internal/job"
+	"netbatch/internal/stats"
 )
 
 var inf = math.Inf(1)
@@ -51,6 +52,30 @@ type world struct {
 	// subBySite[s] lists the indices of specs submitted at site s, in
 	// submission order (specs are sorted by submission time).
 	subBySite [][]int
+
+	// machBySite[s] lists the machine IDs at site s, and faults[s] is
+	// the site's fault/maintenance state (RNG stream, downtime spans,
+	// window rotation). Both nil unless cfg.Faults is enabled; each
+	// element is owned by the site's shard.
+	machBySite [][]int
+	faults     []siteFaults
+
+	// crossAliased (parallel runs only) records that at least one
+	// cross-site alias dispatch has happened: a revived wait-queue slot
+	// handed a shard a job whose current queue pool is at another site.
+	// From that moment on, jobs can be resident at one site while their
+	// queue-time Pool label — and hence their victim-scan visibility,
+	// pending events, and onFree cascades — belong to another, and any
+	// capacity-handoff event anywhere may reach across a partition
+	// boundary (e.g. a label-matched victim preemption on a remote
+	// machine, or a fault kill canceling a finish event that lives in
+	// the remote labeling shard's kernel). The flag is sticky for the
+	// rest of the run and promotes every shard's handoff events to
+	// globally-serialized deciding events, which reproduces the serial
+	// order exactly. It is written only during globally-serialized
+	// events (which hold the coordinator mutex) and read only under
+	// that mutex.
+	crossAliased bool
 }
 
 // buildWorld validates the specs against the platform and allocates
@@ -107,6 +132,29 @@ func buildWorld(cfg Config, specs []job.Spec) (*world, error) {
 		w.snap = make([][]float64, w.nSites)
 		for obs := range w.snap {
 			w.snap[obs] = make([]float64, len(w.pools))
+		}
+	}
+	if cfg.Faults.enabled() {
+		w.machBySite = make([][]int, w.nSites)
+		for p := 0; p < plat.NumPools(); p++ {
+			s := w.siteOf[p]
+			w.machBySite[s] = append(w.machBySite[s], plat.Pool(p).Machines...)
+		}
+		w.faults = make([]siteFaults, w.nSites)
+		root := stats.NewRNG(cfg.Faults.Seed)
+		for s := range w.faults {
+			// Each site gets an independent keyed stream so fault
+			// sequences do not depend on site count, engine, or the
+			// draws of any other site.
+			w.faults[s].rng = root.SplitKey(uint64(s))
+			if cfg.Faults.MaintPeriod > 0 {
+				// Stagger first windows across sites: offsets of
+				// (s+1)/(nSites+1) of a period can never coincide across
+				// sites, so windows never produce cross-shard timestamp
+				// ties.
+				w.faults[s].maintNext = w.start +
+					cfg.Faults.MaintPeriod*float64(s+1)/float64(w.nSites+1)
+			}
 		}
 	}
 	return w, nil
@@ -174,6 +222,15 @@ type shard struct {
 	scopeWaiting   int
 	completed      int
 
+	// The registered subsystems. Each owns the event kinds it
+	// allocated from the kernel registry; cross-subsystem scheduling
+	// (e.g. placement arming a rescheduling decision) goes through
+	// these handles. faults is nil unless cfg.Faults is enabled.
+	place  *placementSys
+	dyn    *reschedSys
+	snaps  *snapshotSys
+	faults *faultSys
+
 	view *poolView
 	acct *accounting
 
@@ -233,11 +290,18 @@ func newShard(w *world, index int, sites []int, parallel bool) *shard {
 	if parallel {
 		sh.par = &parShard{}
 	}
-	for _, sys := range []subsystem{
-		&placementSys{sh: sh},
-		&reschedSys{sh: sh},
-		&snapshotSys{sh: sh},
-	} {
+	// Subsystem registration order defines the run's kind numbering;
+	// it must be identical in every shard (and is, because this is the
+	// only registration site).
+	sh.place = &placementSys{sh: sh}
+	sh.dyn = &reschedSys{sh: sh}
+	sh.snaps = &snapshotSys{sh: sh}
+	systems := []subsystem{sh.place, sh.dyn, sh.snaps}
+	if w.cfg.Faults.enabled() {
+		sh.faults = &faultSys{sh: sh}
+		systems = append(systems, sh.faults)
+	}
+	for _, sys := range systems {
 		sys.register(sh.k)
 	}
 	if parallel {
@@ -314,9 +378,17 @@ func (sh *shard) seed() {
 	}
 	if len(sh.subIdx) > 0 {
 		first := sh.subIdx[0]
-		sh.k.schedule(sh.w.specs[first].Submit, evSubmit, first)
+		sh.k.schedule(sh.w.specs[first].Submit, sh.place.submit, first)
 		sh.nextSubmit = 1
 	}
+	// Fault chains seed last: they start strictly after the trace
+	// start (staggered windows, exponential first-crash gaps), so the
+	// relative order here only keeps scheduling-order stable.
+	defer func() {
+		if sh.faults != nil {
+			sh.faults.seed()
+		}
+	}()
 	if sh.w.cfg.DisableSampling {
 		return
 	}
@@ -327,7 +399,7 @@ func (sh *shard) seed() {
 	for obs := 0; obs < sh.w.nSites; obs++ {
 		for _, tgt := range sh.sites {
 			if sh.w.ageDelay(obs, tgt) > 0 {
-				sh.k.schedule(sh.w.start, evSnapshot, snapPair{obs, tgt})
+				sh.k.schedule(sh.w.start, sh.snaps.snapshot, snapPair{obs, tgt})
 			}
 		}
 	}
@@ -359,14 +431,15 @@ func (sh *shard) decideFence() float64 {
 // earliest timestamp at which it may execute an event that reads or
 // writes another shard's state. Three sources bound it: pending (and
 // future chained-submission) deciding events; while alias risk is
-// live, pending finishes and arrivals (they are then serialized too);
-// and — crucially — decisions that do not exist yet: processing any
-// pending event at time u can arm a suspension decision or wait
-// timeout no earlier than u + minDyn, so the fence can never exceed
-// the next event's time plus that offset.
+// live — or a cross-site alias has ever been dispatched — pending
+// capacity handoffs (they are then serialized too); and — crucially —
+// decisions that do not exist yet: processing any pending event at
+// time u can arm a suspension decision or wait timeout no earlier
+// than u + minDyn, so the fence can never exceed the next event's
+// time plus that offset.
 func (sh *shard) publishedFence() float64 {
 	f := sh.decideFence()
-	if sh.aliasRisk > 0 {
+	if sh.aliasRisk > 0 || sh.w.crossAliased {
 		if t := sh.k.nextHandoff(); t < f {
 			f = t
 		}
@@ -383,9 +456,9 @@ func (sh *shard) publishedFence() float64 {
 // Cross-shard events always carry at least the inter-site RTT of
 // delay, which is what keeps rounds closed under the lookahead. A job
 // routed away is marked departed for the alias-risk accounting.
-func (sh *shard) send(destSite int, t float64, kind int, payload any) {
+func (sh *shard) send(destSite int, t float64, kd kind, payload any) {
 	if sh.par == nil || destSite == sh.sites[0] {
-		sh.k.schedule(t, kind, payload)
+		sh.k.schedule(t, kd, payload)
 		return
 	}
 	if a, ok := payload.(arrivePayload); ok {
@@ -393,13 +466,32 @@ func (sh *shard) send(destSite int, t float64, kind int, payload any) {
 	}
 	sh.par.msgSeq++
 	sh.par.outbox = append(sh.par.outbox, outMsg{
-		dest: destSite, t: t, kind: kind, payload: payload,
+		dest: destSite, t: t, kind: kd, payload: payload,
 		g: sh.k.phase, idx: sh.par.msgSeq,
 	})
 }
 
 // siteOfPool is a convenience accessor.
 func (sh *shard) siteOfPool(pool int) int { return sh.w.siteOf[pool] }
+
+// addBusy applies a busy-core change for a machine of the given pool:
+// the executing shard's scope counter (what its raw sample log reads)
+// and the machine site's counter (what the serial site series read).
+// When a globally-serialized event mutates a machine at another site —
+// possible only after a cross-site alias dispatch — the shift is also
+// logged so the parallel merge can re-attribute the executing shard's
+// samples to the machine's site, keeping per-site series bit-identical
+// to the serial engine's.
+func (sh *shard) addBusy(pool, delta int) {
+	site := sh.w.siteOf[pool]
+	sh.scopeBusy += delta
+	sh.w.siteBusy[site] += delta
+	if sh.par != nil && site != sh.sites[0] {
+		sh.par.busyShifts = append(sh.par.busyShifts, busyShift{
+			t: sh.k.now, exec: sh.sites[0], site: site, delta: int32(delta),
+		})
+	}
+}
 
 // finalize assembles the common parts of a Result from the world's job
 // records: completion check, job list, and makespan. Counter and

@@ -25,11 +25,13 @@
 //     progress preserved.
 //
 // Architecturally the engine is a small policy-free event kernel
-// (kernel.go) plus pluggable subsystems — placement/preemption
-// (placement.go), dynamic rescheduling (resched.go), stale-view
-// snapshots (snapshot.go) and series accounting (accounting.go) —
-// registered with the kernel per shard (shard.go). Two engines drive
-// the same subsystem code: the serial reference loop (serial.go) and a
+// (kernel.go) with an open event-kind registry, plus pluggable
+// subsystems — placement/preemption (placement.go), dynamic
+// rescheduling (resched.go), stale-view snapshots (snapshot.go),
+// machine faults and maintenance windows (faults.go) and series
+// accounting (accounting.go) — each of which allocates its event kinds
+// from the registry per shard (shard.go). Two engines drive the same
+// subsystem code: the serial reference loop (serial.go) and a
 // conservatively-synchronized parallel engine that runs one shard per
 // site (parallel.go), selected by Config.Engine. See
 // docs/ARCHITECTURE.md for the layering and the synchronization
@@ -97,6 +99,11 @@ type Config struct {
 	// A job that resumes within the delay is never offered for
 	// rescheduling. Default 1 minute; negative values are rejected.
 	DecisionDelay float64
+	// Faults enables the fault & maintenance subsystem (faults.go):
+	// deterministic per-site machine crashes and scheduled maintenance
+	// windows with a configurable victim-job policy. The zero value
+	// disables it entirely and leaves every output byte-identical.
+	Faults FaultConfig
 	// QueueBeatsResume inverts the capacity handoff order. By default a
 	// freed core first resumes the host's suspended jobs (NetBatch
 	// suspension is host-level, §2.2: the suspended process continues
@@ -157,6 +164,9 @@ func (c *Config) withDefaults() (Config, error) {
 	if out.DecisionDelay < 0 {
 		return out, fmt.Errorf("sim: negative decision delay %v", out.DecisionDelay)
 	}
+	if err := out.Faults.validate(); err != nil {
+		return out, err
+	}
 	if out.DecisionDelay == 0 {
 		out.DecisionDelay = 1
 	}
@@ -200,6 +210,28 @@ type Result struct {
 	// CrossSiteMoves counts reschedules (restart, migration or wait
 	// move) that crossed a site boundary, paying the inter-site delay.
 	CrossSiteMoves int64
+
+	// Fault & maintenance counters (all zero unless Config.Faults is
+	// enabled). Crashes, MaintWindows and DownCoreMinutes derive from
+	// the downtime logs clamped to the makespan, so serial and parallel
+	// engines report identical values.
+	//
+	// Crashes counts machine-crash events before the makespan.
+	Crashes int64
+	// MaintWindows counts maintenance-window openings before the
+	// makespan.
+	MaintWindows int64
+	// Kills counts jobs killed by crashes or maintenance.
+	Kills int64
+	// Requeues counts kill-and-requeue dispatches back through the
+	// wait-queue path (equal to Kills today; drain kills nothing).
+	Requeues int64
+	// WorkLost is the execution wall-clock (minutes) destroyed by
+	// kills — the goodput loss attributable to faults.
+	WorkLost float64
+	// DownCoreMinutes is the capacity lost to downtime: the integral
+	// of down cores over the run, in core-minutes.
+	DownCoreMinutes float64
 
 	// ambiguousTies records that the parallel engine observed at least
 	// one cross-partition pair of events with exactly equal timestamps

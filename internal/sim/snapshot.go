@@ -16,11 +16,15 @@ import (
 // decisions).
 type snapshotSys struct {
 	sh *shard
+
+	// snapshot is the allocated refresh kind: partition-local, never
+	// deciding.
+	snapshot kind
 }
 
 func (s *snapshotSys) register(k *kernel) {
 	sh := s.sh
-	k.handle(evSnapshot, false, func(p any) error {
+	s.snapshot = k.registerKind("snapshot", false, func(p any) error {
 		sh.handleSnapshot(p.(snapPair))
 		return nil
 	})
@@ -56,7 +60,7 @@ func (sh *shard) handleSnapshot(pair snapPair) {
 	for next-sh.k.now < d {
 		next += sh.w.cfg.SampleEvery
 	}
-	sh.k.schedule(next, evSnapshot, pair)
+	sh.k.schedule(next, sh.snaps.snapshot, pair)
 }
 
 // poolView implements sched.SiteView over shard state. Utilization
