@@ -16,6 +16,7 @@ package netbatch
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"netbatch/internal/cluster"
 	"netbatch/internal/core"
@@ -315,4 +316,97 @@ func BenchmarkTraceGeneration(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkCheckpoint pins the cost of the checkpoint/restore subsystem
+// on the multi-site busy week so snapshot cost shows up in the perf
+// trajectory alongside the engine benches. Three series:
+//
+//   - baseline: the plain serial run (no checkpointing), the
+//     denominator for the overhead target;
+//   - capture: the same run emitting a full-state snapshot every
+//     simulated day (the -checkpoint-every default). The satellite
+//     target is per-checkpoint overhead under ~5% of run time —
+//     reported as pctPerCkpt;
+//   - resume: restoring the run's mid-point snapshot and simulating to
+//     completion (decode + state rebuild + the remaining half).
+func BenchmarkCheckpoint(b *testing.B) {
+	sc := experiments.MultiSiteScenario("bench-checkpoint", 3, 0,
+		func() sched.SiteSelector { return sched.LatencyPenalizedUtil{} })
+	tr, err := sc.Trace(42, benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plat, err := sc.Platform(benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mkCfg := func() sim.Config {
+		return sim.Config{
+			Platform:          plat,
+			Initial:           sc.NewInitial(),
+			Policy:            core.NewResSusWaitLatency(),
+			CheckConservation: true,
+		}
+	}
+	const day = 1440.0
+
+	var baseline float64 // ns/op of the plain run, for the overhead metric
+	b.Run("baseline", func(b *testing.B) {
+		b.ReportAllocs()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(mkCfg(), tr.Jobs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		baseline = float64(time.Since(start).Nanoseconds()) / float64(b.N)
+	})
+
+	var mid sim.Checkpoint
+	b.Run("capture", func(b *testing.B) {
+		b.ReportAllocs()
+		var count, bytes int
+		var cks []sim.Checkpoint
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			cks = cks[:0]
+			cfg := mkCfg()
+			cfg.CheckpointEvery = day
+			cfg.CheckpointSink = func(c sim.Checkpoint) error {
+				cks = append(cks, c)
+				return nil
+			}
+			if _, err := sim.Run(cfg, tr.Jobs); err != nil {
+				b.Fatal(err)
+			}
+			count += len(cks)
+			for _, c := range cks {
+				bytes += len(c.Data)
+			}
+		}
+		elapsed := float64(time.Since(start).Nanoseconds()) / float64(b.N)
+		perRun := count / b.N
+		mid = cks[len(cks)/2]
+		b.ReportMetric(float64(perRun), "snapshots/run")
+		b.ReportMetric(float64(bytes/count)/1024, "KB/snapshot")
+		if baseline > 0 && perRun > 0 {
+			perCkpt := (elapsed - baseline) / float64(perRun)
+			b.ReportMetric(100*perCkpt/baseline, "pctPerCkpt")
+		}
+	})
+
+	b.Run("resume", func(b *testing.B) {
+		if len(mid.Data) == 0 {
+			b.Skip("no mid-run snapshot captured")
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg := mkCfg()
+			cfg.ResumeFrom = mid.Data
+			if _, err := sim.Run(cfg, tr.Jobs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -26,6 +26,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -54,6 +55,13 @@ func run() error {
 		timeout  = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = none)")
 		outDir   = flag.String("out", "", "directory for CSV output (optional)")
 		overhead = flag.Float64("overhead", 0, "reschedule transfer overhead in minutes")
+
+		ckptDir   = flag.String("checkpoint-dir", "", "directory for per-cell engine checkpoints; enables checkpointing")
+		ckptEvery = flag.Float64("checkpoint-every", 0, "checkpoint cadence in simulated minutes (default: 1440 = one simulated day)")
+		resume    = flag.Bool("resume", false, "resume each cell from its checkpoint in -checkpoint-dir (bit-identical results; incompatible checkpoints restart from t=0)")
+
+		replayBisect = flag.String("replay-bisect", "", "two checkpoint files \"from.ckpt,to.ckpt\" of one recorded cell: replay the interval to localize the first diverging event of a determinism regression (requires -run and -bisect-cell)")
+		bisectCell   = flag.String("bisect-cell", "", "cell coordinate \"scenario/policy/replicate\" for -replay-bisect (matches the snapshot's embedded label)")
 	)
 	flag.Parse()
 
@@ -79,13 +87,22 @@ func run() error {
 		ids = strings.Split(*runIDs, ",")
 	}
 	opts := experiments.Options{
-		Seed:     *seed,
-		Seeds:    *seeds,
-		Scale:    *scale,
-		Jobs:     *jobs,
-		Engine:   *engine,
-		Overhead: *overhead,
-		Context:  ctx,
+		Seed:            *seed,
+		Seeds:           *seeds,
+		Scale:           *scale,
+		Jobs:            *jobs,
+		Engine:          *engine,
+		Overhead:        *overhead,
+		Context:         ctx,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+		Resume:          *resume,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	if *replayBisect != "" {
+		return runReplayBisect(*replayBisect, *bisectCell, ids, opts)
 	}
 	for _, id := range ids {
 		e, err := experiments.Get(strings.TrimSpace(id))
@@ -107,12 +124,84 @@ func run() error {
 		for _, note := range out.Notes {
 			fmt.Println("  note:", note)
 		}
+		if out.AmbiguousCells > 0 {
+			fmt.Fprintf(os.Stderr,
+				"experiments: warning: %s: %d cell(s) hit an ambiguous cross-partition event tie; serial/parallel bit-identity is not guaranteed for those replicates\n",
+				out.ID, out.AmbiguousCells)
+		}
 		fmt.Println()
 		if *outDir != "" {
 			if err := writeCSV(*outDir, out); err != nil {
 				return err
 			}
 		}
+	}
+	return nil
+}
+
+// runReplayBisect replays the interval between two recorded cell
+// checkpoints to localize the first diverging event of a determinism
+// regression (see sim.ReplayBisect). The cell whose snapshots are being
+// replayed is named by -run (one experiment ID) and -bisect-cell
+// ("scenario/policy/replicate" — the label embedded in each snapshot).
+func runReplayBisect(files, cell string, ids []string, opts experiments.Options) error {
+	parts := strings.Split(files, ",")
+	if len(parts) != 2 {
+		return fmt.Errorf("-replay-bisect wants two files \"from.ckpt,to.ckpt\", got %q", files)
+	}
+	from, err := os.ReadFile(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return err
+	}
+	to, err := os.ReadFile(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return err
+	}
+	metaFrom, err := sim.ReadSnapshotMeta(from)
+	if err != nil {
+		return fmt.Errorf("%s: %w", parts[0], err)
+	}
+	metaTo, err := sim.ReadSnapshotMeta(to)
+	if err != nil {
+		return fmt.Errorf("%s: %w", parts[1], err)
+	}
+	if len(ids) != 1 {
+		return fmt.Errorf("-replay-bisect needs exactly one experiment via -run (snapshot labels: %q, %q)",
+			metaFrom.Label, metaTo.Label)
+	}
+	if cell == "" {
+		return fmt.Errorf("-replay-bisect needs -bisect-cell scenario/policy/replicate (snapshot label suggests %q)",
+			metaFrom.Label)
+	}
+	cparts := strings.Split(cell, "/")
+	if len(cparts) != 3 {
+		return fmt.Errorf("-bisect-cell wants \"scenario/policy/replicate\", got %q", cell)
+	}
+	rep, err := strconv.Atoi(cparts[2])
+	if err != nil {
+		return fmt.Errorf("-bisect-cell replicate %q: %w", cparts[2], err)
+	}
+	cfg, specs, err := experiments.CellSim(ids[0], cparts[0], cparts[1], rep, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replay-bisect: cell %s of %s\n", cell, ids[0])
+	fmt.Printf("  from: %s  t=%.1f  events=%d  (%s engine, label %q)\n",
+		parts[0], metaFrom.Time, metaFrom.Events, metaFrom.Mode, metaFrom.Label)
+	fmt.Printf("  to:   %s  t=%.1f  events=%d\n", parts[1], metaTo.Time, metaTo.Events)
+	bisect, err := sim.ReplayBisect(cfg, specs, from, to)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  replayed %d events over (%.1f, %.1f]\n", bisect.ReplayedEvents, bisect.FromTime, bisect.ToTime)
+	switch {
+	case bisect.Clean():
+		fmt.Println("  result: CLEAN — the interval replays deterministically and reproduces the recorded state bit-exactly")
+	default:
+		fmt.Printf("  result: DIVERGED — deterministic=%v matchesRecorded=%v\n",
+			bisect.Deterministic, bisect.MatchesRecorded)
+		fmt.Printf("  %s\n", bisect.FirstDivergence)
+		return fmt.Errorf("determinism regression localized")
 	}
 	return nil
 }

@@ -13,6 +13,7 @@ package eventq
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 )
 
 // Event is a scheduled occurrence. The simulator defines the meaning of
@@ -126,6 +127,62 @@ func (q *Queue) Pop() *Event {
 	}
 	return nil
 }
+
+// SavedEvent is a pending event exported for checkpointing: the
+// schedulable triple plus the exact tie rank that positions the event
+// among simultaneous ones. Restoring a SavedEvent reproduces the
+// event's firing position bit-identically.
+type SavedEvent struct {
+	Time    float64
+	Kind    int
+	Payload any
+	Rank    [3]uint64
+}
+
+// Export returns every pending (non-canceled) event in firing order.
+// The queue is not modified; canceled events are omitted (they would
+// never fire).
+func (q *Queue) Export() []SavedEvent {
+	out := make([]SavedEvent, 0, q.live)
+	for _, ev := range q.h {
+		if ev.canceled {
+			continue
+		}
+		out = append(out, SavedEvent{Time: ev.Time, Kind: ev.Kind, Payload: ev.Payload, Rank: ev.rank})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time < out[j].Time
+		}
+		for k := 0; k < 2; k++ {
+			if out[i].Rank[k] != out[j].Rank[k] {
+				return out[i].Rank[k] < out[j].Rank[k]
+			}
+		}
+		return out[i].Rank[2] < out[j].Rank[2]
+	})
+	return out
+}
+
+// Restore reinstates an exported event with its exact tie rank, so the
+// restored queue fires it in the same position relative to both
+// existing events and events scheduled later. Unlike Schedule it does
+// not advance the scheduling-order counter; pair it with SetSeq when
+// rebuilding a queue from a checkpoint.
+func (q *Queue) Restore(sev SavedEvent) Handle {
+	ev := &Event{Time: sev.Time, Kind: sev.Kind, Payload: sev.Payload, rank: sev.Rank}
+	heap.Push(&q.h, ev)
+	q.live++
+	return Handle{ev: ev}
+}
+
+// Seq returns the scheduling-order counter: the number of SchedulePhased
+// calls so far. Checkpoints save it so a restored queue assigns future
+// events the same tie ranks a never-interrupted queue would.
+func (q *Queue) Seq() uint64 { return q.seq }
+
+// SetSeq overwrites the scheduling-order counter (see Seq).
+func (q *Queue) SetSeq(n uint64) { q.seq = n }
 
 // NextTime returns the timestamp of the earliest pending event. ok is
 // false when the queue is empty. Partitioned simulations use it to

@@ -211,3 +211,72 @@ func BenchmarkCancel(b *testing.B) {
 		q.Cancel(handles[i])
 	}
 }
+
+func TestExportRestoreRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 11))
+	a, b := New(), New()
+	var cancelA, cancelB []Handle
+	for i := 0; i < 200; i++ {
+		tm := float64(r.IntN(20)) // force plenty of ties
+		ha := a.Schedule(tm, i%5, i)
+		hb := b.Schedule(tm, i%5, i)
+		if i%7 == 0 {
+			cancelA = append(cancelA, ha)
+			cancelB = append(cancelB, hb)
+		}
+	}
+	for i := range cancelA {
+		a.Cancel(cancelA[i])
+		b.Cancel(cancelB[i])
+	}
+	// Rebuild a fresh queue from a's export; b is the straight control.
+	saved := a.Export()
+	q := New()
+	for _, sev := range saved {
+		q.Restore(sev)
+	}
+	q.SetSeq(a.Seq())
+	if q.Len() != b.Len() {
+		t.Fatalf("restored Len %d != straight %d", q.Len(), b.Len())
+	}
+	// Future scheduling must interleave with restored events exactly as
+	// it would have with the originals.
+	for i := 0; i < 50; i++ {
+		tm := float64(r.IntN(20))
+		q.Schedule(tm, 9, 1000+i)
+		b.Schedule(tm, 9, 1000+i)
+	}
+	for {
+		x, y := q.Pop(), b.Pop()
+		if x == nil || y == nil {
+			if x != y && (x != nil || y != nil) {
+				t.Fatal("queues drained at different lengths")
+			}
+			break
+		}
+		if x.Time != y.Time || x.Kind != y.Kind || x.Payload != y.Payload {
+			t.Fatalf("restored pop (%v,%d,%v) != straight (%v,%d,%v)",
+				x.Time, x.Kind, x.Payload, y.Time, y.Kind, y.Payload)
+		}
+	}
+}
+
+func TestExportIsSortedAndPure(t *testing.T) {
+	q := New()
+	for i := 0; i < 100; i++ {
+		q.Schedule(float64(100-i%10), 0, i)
+	}
+	before := q.Len()
+	saved := q.Export()
+	if q.Len() != before {
+		t.Fatal("Export modified the queue")
+	}
+	if len(saved) != before {
+		t.Fatalf("Export returned %d events for %d pending", len(saved), before)
+	}
+	for i := 1; i < len(saved); i++ {
+		if saved[i].Time < saved[i-1].Time {
+			t.Fatal("Export not in firing order")
+		}
+	}
+}

@@ -17,9 +17,11 @@ import (
 
 	"netbatch/internal/cluster"
 	"netbatch/internal/core"
+	"netbatch/internal/job"
 	"netbatch/internal/metrics"
 	"netbatch/internal/report"
 	"netbatch/internal/sched"
+	"netbatch/internal/sim"
 	"netbatch/internal/stats"
 	"netbatch/internal/trace"
 )
@@ -52,6 +54,27 @@ type Options struct {
 	// Context cancels in-flight simulations cooperatively. Nil defaults
 	// to context.Background().
 	Context context.Context
+
+	// CheckpointDir enables per-cell checkpoint/restore: every cell
+	// periodically writes its engine snapshot to
+	// <dir>/<scenario>_p<policy>_r<replicate>_t<time>.ckpt (atomically,
+	// zero-padded time so names sort chronologically). The history is
+	// kept — any two of a cell's files feed replay-bisect; Resume picks
+	// the newest. Empty disables checkpointing.
+	CheckpointDir string
+	// CheckpointEvery is the snapshot cadence in simulated minutes.
+	// Values <= 0 default to one simulated day (1440) when
+	// CheckpointDir is set.
+	CheckpointEvery float64
+	// Resume makes each cell continue from its checkpoint file when a
+	// compatible one exists in CheckpointDir, so an interrupted matrix
+	// run re-executes only the tail of each cell. Incompatible or
+	// corrupted checkpoints fall back to a fresh run (reported through
+	// Logf). Results are bit-identical either way.
+	Resume bool
+	// Logf, when set, receives progress and fallback warnings (e.g. a
+	// checkpoint that could not be resumed). Nil discards them.
+	Logf func(format string, args ...any)
 }
 
 func (o Options) withDefaults() Options {
@@ -94,6 +117,11 @@ type Output struct {
 	Series map[string][]stats.Point
 	// Notes carries free-form observations (e.g. measured quantiles).
 	Notes []string
+	// AmbiguousCells counts matrix cells whose parallel run flagged an
+	// ambiguous cross-partition timestamp tie (sim.Result.AmbiguousTies):
+	// for those cells the serial/parallel bit-identity guarantee is
+	// void. Always 0 under the serial engine.
+	AmbiguousCells int
 }
 
 // Experiment is a registered, reproducible paper artifact.
@@ -102,6 +130,10 @@ type Experiment struct {
 	ID string
 	// Title describes the paper artifact.
 	Title string
+	// Plan declares the experiment's (scenario × policy × seed) matrix
+	// without running it. Checkpoint tooling (replay-bisect) uses it to
+	// rebuild individual cells.
+	Plan func(Options) Matrix
 	// Run executes the experiment.
 	Run func(Options) (*Output, error)
 }
@@ -130,6 +162,62 @@ func IDs() []string {
 	}
 	sort.Strings(ids)
 	return ids
+}
+
+// CellSim rebuilds the simulation inputs of one cell of a registered
+// experiment — the exact sim.Config (fresh scheduler/policy instances,
+// coordinate-derived seeds) and workload that the matrix runner would
+// execute for it. The replay-bisect tooling uses it to resume and
+// replay a cell's recorded snapshots; the rebuilt config hash-matches
+// them because buildCellConfig is the single assembly point.
+func CellSim(expID, scenarioID, policyName string, rep int, opts Options) (sim.Config, []job.Spec, error) {
+	var zero sim.Config
+	e, err := Get(expID)
+	if err != nil {
+		return zero, nil, err
+	}
+	if e.Plan == nil {
+		return zero, nil, fmt.Errorf("experiments: %s does not declare a matrix plan", expID)
+	}
+	opts = opts.withDefaults()
+	m := e.Plan(opts)
+	sIdx, pIdx := -1, -1
+	var haveS, haveP []string
+	for i := range m.Scenarios {
+		haveS = append(haveS, m.Scenarios[i].ID)
+		if m.Scenarios[i].ID == scenarioID {
+			sIdx = i
+		}
+	}
+	for i := range m.Policies {
+		haveP = append(haveP, m.Policies[i].Name)
+		if m.Policies[i].Name == policyName {
+			pIdx = i
+		}
+	}
+	if sIdx < 0 {
+		return zero, nil, fmt.Errorf("experiments: %s has no scenario %q (have %v)", expID, scenarioID, haveS)
+	}
+	if pIdx < 0 {
+		return zero, nil, fmt.Errorf("experiments: %s has no policy %q (have %v)", expID, policyName, haveP)
+	}
+	seeds := m.Seeds
+	if len(seeds) == 0 {
+		seeds = ReplicateSeeds(opts.Seed, opts.Seeds)
+	}
+	if rep < 0 || rep >= len(seeds) {
+		return zero, nil, fmt.Errorf("experiments: replicate %d outside [0, %d)", rep, len(seeds))
+	}
+	sc := &m.Scenarios[sIdx]
+	plat, err := sc.Platform(opts.Scale)
+	if err != nil {
+		return zero, nil, fmt.Errorf("experiments: scenario %s: platform: %w", scenarioID, err)
+	}
+	tr, err := sc.Trace(seeds[rep], opts.Scale)
+	if err != nil {
+		return zero, nil, fmt.Errorf("experiments: scenario %s seed %d: trace: %w", scenarioID, seeds[rep], err)
+	}
+	return buildCellConfig(sc, m.Policies[pIdx], pIdx, seeds[rep], plat, opts), tr.Jobs, nil
 }
 
 // PolicyFactory names and constructs a rescheduling strategy.
@@ -208,14 +296,18 @@ func tableExperiment(
 	newInitial func() sched.InitialScheduler,
 	policies func() []PolicyFactory,
 ) Experiment {
+	plan := func(Options) Matrix {
+		return Matrix{
+			Scenarios: []Scenario{WeekScenario(id, capacityFactor, staleness, newInitial)},
+			Policies:  policies(),
+		}
+	}
 	return Experiment{
 		ID:    id,
 		Title: title,
+		Plan:  plan,
 		Run: func(opts Options) (*Output, error) {
-			mr, err := Matrix{
-				Scenarios: []Scenario{WeekScenario(id, capacityFactor, staleness, newInitial)},
-				Policies:  policies(),
-			}.Run(opts)
+			mr, err := plan(opts).Run(opts)
 			if err != nil {
 				return nil, err
 			}
@@ -235,7 +327,20 @@ func newOutput(id, title string, mr *MatrixResult) *Output {
 		out.Summaries = append(out.Summaries, reps[0])
 		out.Replicates = append(out.Replicates, reps)
 	}
+	annotateAmbiguity(out, mr)
 	return out
+}
+
+// annotateAmbiguity surfaces ambiguous cross-partition timestamp ties:
+// formerly a silently-dropped engine-internal flag, now a counted field
+// plus a report footnote whenever any replicate raised it.
+func annotateAmbiguity(out *Output, mr *MatrixResult) {
+	out.AmbiguousCells = mr.AmbiguousCells()
+	if out.AmbiguousCells > 0 {
+		out.Notes = append(out.Notes, fmt.Sprintf(
+			"caveat: %d cell(s) hit an ambiguous cross-partition event tie under the parallel engine; serial/parallel bit-identity is not guaranteed for those replicates",
+			out.AmbiguousCells))
+	}
 }
 
 // tableOutput renders the standard per-strategy tables — point values

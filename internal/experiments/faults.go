@@ -68,14 +68,19 @@ func init() {
 	register(Experiment{
 		ID:    "faults",
 		Title: "Fault & maintenance: 1/3/6-site federations under crashes and maintenance windows",
+		Plan:  faultsPlan,
 		Run:   runFaults,
 	})
+}
+
+func faultsPlan(Options) Matrix {
+	return Matrix{Scenarios: faultCells(), Policies: multiSitePolicies()}
 }
 
 func runFaults(opts Options) (*Output, error) {
 	scenarios := faultCells()
 	policies := multiSitePolicies()
-	mr, err := Matrix{Scenarios: scenarios, Policies: policies}.Run(opts)
+	mr, err := faultsPlan(opts).Run(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -116,6 +121,7 @@ func runFaults(opts Options) (*Output, error) {
 				fs.AvailabilityPct, fs.GoodputPct, fs.Crashes, fs.MaintWindows, fs.Kills, fs.Requeues))
 		}
 	}
+	annotateAmbiguity(out, mr)
 	tbl, err := report.PaperTableCI(out.Title, out.Names, out.Replicates)
 	if err != nil {
 		return nil, err

@@ -1,10 +1,16 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 
 	"netbatch/internal/cluster"
+	"netbatch/internal/job"
 	"netbatch/internal/metrics"
 	"netbatch/internal/sched"
 	"netbatch/internal/sim"
@@ -104,6 +110,18 @@ func (r *MatrixResult) Replicates(s, p int) []metrics.Summary {
 		out[rep] = r.At(s, p, rep).Summary
 	}
 	return out
+}
+
+// AmbiguousCells counts cells whose run flagged an ambiguous
+// cross-partition timestamp tie (see sim.Result.AmbiguousTies).
+func (r *MatrixResult) AmbiguousCells() int {
+	n := 0
+	for i := range r.cells {
+		if res := r.cells[i].Result; res != nil && res.AmbiguousTies() {
+			n++
+		}
+	}
+	return n
 }
 
 // ReplicateSeeds expands a base seed into n replication seeds. The
@@ -217,23 +235,8 @@ func (m Matrix) Run(opts Options) (*MatrixResult, error) {
 		if err != nil {
 			return fmt.Errorf("experiments: scenario %s seed %d: trace: %w", sc.ID, seed, err)
 		}
-		cfg := sim.Config{
-			Platform:           plat,
-			Initial:            sc.NewInitial(),
-			Policy:             m.Policies[p].New(policySeed(seed, p)),
-			Engine:             opts.Engine,
-			RescheduleOverhead: opts.Overhead,
-			UtilStaleness:      sc.Staleness,
-			CheckConservation:  true,
-			Context:            ctx,
-		}
-		if sc.Faults != nil {
-			cfg.Faults = simFaultConfig(*sc.Faults, stats.ForkSeed(seed, faultSeedKey))
-		}
-		if sc.Tune != nil {
-			sc.Tune(&cfg)
-		}
-		r, err := sim.Run(cfg, tr.Jobs)
+		cfg := buildCellConfig(sc, m.Policies[p], p, seed, plat, opts)
+		r, err := runCellSim(cfg, tr.Jobs, sc.ID, m.Policies[p].Name, p, rep, opts)
 		if err != nil {
 			return fmt.Errorf("experiments: scenario %s strategy %s seed %d: %w",
 				sc.ID, m.Policies[p].Name, seed, err)
@@ -288,6 +291,110 @@ feed:
 		return nil, fmt.Errorf("experiments: matrix canceled: %w", err)
 	}
 	return res, nil
+}
+
+// buildCellConfig assembles one cell's engine configuration from its
+// coordinates: fresh scheduler/policy instances (both are stateful),
+// coordinate-derived policy and fault seeds, scenario knobs. It is the
+// single config assembly point shared by the matrix runner and the
+// replay-bisect tooling (CellSim), so a rebuilt cell is guaranteed to
+// hash-match the snapshots the original run emitted.
+func buildCellConfig(sc *Scenario, pf PolicyFactory, p int, seed uint64, plat *cluster.Platform, opts Options) sim.Config {
+	cfg := sim.Config{
+		Platform:           plat,
+		Initial:            sc.NewInitial(),
+		Policy:             pf.New(policySeed(seed, p)),
+		Engine:             opts.Engine,
+		RescheduleOverhead: opts.Overhead,
+		UtilStaleness:      sc.Staleness,
+		CheckConservation:  true,
+		Context:            opts.Context,
+	}
+	if sc.Faults != nil {
+		cfg.Faults = simFaultConfig(*sc.Faults, stats.ForkSeed(seed, faultSeedKey))
+	}
+	if sc.Tune != nil {
+		sc.Tune(&cfg)
+	}
+	return cfg
+}
+
+// cellCheckpointPrefix names a cell's checkpoint files inside the
+// checkpoint directory; each emitted snapshot appends its zero-padded
+// simulated time, so filenames sort chronologically and any two of one
+// cell's files feed replay-bisect directly.
+func cellCheckpointPrefix(dir, scenarioID string, p, rep int) string {
+	safe := strings.NewReplacer("/", "_", string(filepath.Separator), "_", ":", "_").Replace(scenarioID)
+	return filepath.Join(dir, fmt.Sprintf("%s_p%d_r%d", safe, p, rep))
+}
+
+// latestCheckpoint returns the newest checkpoint file of a cell, or ""
+// when none exists.
+func latestCheckpoint(prefix string) string {
+	files, err := filepath.Glob(prefix + "_t*.ckpt")
+	if err != nil || len(files) == 0 {
+		return ""
+	}
+	sort.Strings(files)
+	return files[len(files)-1]
+}
+
+// runCellSim executes one cell's simulation, wiring in per-cell
+// checkpoint emission and resume when Options.CheckpointDir is set.
+// Snapshots land atomically as <cell>_t<time>.ckpt — the history is
+// kept, both for replay-bisect (which needs two boundaries of one
+// recorded run) and resumable interrupted runs. With Options.Resume the
+// cell continues from its newest checkpoint and re-simulates only the
+// tail. A checkpoint that cannot be resumed (corrupted, or from a
+// different build, configuration or engine) falls back to a fresh run
+// with a Logf warning — never to a wrong result, since resume
+// bit-identity is the engine's contract and mismatches are rejected up
+// front.
+func runCellSim(cfg sim.Config, specs []job.Spec, scenarioID, policyName string, p, rep int, opts Options) (*sim.Result, error) {
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if opts.CheckpointDir == "" {
+		return sim.Run(cfg, specs)
+	}
+	if err := os.MkdirAll(opts.CheckpointDir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint dir: %w", err)
+	}
+	prefix := cellCheckpointPrefix(opts.CheckpointDir, scenarioID, p, rep)
+	every := opts.CheckpointEvery
+	if every <= 0 {
+		every = 1440 // one simulated day
+	}
+	cfg.CheckpointEvery = every
+	cfg.CheckpointLabel = fmt.Sprintf("%s/%s/%d", scenarioID, policyName, rep)
+	cfg.CheckpointSink = func(ck sim.Checkpoint) error {
+		path := fmt.Sprintf("%s_t%014.1f.ckpt", prefix, ck.Time)
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, ck.Data, 0o644); err != nil {
+			return err
+		}
+		return os.Rename(tmp, path)
+	}
+	if opts.Resume {
+		if path := latestCheckpoint(prefix); path != "" {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return nil, err
+			}
+			cfg.ResumeFrom = data
+			r, err := sim.Run(cfg, specs)
+			if err == nil {
+				return r, nil
+			}
+			if !errors.Is(err, sim.ErrSnapshotMismatch) {
+				return nil, err
+			}
+			logf("experiments: cell %s: checkpoint %s not resumable (%v); restarting from t=0", cfg.CheckpointLabel, path, err)
+			cfg.ResumeFrom = nil
+		}
+	}
+	return sim.Run(cfg, specs)
 }
 
 // RunCell executes a single (scenario, policy) cell at replicate 0

@@ -11,6 +11,9 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -227,5 +230,90 @@ func TestRunCellMatchesMatrix(t *testing.T) {
 	}
 	if cell.Summary != mr.At(0, 0, 0).Summary {
 		t.Fatal("RunCell result differs from the same cell in a full matrix")
+	}
+}
+
+// TestMatrixCheckpointResume pins the per-cell checkpoint/resume
+// plumbing: a checkpointed run writes one snapshot file per cell, a
+// resumed run continues from those files, and both produce results
+// byte-identical to a run that never checkpointed. A corrupted
+// checkpoint must fall back to a fresh run (with a warning), not to a
+// wrong result.
+func TestMatrixCheckpointResume(t *testing.T) {
+	m := testMatrix()
+	plain, err := m.Run(matrixOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprint(t, plain)
+
+	dir := t.TempDir()
+	ckOpts := matrixOpts(2)
+	ckOpts.CheckpointDir = dir
+	ckOpts.CheckpointEvery = 500 // well under the busy week's makespan
+	ck, err := m.Run(ckOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fingerprint(t, ck); !bytes.Equal(got, want) {
+		t.Fatal("checkpointing perturbed matrix results")
+	}
+	// Every cell keeps a chronological checkpoint history (any two of a
+	// cell's files feed replay-bisect).
+	for s := range m.Scenarios {
+		for p := range m.Policies {
+			prefix := cellCheckpointPrefix(dir, m.Scenarios[s].ID, p, 0)
+			got, err := filepath.Glob(prefix + "_t*.ckpt")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) == 0 {
+				t.Fatalf("cell %s/p%d has no checkpoint files", m.Scenarios[s].ID, p)
+			}
+		}
+	}
+
+	var warnings []string
+	resOpts := ckOpts
+	resOpts.Resume = true
+	resOpts.Logf = func(format string, args ...any) {
+		warnings = append(warnings, fmt.Sprintf(format, args...))
+	}
+	resumed, err := m.Run(resOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fingerprint(t, resumed); !bytes.Equal(got, want) {
+		t.Fatal("resumed matrix results differ from straight run")
+	}
+	if len(warnings) != 0 {
+		t.Fatalf("clean resume produced warnings: %v", warnings)
+	}
+
+	// Corrupt one cell's newest checkpoint (the one resume picks): the
+	// run must fall back to a fresh simulation for that cell, warn, and
+	// still match.
+	victim := latestCheckpoint(cellCheckpointPrefix(dir, m.Scenarios[0].ID, 0, 0))
+	if victim == "" {
+		t.Fatal("no checkpoint to corrupt")
+	}
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x55
+	if err := os.WriteFile(victim, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	warnings = nil
+	fell, err := m.Run(resOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fingerprint(t, fell); !bytes.Equal(got, want) {
+		t.Fatal("fallback-after-corruption results differ from straight run")
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "not resumable") {
+		t.Fatalf("expected one fallback warning, got %v", warnings)
 	}
 }

@@ -101,18 +101,24 @@ func init() {
 	register(Experiment{
 		ID:    "multisite",
 		Title: "Multi-site federation: single-site vs 3-site vs 6-site under latency-aware scheduling",
+		Plan:  multiSitePlan,
 		Run:   runMultiSite,
 	})
 }
 
-func runMultiSite(opts Options) (*Output, error) {
+func multiSitePlan(Options) Matrix {
 	cells := multiSiteCells()
 	scenarios := make([]Scenario, len(cells))
 	for i, c := range cells {
 		scenarios[i] = c.scenario
 	}
+	return Matrix{Scenarios: scenarios, Policies: multiSitePolicies()}
+}
+
+func runMultiSite(opts Options) (*Output, error) {
+	cells := multiSiteCells()
 	policies := multiSitePolicies()
-	mr, err := Matrix{Scenarios: scenarios, Policies: policies}.Run(opts)
+	mr, err := multiSitePlan(opts).Run(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -130,6 +136,7 @@ func runMultiSite(opts Options) (*Output, error) {
 			out.Replicates = append(out.Replicates, reps)
 		}
 	}
+	annotateAmbiguity(out, mr)
 	tbl, err := report.PaperTableCI(out.Title, out.Names, out.Replicates)
 	if err != nil {
 		return nil, err

@@ -111,32 +111,60 @@ func init() {
 	register(Experiment{
 		ID:    "fig2",
 		Title: "Figure 2: CDF of job suspension time (year-long trace, NoRes)",
+		Plan:  yearPlan,
 		Run:   runFig2,
 	})
 	register(Experiment{
 		ID:    "fig3",
 		Title: "Figure 3: Average wasted completion time components under normal load",
+		Plan:  fig3Plan,
 		Run:   runFig3,
 	})
 	register(Experiment{
 		ID:    "fig4",
 		Title: "Figure 4: Suspension (# jobs) and utilization (%) over a one year period",
+		Plan:  yearPlan,
 		Run:   runFig4,
 	})
 	register(Experiment{
 		ID:    "highsusp",
 		Title: "High Suspension Scenario (§3.2.1): 14% suspend-rate trace",
+		Plan:  highSuspPlan,
 		Run:   runHighSusp,
 	})
+}
+
+// yearPlan declares the year-long NoRes matrix shared by Figures 2
+// and 4.
+func yearPlan(Options) Matrix {
+	return Matrix{
+		Scenarios: []Scenario{YearScenario("year")},
+		Policies:  noResOnly(),
+	}
 }
 
 // yearMatrix simulates the year-long trace under NoRes with round-robin
 // initial scheduling, shared by Figures 2 and 4.
 func yearMatrix(opts Options) (*MatrixResult, error) {
+	return yearPlan(opts).Run(opts)
+}
+
+func fig3Plan(Options) Matrix {
 	return Matrix{
-		Scenarios: []Scenario{YearScenario("year")},
-		Policies:  noResOnly(),
-	}.Run(opts)
+		Scenarios: []Scenario{WeekScenario("fig3", 1.0, 0,
+			func() sched.InitialScheduler { return sched.NewRoundRobin() })},
+		Policies: susPolicies(),
+	}
+}
+
+func highSuspPlan(Options) Matrix {
+	return Matrix{
+		Scenarios: []Scenario{HighSuspScenario("highsusp")},
+		Policies: []PolicyFactory{
+			{Name: "NoRes", New: func(uint64) core.Policy { return core.NewNoRes() }},
+			{Name: "ResSusUtil", New: func(uint64) core.Policy { return core.NewResSusUtil() }},
+		},
+	}
 }
 
 func runFig2(opts Options) (*Output, error) {
@@ -167,11 +195,7 @@ func runFig2(opts Options) (*Output, error) {
 }
 
 func runFig3(opts Options) (*Output, error) {
-	mr, err := Matrix{
-		Scenarios: []Scenario{WeekScenario("fig3", 1.0, 0,
-			func() sched.InitialScheduler { return sched.NewRoundRobin() })},
-		Policies: susPolicies(),
-	}.Run(opts)
+	mr, err := fig3Plan(opts).Run(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -218,13 +242,7 @@ func runFig4(opts Options) (*Output, error) {
 }
 
 func runHighSusp(opts Options) (*Output, error) {
-	mr, err := Matrix{
-		Scenarios: []Scenario{HighSuspScenario("highsusp")},
-		Policies: []PolicyFactory{
-			{Name: "NoRes", New: func(uint64) core.Policy { return core.NewNoRes() }},
-			{Name: "ResSusUtil", New: func(uint64) core.Policy { return core.NewResSusUtil() }},
-		},
-	}.Run(opts)
+	mr, err := highSuspPlan(opts).Run(opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,7 +1,9 @@
 package sched
 
 import (
+	"encoding/json"
 	"fmt"
+	"strconv"
 
 	"netbatch/internal/job"
 )
@@ -236,4 +238,91 @@ func (f *Federated) SelectPool(now float64, spec *job.Spec, view PoolView) (int,
 		f.perSite[site] = inner
 	}
 	return inner.SelectPool(now, &local, view)
+}
+
+// stateful is the duck-typed state contract stateful schedulers and
+// policies satisfy (see sim.Stateful); Federated uses it to recurse
+// into its per-site inner instances.
+type stateful interface {
+	ExportState() ([]byte, error)
+	ImportState([]byte) error
+}
+
+// fedState is Federated's serializable state: the states of the lazily
+// created per-site inner schedulers (JSON map keys are site IDs as
+// strings; encoding/json sorts them, keeping the encoding
+// deterministic) plus the single-site fallback instance's state.
+// Stateless inner schedulers contribute empty entries, recording which
+// instances exist.
+type fedState struct {
+	PerSite  map[string][]byte `json:"per_site,omitempty"`
+	Fallback []byte            `json:"fallback,omitempty"`
+	HasFall  bool              `json:"has_fallback,omitempty"`
+}
+
+// ExportState captures the two-level scheduler's mutable state: which
+// per-site inner instances exist and, for stateful inners (round-robin
+// rotations, RNG streams), their exported states.
+func (f *Federated) ExportState() ([]byte, error) {
+	st := fedState{}
+	if len(f.perSite) > 0 {
+		st.PerSite = make(map[string][]byte, len(f.perSite))
+		for site, inner := range f.perSite {
+			var blob []byte
+			if s, ok := inner.(stateful); ok {
+				var err error
+				if blob, err = s.ExportState(); err != nil {
+					return nil, fmt.Errorf("sched: federated site %d: %w", site, err)
+				}
+			}
+			st.PerSite[strconv.Itoa(site)] = blob
+		}
+	}
+	if f.fallback != nil {
+		st.HasFall = true
+		if s, ok := f.fallback.(stateful); ok {
+			var err error
+			if st.Fallback, err = s.ExportState(); err != nil {
+				return nil, fmt.Errorf("sched: federated fallback: %w", err)
+			}
+		}
+	}
+	return json.Marshal(st)
+}
+
+// ImportState rebuilds the per-site inner schedulers from an exported
+// state, creating each instance through NewPerSite and restoring its
+// internal state when it is stateful.
+func (f *Federated) ImportState(data []byte) error {
+	var st fedState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("sched: federated state: %w", err)
+	}
+	f.perSite = nil
+	f.fallback = nil
+	if len(st.PerSite) > 0 {
+		f.perSite = make(map[int]InitialScheduler, len(st.PerSite))
+		for key, blob := range st.PerSite {
+			site, err := strconv.Atoi(key)
+			if err != nil {
+				return fmt.Errorf("sched: federated state site key %q: %w", key, err)
+			}
+			inner := f.NewPerSite()
+			if s, ok := inner.(stateful); ok && len(blob) > 0 {
+				if err := s.ImportState(blob); err != nil {
+					return fmt.Errorf("sched: federated site %d: %w", site, err)
+				}
+			}
+			f.perSite[site] = inner
+		}
+	}
+	if st.HasFall {
+		f.fallback = f.NewPerSite()
+		if s, ok := f.fallback.(stateful); ok && len(st.Fallback) > 0 {
+			if err := s.ImportState(st.Fallback); err != nil {
+				return fmt.Errorf("sched: federated fallback: %w", err)
+			}
+		}
+	}
+	return nil
 }

@@ -10,6 +10,7 @@
 package sched
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -146,6 +147,54 @@ func (r *RoundRobin) SelectPool(_ float64, spec *job.Spec, view PoolView) (int, 
 	return best, nil
 }
 
+// rrState is RoundRobin's serializable mutable state. JSON keeps the
+// encoding deterministic: encoding/json sorts map keys, so identical
+// rotation states always encode to identical bytes.
+type rrState struct {
+	Cursors map[string]int      `json:"cursors,omitempty"`
+	WRR     map[string]*wrrDump `json:"wrr,omitempty"`
+}
+
+type wrrDump struct {
+	Pools   []int `json:"pools"`
+	Weights []int `json:"weights"`
+	Current []int `json:"current"`
+	Total   int   `json:"total"`
+}
+
+// ExportState captures the scheduler's rotation state (per candidate
+// set) so a checkpointed simulation can resume with identical turns.
+func (r *RoundRobin) ExportState() ([]byte, error) {
+	st := rrState{}
+	if len(r.cursors) > 0 {
+		st.Cursors = r.cursors
+	}
+	if len(r.wrr) > 0 {
+		st.WRR = make(map[string]*wrrDump, len(r.wrr))
+		for k, w := range r.wrr {
+			st.WRR[k] = &wrrDump{Pools: w.pools, Weights: w.weights, Current: w.current, Total: w.total}
+		}
+	}
+	return json.Marshal(st)
+}
+
+// ImportState restores a previously exported rotation state.
+func (r *RoundRobin) ImportState(data []byte) error {
+	var st rrState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("sched: round-robin state: %w", err)
+	}
+	r.cursors = st.Cursors
+	r.wrr = nil
+	if len(st.WRR) > 0 {
+		r.wrr = make(map[string]*wrrState, len(st.WRR))
+		for k, w := range st.WRR {
+			r.wrr[k] = &wrrState{pools: w.Pools, weights: w.Weights, current: w.Current, total: w.Total}
+		}
+	}
+	return nil
+}
+
 // wrrState implements smooth weighted round-robin (the nginx algorithm):
 // each turn, every pool's current weight grows by its capacity; the
 // largest current weight wins and is decremented by the total. The
@@ -242,6 +291,20 @@ func (r *RandomInitial) SelectPool(_ float64, spec *job.Spec, view PoolView) (in
 		return 0, errNoEligiblePool(spec)
 	}
 	return eligible[r.rng.IntN(len(eligible))], nil
+}
+
+// ExportState captures the scheduler's RNG stream position.
+func (r *RandomInitial) ExportState() ([]byte, error) {
+	return json.Marshal(r.rng.ExportState())
+}
+
+// ImportState restores a previously exported stream position.
+func (r *RandomInitial) ImportState(data []byte) error {
+	var st stats.RNGState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("sched: random-initial state: %w", err)
+	}
+	return r.rng.ImportState(st)
 }
 
 // eligibleCandidates filters spec.Candidates through the view's static

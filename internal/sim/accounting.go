@@ -71,6 +71,86 @@ func newAccounting(sh *shard, raw bool) *accounting {
 	return a
 }
 
+// register installs the accounting state codec: the next-tick cursor
+// plus the accumulated sinks — binned TimeSeries state in serial mode,
+// the raw per-tick counter logs in parallel mode. Restoring them lets
+// the integrator continue mid-signal with float operations identical
+// to a never-interrupted run.
+func (a *accounting) register(k *kernel) {
+	k.registerState("accounting", func(e *snapEncoder) {
+		e.F64(a.next)
+		e.Bool(a.raw)
+		if a.raw {
+			e.I32s(a.rawBusy)
+			e.I32s(a.rawSusp)
+			e.I32s(a.rawWait)
+			return
+		}
+		encodeTS(e, a.utilTS)
+		encodeTS(e, a.suspTS)
+		encodeTS(e, a.waitTS)
+		e.Int(len(a.siteTS))
+		for _, ts := range a.siteTS {
+			encodeTS(e, ts)
+		}
+	}, func(d *snapDecoder) error {
+		a.next = d.F64()
+		if raw := d.Bool(); d.err == nil && raw != a.raw {
+			d.fail()
+			return d.err
+		}
+		if a.raw {
+			a.rawBusy = d.I32sN(-1)
+			a.rawSusp = d.I32sN(-1)
+			a.rawWait = d.I32sN(-1)
+			return d.err
+		}
+		bin := a.sh.w.cfg.SeriesBin
+		a.utilTS = decodeTS(d, bin)
+		a.suspTS = decodeTS(d, bin)
+		a.waitTS = decodeTS(d, bin)
+		n := d.Int()
+		if d.err != nil {
+			return d.err
+		}
+		if n != len(a.siteTS) {
+			d.fail()
+			return d.err
+		}
+		for s := range a.siteTS {
+			a.siteTS[s] = decodeTS(d, bin)
+		}
+		return d.err
+	})
+}
+
+// encodeTS/decodeTS serialize one TimeSeries accumulator (nil-aware:
+// serial shards always carry the three global sinks, but site series
+// exist only on multi-site platforms).
+func encodeTS(e *snapEncoder, ts *stats.TimeSeries) {
+	if ts == nil {
+		e.Bool(false)
+		return
+	}
+	e.Bool(true)
+	sums, counts := ts.Dump()
+	e.F64s(sums)
+	e.I64s(counts)
+}
+
+func decodeTS(d *snapDecoder, bin float64) *stats.TimeSeries {
+	if !d.Bool() {
+		return nil
+	}
+	sums := d.F64sN(-1)
+	counts := d.I64sN(-1)
+	if d.err != nil || len(sums) != len(counts) {
+		d.fail()
+		return nil
+	}
+	return stats.RestoreTimeSeries(bin, sums, counts)
+}
+
 // advanceTo records every pending sample tick with time strictly
 // before now. The observed signals are piecewise-constant between the
 // shard's events, so the current counters are exactly what an

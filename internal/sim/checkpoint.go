@@ -1,0 +1,800 @@
+package sim
+
+// Checkpoint/restore: serialize the complete state of a running
+// simulation at a clean boundary and resume it later, bit-identically.
+//
+// The state contract is the kernel's state registry (see stateCodec in
+// kernel.go): every stateful subsystem registers a codec that can dump
+// and restore its portion of shard state, so the snapshot machinery —
+// like the dispatch loop — never needs to know which mechanisms are
+// loaded. A snapshot is taken only at boundaries where every piece of
+// state is explicit: between events in the serial engine, and at round
+// barriers (all shards quiescent, outboxes delivered) in the parallel
+// engine. The invariant that makes this safe, asserted by the
+// checkpoint property tests, is bit-identity: a run resumed from any
+// checkpoint produces exactly the jobs, series, counters and event
+// counts of a never-interrupted run.
+//
+// The encoding is deterministic — fixed-width little-endian primitives,
+// floats as IEEE-754 bits, registry-ordered sections, sorted map keys —
+// so equal states always encode to equal bytes, which is what lets
+// replay-bisect (replay.go) compare snapshots bytewise. Three guards
+// protect against mismatched resumes: a format version, a hash of the
+// event-kind table (the registry the pending events reference), and a
+// hash of the full run configuration (platform topology, workload
+// specs, scheduler/policy identity, engine knobs). Any mismatch — or a
+// truncated or corrupted snapshot — fails with ErrSnapshotMismatch
+// before any state is touched.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"math"
+
+	"netbatch/internal/eventq"
+)
+
+// snapshotMagic and snapshotVersion head every encoded snapshot.
+const (
+	snapshotMagic   = uint32(0x4e425350) // "NBSP"
+	snapshotVersion = uint32(1)
+)
+
+// ErrSnapshotMismatch wraps every resume failure caused by the snapshot
+// itself: version skew, a different configuration or kind table,
+// truncation, or corruption. Callers can match it to fall back to a
+// fresh run.
+var ErrSnapshotMismatch = errors.New("sim: snapshot incompatible with this run")
+
+// Checkpoint is one snapshot emitted through Config.CheckpointSink.
+type Checkpoint struct {
+	// Time is the simulated minute of the state boundary the snapshot
+	// captures (serial: the clock after the event that crossed the
+	// checkpoint mark; parallel: the round horizon).
+	Time float64
+	// Events is the number of events processed before the boundary.
+	Events int64
+	// Data is the encoded snapshot; pass it to Config.ResumeFrom.
+	Data []byte
+}
+
+// Stateful is the state contract for user-supplied schedulers and
+// policies: implementations with internal mutable state (round-robin
+// rotations, RNG streams) expose it so checkpoints capture it and
+// resumes restore it. All stateful built-ins (sched.RoundRobin,
+// sched.Federated, sched.RandomInitial, core.ResSusRand,
+// core.ResSusWaitRand) implement it; stateless components need nothing.
+// A custom component that mutates state without implementing Stateful
+// breaks the resume bit-identity contract silently — implement it.
+type Stateful interface {
+	// ExportState returns a serialized snapshot of the component's
+	// mutable state. It must not perturb the state.
+	ExportState() ([]byte, error)
+	// ImportState restores a previously exported state.
+	ImportState(data []byte) error
+}
+
+// ---------------------------------------------------------------------
+// Deterministic binary encoding primitives.
+
+// snapEncoder appends fixed-width little-endian primitives to a buffer.
+type snapEncoder struct {
+	buf []byte
+}
+
+func (e *snapEncoder) U64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *snapEncoder) I64(v int64)  { e.U64(uint64(v)) }
+func (e *snapEncoder) Int(v int)    { e.I64(int64(v)) }
+func (e *snapEncoder) F64(v float64) {
+	e.U64(math.Float64bits(v))
+}
+func (e *snapEncoder) Bool(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	e.buf = append(e.buf, b)
+}
+func (e *snapEncoder) Bytes(v []byte) {
+	e.U64(uint64(len(v)))
+	e.buf = append(e.buf, v...)
+}
+func (e *snapEncoder) Str(v string) { e.Bytes([]byte(v)) }
+func (e *snapEncoder) Ints(v []int) {
+	e.U64(uint64(len(v)))
+	for _, x := range v {
+		e.I64(int64(x))
+	}
+}
+func (e *snapEncoder) F64s(v []float64) {
+	e.U64(uint64(len(v)))
+	for _, x := range v {
+		e.F64(x)
+	}
+}
+func (e *snapEncoder) I64s(v []int64) {
+	e.U64(uint64(len(v)))
+	for _, x := range v {
+		e.I64(x)
+	}
+}
+func (e *snapEncoder) I32s(v []int32) {
+	e.U64(uint64(len(v)))
+	for _, x := range v {
+		e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(x))
+	}
+}
+func (e *snapEncoder) Bools(v []bool) {
+	e.U64(uint64(len(v)))
+	for _, x := range v {
+		e.Bool(x)
+	}
+}
+
+// snapDecoder reads the encoder's stream back with a sticky error, so
+// codec load functions can decode unconditionally and check once.
+type snapDecoder struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (d *snapDecoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: truncated snapshot", ErrSnapshotMismatch)
+	}
+}
+
+func (d *snapDecoder) U64() uint64 {
+	if d.err != nil || d.off+8 > len(d.data) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.data[d.off:])
+	d.off += 8
+	return v
+}
+func (d *snapDecoder) I64() int64   { return int64(d.U64()) }
+func (d *snapDecoder) Int() int     { return int(d.I64()) }
+func (d *snapDecoder) F64() float64 { return math.Float64frombits(d.U64()) }
+func (d *snapDecoder) Bool() bool {
+	if d.err != nil || d.off+1 > len(d.data) {
+		d.fail()
+		return false
+	}
+	v := d.data[d.off]
+	d.off++
+	return v != 0
+}
+func (d *snapDecoder) Bytes() []byte {
+	n := d.U64()
+	if d.err != nil || uint64(len(d.data)-d.off) < n {
+		d.fail()
+		return nil
+	}
+	v := d.data[d.off : d.off+int(n) : d.off+int(n)]
+	d.off += int(n)
+	return v
+}
+func (d *snapDecoder) Str() string { return string(d.Bytes()) }
+func (d *snapDecoder) IntsN(max int) []int {
+	n := d.U64()
+	if d.err != nil || uint64(len(d.data)-d.off)/8 < n || (max >= 0 && n > uint64(max)) {
+		d.fail()
+		return nil
+	}
+	v := make([]int, n)
+	for i := range v {
+		v[i] = d.Int()
+	}
+	return v
+}
+func (d *snapDecoder) F64sN(max int) []float64 {
+	n := d.U64()
+	if d.err != nil || uint64(len(d.data)-d.off)/8 < n || (max >= 0 && n > uint64(max)) {
+		d.fail()
+		return nil
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = d.F64()
+	}
+	return v
+}
+func (d *snapDecoder) I64sN(max int) []int64 {
+	n := d.U64()
+	if d.err != nil || uint64(len(d.data)-d.off)/8 < n || (max >= 0 && n > uint64(max)) {
+		d.fail()
+		return nil
+	}
+	v := make([]int64, n)
+	for i := range v {
+		v[i] = d.I64()
+	}
+	return v
+}
+func (d *snapDecoder) BoolsN(max int) []bool {
+	n := d.U64()
+	if d.err != nil || uint64(len(d.data)-d.off) < n || (max >= 0 && n > uint64(max)) {
+		d.fail()
+		return nil
+	}
+	v := make([]bool, n)
+	for i := range v {
+		v[i] = d.Bool()
+	}
+	return v
+}
+func (d *snapDecoder) I32sN(max int) []int32 {
+	n := d.U64()
+	if d.err != nil || uint64(len(d.data)-d.off)/4 < n || (max >= 0 && n > uint64(max)) {
+		d.fail()
+		return nil
+	}
+	v := make([]int32, n)
+	for i := range v {
+		v[i] = int32(binary.LittleEndian.Uint32(d.data[d.off:]))
+		d.off += 4
+	}
+	return v
+}
+
+// ---------------------------------------------------------------------
+// Guard hashes.
+
+// kindTableHash fingerprints the kernel's event-kind registry: pending
+// events in a snapshot reference kinds by number, so a resume is only
+// meaningful against the identical table.
+func kindTableHash(k *kernel) uint64 {
+	h := fnv.New64a()
+	for _, info := range k.kinds[1:] {
+		fmt.Fprintf(h, "%s|%t|%t;", info.name, info.deciding, info.handoff)
+	}
+	return h.Sum64()
+}
+
+// configHash fingerprints everything that determines a run's behavior:
+// the engine knobs, the fault regime, scheduler and policy identity,
+// the platform topology, and the full workload. It deliberately
+// excludes checkpoint cadence, context and engine selection (the mode
+// is recorded separately — accounting state differs by engine).
+// Opaque scheduler/policy internals beyond Name and thresholds cannot
+// be hashed; the state blobs still restore them, and the property
+// tests cover every built-in.
+func configHash(w *world) uint64 {
+	cfg := &w.cfg
+	var e snapEncoder
+	e.F64(cfg.SampleEvery)
+	e.F64(cfg.SeriesBin)
+	e.F64(cfg.RescheduleOverhead)
+	e.Bool(cfg.SuspendHoldsMemory)
+	e.F64(cfg.UtilStaleness)
+	e.F64(cfg.DecisionDelay)
+	e.Bool(cfg.QueueBeatsResume)
+	e.F64(cfg.MaxTime)
+	e.Bool(cfg.CheckConservation)
+	e.Bool(cfg.DisableSampling)
+	e.F64(cfg.Faults.MTBF)
+	e.F64(cfg.Faults.MTTR)
+	e.F64(cfg.Faults.MaintPeriod)
+	e.F64(cfg.Faults.MaintDuration)
+	e.F64(cfg.Faults.MaintFraction)
+	e.Str(cfg.Faults.Victim)
+	e.U64(cfg.Faults.Seed)
+	e.Str(cfg.Initial.Name())
+	e.Str(cfg.Policy.Name())
+	e.F64(cfg.Policy.WaitThreshold())
+	if mig, ok := cfg.Policy.(interface{ MigrationOverhead() float64 }); ok {
+		e.F64(mig.MigrationOverhead())
+	}
+	plat := w.plat
+	e.Int(plat.NumSites())
+	e.Int(plat.NumPools())
+	for p := 0; p < plat.NumPools(); p++ {
+		e.Int(plat.SiteOf(p))
+		e.Int(plat.Pool(p).Cores)
+		e.Ints(plat.Pool(p).Machines)
+	}
+	e.Int(plat.NumMachines())
+	for i := 0; i < plat.NumMachines(); i++ {
+		m := plat.Machine(i)
+		e.Int(m.Pool)
+		e.Int(m.Cores)
+		e.Int(m.MemMB)
+		e.F64(m.Speed)
+		e.Str(m.OS)
+	}
+	for a := 0; a < plat.NumSites(); a++ {
+		for b := 0; b < plat.NumSites(); b++ {
+			e.F64(plat.RTT(a, b))
+		}
+	}
+	e.Int(len(w.specs))
+	for i := range w.specs {
+		s := &w.specs[i]
+		e.I64(int64(s.ID))
+		e.F64(s.Submit)
+		e.F64(s.Work)
+		e.Int(s.Cores)
+		e.Int(s.MemMB)
+		e.Str(s.OS)
+		e.Int(int(s.Priority))
+		e.Ints(s.Candidates)
+		e.Int(s.Site)
+		e.I64(s.TaskID)
+	}
+	h := fnv.New64a()
+	h.Write(e.buf)
+	return h.Sum64()
+}
+
+// ---------------------------------------------------------------------
+// Snapshot encode/decode.
+
+// snapshot is a decoded-but-not-yet-applied checkpoint: the verified
+// header plus the raw per-shard codec sections, applied to freshly
+// built shards by restoreRun.
+type snapshot struct {
+	label      string
+	mode       string
+	every      float64
+	configHash uint64
+	kindHash   uint64
+	time       float64
+	events     int64
+
+	// comparable is the suffix of the encoding that identifies the
+	// captured state (time, events, world, shards): everything after
+	// the label. Replay-bisect compares snapshots on it, so differing
+	// labels or cadences never mask (or fake) a state difference.
+	comparable []byte
+
+	crossAliased bool
+	hasInitState bool
+	initState    []byte
+	hasPolState  bool
+	polState     []byte
+
+	// shards[i] holds shard i's codec sections in registry order.
+	shards [][]snapSection
+
+	// Parallel coordinator state (mode == EngineParallel only).
+	gseq uint64
+	ties bool
+}
+
+type snapSection struct {
+	name string
+	data []byte
+}
+
+// snapParams carries the header inputs of one snapshot. Periodic
+// checkpointing caches the two guard hashes and a buffer size hint
+// here — recomputing the configuration hash walks the whole workload,
+// which at a one-simulated-day cadence would dominate snapshot cost.
+type snapParams struct {
+	mode, label string
+	every       float64
+	cfgHash     uint64
+	kindHash    uint64
+	sizeHint    int
+}
+
+func newSnapParams(w *world, shards []*shard, mode string, every float64) snapParams {
+	return snapParams{
+		mode:     mode,
+		label:    w.cfg.CheckpointLabel,
+		every:    every,
+		cfgHash:  configHash(w),
+		kindHash: kindTableHash(shards[0].k),
+	}
+}
+
+// takeSnapshot serializes the complete state of a quiescent run. The
+// caller guarantees the boundary: the serial loop calls it between
+// events, the parallel engine at a round barrier with every worker
+// parked and all cross-shard messages delivered.
+func takeSnapshot(w *world, shards []*shard, p snapParams, now float64, events int64, gseq uint64, ties bool) ([]byte, error) {
+	e := snapEncoder{buf: make([]byte, 0, p.sizeHint+4096)}
+	e.U64(uint64(snapshotMagic))
+	e.U64(uint64(snapshotVersion))
+	e.U64(p.cfgHash)
+	e.U64(p.kindHash)
+	e.Str(p.mode)
+	e.F64(p.every)
+	e.Str(p.label)
+	e.F64(now)
+	e.I64(events)
+
+	e.Bool(w.crossAliased)
+	if err := encodeComponentState(&e, w.cfg.Initial); err != nil {
+		return nil, fmt.Errorf("sim: checkpoint initial scheduler: %w", err)
+	}
+	if err := encodeComponentState(&e, w.cfg.Policy); err != nil {
+		return nil, fmt.Errorf("sim: checkpoint policy: %w", err)
+	}
+
+	e.Int(len(shards))
+	for _, sh := range shards {
+		e.Int(len(sh.k.codecs))
+		for _, c := range sh.k.codecs {
+			e.Str(c.name)
+			// Reserve the section length slot, save in place, then
+			// backpatch — avoids a second buffer and its copy per
+			// section.
+			e.U64(0)
+			lenAt := len(e.buf) - 8
+			c.save(&e)
+			binary.LittleEndian.PutUint64(e.buf[lenAt:], uint64(len(e.buf)-lenAt-8))
+		}
+	}
+	if p.mode == EngineParallel {
+		e.U64(gseq)
+		e.Bool(ties)
+	}
+	// Integrity trailer: a CRC-32C checksum of everything above, so a
+	// flipped bit anywhere in a stored snapshot is rejected instead of
+	// silently restoring a perturbed state. Castagnoli is hardware-
+	// accelerated; a byte-at-a-time hash here would cost more than the
+	// entire state walk. (Stored widened to 8 bytes for alignment.)
+	e.U64(uint64(crc32.Checksum(e.buf, castagnoli)))
+	return e.buf, nil
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeComponentState writes a Stateful component's exported state (or
+// an absence marker for stateless components).
+func encodeComponentState(e *snapEncoder, comp any) error {
+	s, ok := comp.(Stateful)
+	if !ok {
+		e.Bool(false)
+		return nil
+	}
+	data, err := s.ExportState()
+	if err != nil {
+		return err
+	}
+	e.Bool(true)
+	e.Bytes(data)
+	return nil
+}
+
+// decodeSnapshot parses and structurally validates an encoded snapshot.
+func decodeSnapshot(data []byte) (*snapshot, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("%w: truncated snapshot", ErrSnapshotMismatch)
+	}
+	body, sum := data[:len(data)-8], binary.LittleEndian.Uint64(data[len(data)-8:])
+	if uint64(crc32.Checksum(body, castagnoli)) != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch (snapshot corrupted)", ErrSnapshotMismatch)
+	}
+	data = body
+	d := &snapDecoder{data: data}
+	if magic := d.U64(); d.err == nil && uint32(magic) != snapshotMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrSnapshotMismatch, magic)
+	}
+	sn := &snapshot{}
+	if version := d.U64(); d.err == nil && uint32(version) != snapshotVersion {
+		return nil, fmt.Errorf("%w: snapshot format version %d, this build reads %d",
+			ErrSnapshotMismatch, version, snapshotVersion)
+	}
+	sn.configHash = d.U64()
+	sn.kindHash = d.U64()
+	sn.mode = d.Str()
+	sn.every = d.F64()
+	sn.label = d.Str()
+	if d.err == nil {
+		sn.comparable = data[d.off:]
+	}
+	sn.time = d.F64()
+	sn.events = d.I64()
+
+	sn.crossAliased = d.Bool()
+	sn.hasInitState = d.Bool()
+	if sn.hasInitState {
+		sn.initState = d.Bytes()
+	}
+	sn.hasPolState = d.Bool()
+	if sn.hasPolState {
+		sn.polState = d.Bytes()
+	}
+
+	nShards := d.Int()
+	if d.err == nil && (nShards < 1 || nShards > 1<<20) {
+		return nil, fmt.Errorf("%w: implausible shard count %d", ErrSnapshotMismatch, nShards)
+	}
+	for i := 0; i < nShards && d.err == nil; i++ {
+		nCodecs := d.Int()
+		if d.err == nil && (nCodecs < 0 || nCodecs > 1<<10) {
+			return nil, fmt.Errorf("%w: implausible codec count %d", ErrSnapshotMismatch, nCodecs)
+		}
+		var secs []snapSection
+		for c := 0; c < nCodecs && d.err == nil; c++ {
+			secs = append(secs, snapSection{name: d.Str(), data: d.Bytes()})
+		}
+		sn.shards = append(sn.shards, secs)
+	}
+	if sn.mode == EngineParallel {
+		sn.gseq = d.U64()
+		sn.ties = d.Bool()
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrSnapshotMismatch, len(data)-d.off)
+	}
+	switch sn.mode {
+	case EngineSerial, EngineParallel:
+	default:
+		return nil, fmt.Errorf("%w: unknown engine mode %q", ErrSnapshotMismatch, sn.mode)
+	}
+	return sn, nil
+}
+
+// SnapshotMeta is the human-facing header of an encoded snapshot.
+type SnapshotMeta struct {
+	// Label is the creator-supplied Config.CheckpointLabel (e.g. the
+	// experiment cell, "fed3-faults/p1/r0").
+	Label string
+	// Mode is the engine that produced the snapshot.
+	Mode string
+	// Every is the checkpoint cadence (simulated minutes) of the run
+	// that emitted the snapshot; 0 for one-off captures.
+	Every float64
+	// Time and Events locate the captured boundary.
+	Time   float64
+	Events int64
+}
+
+// ReadSnapshotMeta decodes just the metadata of an encoded snapshot
+// (validating integrity and format version), for tooling that inspects
+// checkpoints without resuming them.
+func ReadSnapshotMeta(data []byte) (SnapshotMeta, error) {
+	sn, err := decodeSnapshot(data)
+	if err != nil {
+		return SnapshotMeta{}, err
+	}
+	return SnapshotMeta{Label: sn.label, Mode: sn.mode, Every: sn.every, Time: sn.time, Events: sn.events}, nil
+}
+
+// verify checks a decoded snapshot against the run it is about to be
+// restored into: same engine mode (after the parallelizability
+// fallback), same configuration fingerprint, matching shard count.
+func (sn *snapshot) verify(w *world, mode string) error {
+	if sn.mode != mode {
+		return fmt.Errorf("%w: snapshot from %q engine, resuming with %q",
+			ErrSnapshotMismatch, sn.mode, mode)
+	}
+	if h := configHash(w); sn.configHash != h {
+		return fmt.Errorf("%w: configuration hash %#x, snapshot has %#x (different platform, workload, policy or knobs)",
+			ErrSnapshotMismatch, h, sn.configHash)
+	}
+	wantShards := 1
+	if mode == EngineParallel {
+		wantShards = w.nSites
+	}
+	if len(sn.shards) != wantShards {
+		return fmt.Errorf("%w: snapshot has %d shards, run needs %d",
+			ErrSnapshotMismatch, len(sn.shards), wantShards)
+	}
+	return nil
+}
+
+// restoreRun applies a verified snapshot to freshly built shards (and,
+// for parallel runs, the coordinator). Shards must be newly constructed
+// — subsystems registered, nothing seeded.
+func restoreRun(sn *snapshot, w *world, shards []*shard, c *coordinator) error {
+	if h := kindTableHash(shards[0].k); sn.kindHash != h {
+		return fmt.Errorf("%w: event-kind table hash %#x, snapshot has %#x",
+			ErrSnapshotMismatch, h, sn.kindHash)
+	}
+	w.crossAliased = sn.crossAliased
+	if err := restoreComponentState(w.cfg.Initial, "initial scheduler", sn.hasInitState, sn.initState); err != nil {
+		return err
+	}
+	if err := restoreComponentState(w.cfg.Policy, "policy", sn.hasPolState, sn.polState); err != nil {
+		return err
+	}
+	for i, sh := range shards {
+		secs := sn.shards[i]
+		if len(secs) != len(sh.k.codecs) {
+			return fmt.Errorf("%w: shard %d has %d state codecs, snapshot has %d",
+				ErrSnapshotMismatch, i, len(sh.k.codecs), len(secs))
+		}
+		for ci, codec := range sh.k.codecs {
+			if secs[ci].name != codec.name {
+				return fmt.Errorf("%w: shard %d codec %d is %q, snapshot has %q",
+					ErrSnapshotMismatch, i, ci, codec.name, secs[ci].name)
+			}
+			d := &snapDecoder{data: secs[ci].data}
+			if err := codec.load(d); err != nil {
+				return fmt.Errorf("sim: restore %s state: %w", codec.name, err)
+			}
+			if d.err != nil {
+				return fmt.Errorf("sim: restore %s state: %w", codec.name, d.err)
+			}
+			if d.off != len(d.data) {
+				return fmt.Errorf("%w: %s section has %d trailing bytes",
+					ErrSnapshotMismatch, codec.name, len(d.data)-d.off)
+			}
+		}
+	}
+	for _, sh := range shards {
+		sh.rebuildAliasRisk()
+	}
+	if c != nil {
+		c.gseq = sn.gseq
+		c.ties = sn.ties
+	}
+	return nil
+}
+
+// restoreComponentState applies a saved scheduler/policy state blob,
+// failing loudly when the snapshot and the configured component
+// disagree about statefulness.
+func restoreComponentState(comp any, what string, has bool, data []byte) error {
+	s, ok := comp.(Stateful)
+	switch {
+	case has && !ok:
+		return fmt.Errorf("%w: snapshot carries %s state but the configured %s is not Stateful",
+			ErrSnapshotMismatch, what, what)
+	case !has && ok:
+		return fmt.Errorf("%w: configured %s is Stateful but the snapshot carries no state for it",
+			ErrSnapshotMismatch, what)
+	case has:
+		if err := s.ImportState(data); err != nil {
+			return fmt.Errorf("sim: restore %s state: %w", what, err)
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// The checkpointer: cadence bookkeeping shared by both engines.
+
+// checkpointer drives periodic snapshots onto Config.CheckpointSink.
+// Marks sit on a grid anchored at the run's first submission with step
+// CheckpointEvery; a snapshot is taken at the first clean boundary at
+// or past each mark, and a resumed run skips the marks its snapshot
+// already passed — so straight and resumed runs emit checkpoints at
+// identical boundaries.
+type checkpointer struct {
+	w      *world
+	shards []*shard
+	params snapParams
+	every  float64
+	next   float64
+}
+
+// newCheckpointer returns nil when checkpointing is disabled.
+func newCheckpointer(w *world, shards []*shard, mode string, resumed *snapshot) *checkpointer {
+	if w.cfg.CheckpointEvery <= 0 {
+		return nil
+	}
+	ck := &checkpointer{
+		w:      w,
+		shards: shards,
+		params: newSnapParams(w, shards, mode, w.cfg.CheckpointEvery),
+		every:  w.cfg.CheckpointEvery,
+		next:   w.start + w.cfg.CheckpointEvery,
+	}
+	if resumed != nil {
+		for ck.next <= resumed.time {
+			ck.next += ck.every
+		}
+	}
+	return ck
+}
+
+// due reports whether the boundary at time t has crossed the next mark.
+func (ck *checkpointer) due(t float64) bool { return ck != nil && t >= ck.next }
+
+// take snapshots the run at boundary time t and hands the encoding to
+// the sink, then advances past every mark the boundary crossed.
+func (ck *checkpointer) take(t float64, events int64, gseq uint64, ties bool) error {
+	data, err := takeSnapshot(ck.w, ck.shards, ck.params, t, events, gseq, ties)
+	if err != nil {
+		return err
+	}
+	ck.params.sizeHint = len(data)
+	for ck.next <= t {
+		ck.next += ck.every
+	}
+	if err := ck.w.cfg.CheckpointSink(Checkpoint{Time: t, Events: events, Data: data}); err != nil {
+		return fmt.Errorf("sim: checkpoint sink at t=%v: %w", t, err)
+	}
+	return nil
+}
+
+// rebuildAliasRisk reconstructs the derived alias-risk counters of a
+// restored parallel shard: slotCount from the un-compacted FIFO slots
+// of the shard's pools, riskCounted/aliasRisk from slotCount × away.
+// (away itself is saved state — whether a job departed cannot be
+// derived locally.) Serial shards have no alias tracking; no-op.
+func (sh *shard) rebuildAliasRisk() {
+	if sh.slotCount == nil {
+		return
+	}
+	for i := range sh.slotCount {
+		sh.slotCount[i] = 0
+		sh.riskCounted[i] = false
+	}
+	sh.aliasRisk = 0
+	for _, s := range sh.sites {
+		for _, p := range sh.w.plat.Site(s).Pools {
+			wq := sh.w.pools[p].waitQ
+			for _, prio := range wq.prios {
+				f := wq.classes[prio]
+				for i := f.head; i < len(f.items); i++ {
+					if f.items[i] != nil {
+						sh.slotCount[f.items[i].idx]++
+					}
+				}
+			}
+		}
+	}
+	for i := range sh.slotCount {
+		sh.recountRisk(i)
+	}
+}
+
+// restoreQueue reloads a saved pending-event list into the kernel and
+// rewires the cancellation handles job records hold into it (the
+// pending completion of every running job, the pending wait timer of
+// every queued one).
+func (sh *shard) restoreQueue(d *snapDecoder) error {
+	k := sh.k
+	k.q.SetSeq(d.U64())
+	n := d.Int()
+	if d.err != nil || n < 0 {
+		d.fail()
+		return d.err
+	}
+	for i := 0; i < n; i++ {
+		t := d.F64()
+		kd := d.Int()
+		var rank [3]uint64
+		rank[0], rank[1], rank[2] = d.U64(), d.U64(), d.U64()
+		if d.err != nil {
+			return d.err
+		}
+		if kd <= 0 || kd >= len(k.kinds) {
+			return fmt.Errorf("%w: pending event references unknown kind %d", ErrSnapshotMismatch, kd)
+		}
+		payload := k.kinds[kd].decPayload(d)
+		if d.err != nil {
+			return d.err
+		}
+		ref := k.restoreEvent(eventq.SavedEvent{Time: t, Kind: kd, Payload: payload, Rank: rank})
+		switch kind(kd) {
+		case sh.place.finish:
+			sh.w.jobs[payload.(int)].finish = ref
+		case sh.dyn.waitTimeout:
+			sh.w.jobs[payload.(int)].waitTO = ref
+		}
+	}
+	return nil
+}
+
+// saveQueue exports the kernel's pending events (exact tie ranks and
+// scheduling-order counter included) through the per-kind payload
+// codecs.
+func (sh *shard) saveQueue(e *snapEncoder) {
+	k := sh.k
+	e.U64(k.q.Seq())
+	events := k.q.Export()
+	e.Int(len(events))
+	for _, sev := range events {
+		e.F64(sev.Time)
+		e.Int(sev.Kind)
+		e.U64(sev.Rank[0])
+		e.U64(sev.Rank[1])
+		e.U64(sev.Rank[2])
+		k.kinds[sev.Kind].encPayload(e, sev.Payload)
+	}
+}

@@ -167,6 +167,71 @@ func (s *faultSys) register(k *kernel) {
 	s.repair = k.registerHandoffKind("fault.repair", func(p any) error { return s.handleRepair(p.(int)) })
 	s.maintStart = k.registerHandoffKind("fault.maintStart", func(p any) error { return s.handleMaintStart(p.(int)) })
 	s.maintEnd = k.registerHandoffKind("fault.maintEnd", func(p any) error { return s.handleMaintEnd(p.(maintEndPayload)) })
+	k.setPayloadCodec(s.maintEnd,
+		func(e *snapEncoder, p any) {
+			mp := p.(maintEndPayload)
+			e.Int(mp.site)
+			e.Ints(mp.taken)
+		},
+		func(d *snapDecoder) any { return maintEndPayload{site: d.Int(), taken: d.IntsN(-1)} },
+		func(p any) int64 { return int64(p.(maintEndPayload).site) })
+	k.registerState("faults", s.save, s.load)
+}
+
+// save dumps each in-scope site's fault-process state: the position of
+// its private RNG stream (so resumed crash gaps, victim draws and
+// repair times continue the exact sequence), the downtime span log and
+// window-start log the Result counters derive from, the accumulated
+// work-lost float, and the maintenance rotation.
+func (s *faultSys) save(e *snapEncoder) {
+	sh := s.sh
+	for _, site := range sh.sites {
+		f := &sh.w.faults[site]
+		st := f.rng.ExportState()
+		e.U64(st.Seed)
+		e.Bytes(st.PCG)
+		e.Int(len(f.spans))
+		for _, sp := range f.spans {
+			e.F64(sp.from)
+			e.F64(sp.to)
+			e.Int(sp.cores)
+			e.Int(int(sp.kind))
+		}
+		e.F64s(f.windowStarts)
+		e.F64(f.workLost)
+		e.F64(f.maintNext)
+		e.Int(f.maintIdx)
+	}
+}
+
+func (s *faultSys) load(d *snapDecoder) error {
+	sh := s.sh
+	for _, site := range sh.sites {
+		f := &sh.w.faults[site]
+		st := stats.RNGState{Seed: d.U64(), PCG: d.Bytes()}
+		if d.err != nil {
+			return d.err
+		}
+		if err := f.rng.ImportState(st); err != nil {
+			return fmt.Errorf("site %d fault stream: %w", site, err)
+		}
+		n := d.Int()
+		if d.err != nil || n < 0 || n > 1<<30 {
+			d.fail()
+			return d.err
+		}
+		f.spans = make([]downSpan, n)
+		for i := range f.spans {
+			f.spans[i] = downSpan{
+				from: d.F64(), to: d.F64(), cores: d.Int(), kind: int8(d.Int()),
+			}
+		}
+		f.windowStarts = d.F64sN(-1)
+		f.workLost = d.F64()
+		f.maintNext = d.F64()
+		f.maintIdx = d.Int()
+	}
+	return d.err
 }
 
 // seed schedules each in-scope site's first crash and first

@@ -38,7 +38,8 @@ type kind int
 type handlerFunc func(payload any) error
 
 // kindInfo is one registry entry: the kind's diagnostic name, its
-// synchronization class, and its handler.
+// synchronization class, its handler, and its payload codec (how the
+// checkpoint subsystem serializes the kind's pending events).
 type kindInfo struct {
 	name    string
 	handler handlerFunc
@@ -53,6 +54,28 @@ type kindInfo struct {
 	// case the parallel engine promotes them to deciding (see
 	// shard.aliasRisk).
 	handoff bool
+
+	// encPayload/decPayload serialize the kind's event payload for
+	// checkpointing. registerKind installs the int codec (most kinds
+	// carry a job, site or machine index); kinds with structured
+	// payloads override via setPayloadCodec.
+	encPayload func(*snapEncoder, any)
+	decPayload func(*snapDecoder) any
+	// argOf projects a payload onto the integer argument shown in
+	// replay-bisect event records.
+	argOf func(any) int64
+}
+
+// stateCodec is one entry of the kernel's state registry — the
+// checkpoint mirror of the event-kind registry. Each subsystem
+// registers a codec that can dump and restore its portion of shard
+// state; the snapshot machinery drives the codecs in registration
+// order, which is identical across shards and runs for the same reason
+// kind numbering is.
+type stateCodec struct {
+	name string
+	save func(e *snapEncoder)
+	load func(d *snapDecoder) error
 }
 
 // subsystem is a pluggable simulator mechanism: it allocates the event
@@ -97,6 +120,10 @@ type kernel struct {
 	// zero kind is caught at dispatch.
 	kinds []kindInfo
 
+	// codecs is the state registry: one StateCodec per subsystem, in
+	// registration order (see stateCodec).
+	codecs []stateCodec
+
 	// decideQ shadows pending deciding events and handoffQ shadows
 	// pending capacity-handoff events, so the partition can publish
 	// the timestamp of its next decision — and, under alias risk, its
@@ -128,8 +155,35 @@ func (k *kernel) registerKind(name string, deciding bool, h handlerFunc) kind {
 			panic(fmt.Sprintf("sim: event kind %q registered twice", name))
 		}
 	}
-	k.kinds = append(k.kinds, kindInfo{name: name, deciding: deciding, handler: h})
+	k.kinds = append(k.kinds, kindInfo{
+		name: name, deciding: deciding, handler: h,
+		encPayload: func(e *snapEncoder, p any) { e.Int(p.(int)) },
+		decPayload: func(d *snapDecoder) any { return d.Int() },
+		argOf:      func(p any) int64 { return int64(p.(int)) },
+	})
 	return kind(len(k.kinds) - 1)
+}
+
+// setPayloadCodec overrides the payload codec of a kind whose events
+// carry something other than a bare int.
+func (k *kernel) setPayloadCodec(kd kind,
+	enc func(*snapEncoder, any), dec func(*snapDecoder) any, argOf func(any) int64) {
+	k.kinds[kd].encPayload = enc
+	k.kinds[kd].decPayload = dec
+	k.kinds[kd].argOf = argOf
+}
+
+// registerState adds a subsystem's state codec to the kernel's state
+// registry. Like event kinds, codec order follows registration order
+// and must be identical across the shards of one run; the snapshot
+// format records the codec names so a mismatched restore is caught.
+func (k *kernel) registerState(name string, save func(*snapEncoder), load func(*snapDecoder) error) {
+	for _, c := range k.codecs {
+		if c.name == name {
+			panic(fmt.Sprintf("sim: state codec %q registered twice", name))
+		}
+	}
+	k.codecs = append(k.codecs, stateCodec{name: name, save: save, load: load})
 }
 
 // registerHandoffKind allocates a capacity-handoff kind: non-deciding
@@ -174,6 +228,27 @@ func (k *kernel) deliver(t float64, kd kind, payload any, g, idx uint64) {
 	if k.handoffQ != nil && k.kinds[kd].handoff {
 		k.handoffQ.ScheduleDelivery(t, int(kd), nil, g, idx)
 	}
+}
+
+// restoreEvent reinstates a checkpointed pending event with its exact
+// tie rank, recreating the fence shadow for published kinds. The rank
+// is reused for the shadow entry: shadow queues only publish their
+// minimum pending time and pop in lockstep with claims of their kinds,
+// so any ordering consistent with the main queue's is correct — and the
+// saved rank is exactly that.
+func (k *kernel) restoreEvent(sev eventq.SavedEvent) evRef {
+	ref := evRef{main: k.q.Restore(sev), mainQ: k.q}
+	info := &k.kinds[sev.Kind]
+	switch {
+	case k.decideQ != nil && info.deciding:
+		ref.shadowQ = k.decideQ
+	case k.handoffQ != nil && info.handoff:
+		ref.shadowQ = k.handoffQ
+	}
+	if ref.shadowQ != nil {
+		ref.shadow = ref.shadowQ.Restore(eventq.SavedEvent{Time: sev.Time, Kind: sev.Kind, Rank: sev.Rank})
+	}
+	return ref
 }
 
 // cancel removes a scheduled event (and its shadow) from the queues

@@ -352,6 +352,10 @@ func (c *coordinator) runShardRound(sh *shard, H float64) {
 		if ev.Kind == int(sh.place.finish) {
 			fin = int32(ev.Payload.(int))
 		}
+		if w.cfg.eventLog != nil {
+			// Per-shard append: each worker owns its own slice.
+			w.cfg.eventLog.record(sh.index, t, &sh.k.kinds[ev.Kind], ev.Payload)
+		}
 
 		if !deciding {
 			c.mu.Lock()
@@ -404,13 +408,15 @@ func (c *coordinator) publish(shards []*shard) {
 // Δ = min cross-site RTT. Each shard gets one long-lived worker
 // goroutine for the whole run, parked on the coordinator condvar
 // between rounds — spawning per round would churn O(rounds × sites)
-// goroutines, and small lookaheads make rounds plentiful.
-func runParallel(w *world) (*Result, error) {
+// goroutines, and small lookaheads make rounds plentiful. Checkpoints
+// align to round barriers: there every shard is quiescent and every
+// cross-shard message delivered, so the union of shard states is a
+// consistent global state with no in-flight residue to capture.
+func runParallel(w *world, sn *snapshot) (*Result, error) {
 	delta := w.plat.MinCrossRTT()
 	shards := make([]*shard, w.nSites)
 	for s := range shards {
 		shards[s] = newShard(w, s, []int{s}, true)
-		shards[s].seed()
 	}
 	for _, sh := range shards {
 		sh.peers = shards
@@ -427,6 +433,18 @@ func runParallel(w *world) (*Result, error) {
 		kSnapshot: int(shards[0].snaps.snapshot),
 	}
 	c.cond = sync.NewCond(&c.mu)
+	var priorEvents int64
+	if sn != nil {
+		if err := restoreRun(sn, w, shards, c); err != nil {
+			return nil, err
+		}
+		priorEvents = sn.events
+	} else {
+		for _, sh := range shards {
+			sh.seed()
+		}
+	}
+	ck := newCheckpointer(w, shards, EngineParallel, sn)
 
 	// Persistent round workers: each waits for the round counter to
 	// advance, drains its shard below the published horizon, and
@@ -471,8 +489,10 @@ func runParallel(w *world) (*Result, error) {
 
 	total := len(w.specs)
 	ctx := w.cfg.Context
-	var priorEvents int64
 	completed := 0
+	for _, sh := range shards {
+		completed += sh.completed
+	}
 	for completed < total {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
@@ -539,6 +559,24 @@ func runParallel(w *world) (*Result, error) {
 		if completed < total {
 			for _, sh := range shards {
 				priorEvents += int64(len(sh.par.roundTimes))
+			}
+			// The barrier is the parallel engine's clean boundary: all
+			// events below the horizon processed, all cross-shard
+			// messages delivered, every worker parked.
+			h := n + delta
+			if ck.due(h) {
+				if err := ck.take(h, priorEvents, c.gseq, c.ties); err != nil {
+					return nil, err
+				}
+			}
+			if w.cfg.stopAtEvents > 0 && priorEvents >= w.cfg.stopAtEvents {
+				data, err := takeSnapshot(w, shards,
+					newSnapParams(w, shards, EngineParallel, 0), h, priorEvents, c.gseq, c.ties)
+				if err != nil {
+					return nil, err
+				}
+				*w.cfg.captureAt = data
+				return nil, errReplayStop
 			}
 		}
 	}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"netbatch/internal/job"
 )
@@ -30,6 +31,247 @@ func (s *placementSys) register(k *kernel) {
 		return sh.arrival(a.idx, a.pool)
 	})
 	s.finish = k.registerHandoffKind("finish", func(p any) error { return sh.handleFinish(p.(int)) })
+	k.setPayloadCodec(s.arrive,
+		func(e *snapEncoder, p any) {
+			a := p.(arrivePayload)
+			e.Int(a.idx)
+			e.Int(a.pool)
+		},
+		func(d *snapDecoder) any { return arrivePayload{idx: d.Int(), pool: d.Int()} },
+		func(p any) int64 { return int64(p.(arrivePayload).idx) })
+	k.registerState("placement", s.save, s.load)
+}
+
+// save dumps the placement subsystem's slice of shard state: for every
+// in-scope site its busy counter, pool runtime state (class free
+// stacks, wait queue with tombstoned slots and exact FIFO layout,
+// victim-scan stacks with their stale entries, counters) and machine
+// runtime state (capacity, availability, resident job lists), plus the
+// full record of every job submitted in scope. FIFO layout and stale
+// stack entries are behavior, not bookkeeping — compaction timing
+// drives alias-risk accounting and victim pruning — so they are saved
+// exactly rather than rebuilt.
+func (s *placementSys) save(e *snapEncoder) {
+	sh := s.sh
+	w := sh.w
+	jobIdx := func(rt *jobRT) int {
+		if rt == nil {
+			return -1
+		}
+		return rt.idx
+	}
+	for _, site := range sh.sites {
+		e.Int(w.siteBusy[site])
+		for _, pid := range w.plat.Site(site).Pools {
+			p := w.pools[pid]
+			e.Int(p.busyCores)
+			e.Int(p.suspendedCnt)
+			e.Int(len(p.classes))
+			for ci := range p.classes {
+				e.Ints(p.classes[ci].free)
+			}
+			wq := p.waitQ
+			e.Int(wq.n)
+			e.Int(len(wq.prios))
+			for _, prio := range wq.prios {
+				e.Int(int(prio))
+				f := wq.classes[prio]
+				e.Int(f.head)
+				e.Int(len(f.items))
+				for _, rt := range f.items {
+					e.Int(jobIdx(rt))
+				}
+			}
+			prios := make([]int, 0, len(p.running))
+			for prio := range p.running {
+				prios = append(prios, int(prio))
+			}
+			sort.Ints(prios)
+			e.Int(len(prios))
+			for _, prio := range prios {
+				e.Int(prio)
+				stack := p.running[job.Priority(prio)]
+				e.Int(len(stack))
+				for _, rt := range stack {
+					e.Int(jobIdx(rt))
+				}
+			}
+		}
+		for _, pid := range w.plat.Site(site).Pools {
+			for _, mid := range w.plat.Pool(pid).Machines {
+				m := &w.machines[mid]
+				e.Int(m.freeCores)
+				e.Int(m.freeMemMB)
+				e.Bool(m.inFree)
+				e.Bool(m.down)
+				e.Int(m.spanIdx)
+				e.Int(len(m.suspended))
+				for _, rt := range m.suspended {
+					e.Int(rt.idx)
+				}
+				e.Int(len(m.running))
+				for _, rt := range m.running {
+					e.Int(rt.idx)
+				}
+			}
+		}
+	}
+	for _, idx := range sh.subIdx {
+		rt := &w.jobs[idx]
+		st := rt.j.ExportState()
+		e.Int(int(st.State))
+		e.F64(st.StateSince)
+		e.Int(st.Pool)
+		e.Int(st.Machine)
+		e.F64(st.Speed)
+		e.F64(st.Progress)
+		e.F64(st.AttemptExecWall)
+		e.F64(st.Acct.Wait)
+		e.F64(st.Acct.Suspend)
+		e.F64(st.Acct.WastedExec)
+		e.F64(st.Acct.RescheduleOverhead)
+		e.F64(st.Acct.Exec)
+		e.Int(st.Acct.Suspensions)
+		e.Int(st.Acct.Restarts)
+		e.Int(st.Acct.WaitReschedules)
+		e.Int(st.Acct.Kills)
+		e.F64(st.FirstStart)
+		e.F64(st.Completed)
+		e.F64(rt.enqueuedAt)
+		e.Bool(rt.queued)
+	}
+}
+
+// load mirrors save field for field into the freshly built runtime
+// structures.
+func (s *placementSys) load(d *snapDecoder) error {
+	sh := s.sh
+	w := sh.w
+	nJobs := len(w.jobs)
+	jobAt := func(idx int) *jobRT {
+		if idx == -1 {
+			return nil
+		}
+		if idx < 0 || idx >= nJobs {
+			d.fail()
+			return nil
+		}
+		return &w.jobs[idx]
+	}
+	for _, site := range sh.sites {
+		w.siteBusy[site] = d.Int()
+		for _, pid := range w.plat.Site(site).Pools {
+			p := w.pools[pid]
+			p.busyCores = d.Int()
+			p.suspendedCnt = d.Int()
+			if nc := d.Int(); d.err == nil && nc != len(p.classes) {
+				d.fail()
+			}
+			for ci := range p.classes {
+				p.classes[ci].free = d.IntsN(-1)
+			}
+			wq := p.waitQ
+			wq.n = d.Int()
+			nPrios := d.Int()
+			if d.err != nil || nPrios < 0 {
+				d.fail()
+				return d.err
+			}
+			wq.classes = make(map[job.Priority]*fifo, nPrios)
+			wq.prios = wq.prios[:0]
+			for i := 0; i < nPrios; i++ {
+				prio := job.Priority(d.Int())
+				f := &fifo{head: d.Int()}
+				nItems := d.Int()
+				if d.err != nil || nItems < 0 || nItems > 1<<30 {
+					d.fail()
+					return d.err
+				}
+				f.items = make([]*jobRT, nItems)
+				for it := range f.items {
+					f.items[it] = jobAt(d.Int())
+				}
+				wq.classes[prio] = f
+				wq.prios = append(wq.prios, prio)
+			}
+			nRun := d.Int()
+			if d.err != nil || nRun < 0 {
+				d.fail()
+				return d.err
+			}
+			p.running = make(map[job.Priority][]*jobRT, nRun)
+			for i := 0; i < nRun; i++ {
+				prio := job.Priority(d.Int())
+				stack := make([]*jobRT, 0, 4)
+				nStack := d.Int()
+				if d.err != nil || nStack < 0 || nStack > 1<<30 {
+					d.fail()
+					return d.err
+				}
+				for it := 0; it < nStack; it++ {
+					stack = append(stack, jobAt(d.Int()))
+				}
+				p.running[prio] = stack
+			}
+		}
+		for _, pid := range w.plat.Site(site).Pools {
+			for _, mid := range w.plat.Pool(pid).Machines {
+				m := &w.machines[mid]
+				m.freeCores = d.Int()
+				m.freeMemMB = d.Int()
+				m.inFree = d.Bool()
+				m.down = d.Bool()
+				m.spanIdx = d.Int()
+				nSusp := d.Int()
+				if d.err != nil || nSusp < 0 || nSusp > nJobs {
+					d.fail()
+					return d.err
+				}
+				m.suspended = m.suspended[:0]
+				for i := 0; i < nSusp; i++ {
+					m.suspended = append(m.suspended, jobAt(d.Int()))
+				}
+				nRun := d.Int()
+				if d.err != nil || nRun < 0 || nRun > nJobs {
+					d.fail()
+					return d.err
+				}
+				m.running = m.running[:0]
+				for i := 0; i < nRun; i++ {
+					m.running = append(m.running, jobAt(d.Int()))
+				}
+			}
+		}
+	}
+	for _, idx := range sh.subIdx {
+		rt := &w.jobs[idx]
+		var st job.JobState
+		st.State = job.State(d.Int())
+		st.StateSince = d.F64()
+		st.Pool = d.Int()
+		st.Machine = d.Int()
+		st.Speed = d.F64()
+		st.Progress = d.F64()
+		st.AttemptExecWall = d.F64()
+		st.Acct.Wait = d.F64()
+		st.Acct.Suspend = d.F64()
+		st.Acct.WastedExec = d.F64()
+		st.Acct.RescheduleOverhead = d.F64()
+		st.Acct.Exec = d.F64()
+		st.Acct.Suspensions = d.Int()
+		st.Acct.Restarts = d.Int()
+		st.Acct.WaitReschedules = d.Int()
+		st.Acct.Kills = d.Int()
+		st.FirstStart = d.F64()
+		st.Completed = d.F64()
+		if d.err != nil {
+			return d.err
+		}
+		rt.j.RestoreState(st)
+		rt.enqueuedAt = d.F64()
+		rt.queued = d.Bool()
+	}
+	return d.err
 }
 
 // arrivePayload routes a rescheduled job to a destination pool after

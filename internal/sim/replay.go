@@ -1,0 +1,216 @@
+package sim
+
+// Replay-based bisection of determinism regressions. Given two
+// snapshots of one recorded run — an earlier one ("from") and a later
+// one ("to") — ReplayBisect resumes from the earlier snapshot, replays
+// the interval twice with full event logging, and stops each replay at
+// the exact boundary the later snapshot was taken at (the processed
+// event count recorded in its header). Three comparisons localize a
+// regression:
+//
+//   - replay vs replay: if the two replays disagree, the simulator
+//     itself is nondeterministic, and the first diverging event (shard,
+//     position, time, kind, argument) is reported exactly;
+//   - replay vs recorded: if the replays agree with each other but
+//     their state at the target boundary differs from the recorded
+//     snapshot, the divergence is between this build/replay and the
+//     recorded run, localized to the (from, to] interval — re-running
+//     with a finer checkpoint cadence brackets it tighter;
+//   - events reached: a replay that completes (or hits a barrier past
+//     the target) without matching the recorded event count diverged
+//     structurally.
+//
+// Snapshot states compare bytewise: the encoding is deterministic, so
+// equal states always encode to equal bytes (label and cadence metadata
+// are excluded from the compared region).
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"netbatch/internal/job"
+)
+
+// errReplayStop is the internal sentinel the engines return when a
+// replay reaches its target event count; the capture buffer then holds
+// the boundary snapshot.
+var errReplayStop = errors.New("sim: replay reached target boundary")
+
+// EventRecord is one dispatched event in a replay log.
+type EventRecord struct {
+	// T is the simulated time the event executed at.
+	T float64
+	// Kind is the event kind's registered name.
+	Kind string
+	// Arg is the kind-specific integer argument (job index, site,
+	// machine — whatever the kind's payload projects to).
+	Arg int64
+}
+
+// replayRecorder accumulates per-shard event logs. Each shard worker
+// appends only to its own slice, so parallel recording needs no locks.
+type replayRecorder struct {
+	perShard [][]EventRecord
+}
+
+func newReplayRecorder(shards int) *replayRecorder {
+	return &replayRecorder{perShard: make([][]EventRecord, shards)}
+}
+
+func (r *replayRecorder) record(shard int, t float64, info *kindInfo, payload any) {
+	r.perShard[shard] = append(r.perShard[shard], EventRecord{T: t, Kind: info.name, Arg: info.argOf(payload)})
+}
+
+// BisectReport is ReplayBisect's finding.
+type BisectReport struct {
+	// FromTime/ToTime and FromEvents/ToEvents are the recorded
+	// boundaries of the replayed interval.
+	FromTime, ToTime     float64
+	FromEvents, ToEvents int64
+	// ReplayedEvents counts events the replay processed in the interval.
+	ReplayedEvents int64
+	// Deterministic reports that the two independent replays agreed
+	// event for event and byte for byte.
+	Deterministic bool
+	// MatchesRecorded reports that the replayed state at the target
+	// boundary is byte-identical to the recorded `to` snapshot.
+	MatchesRecorded bool
+	// FirstDivergence describes the earliest located divergence, empty
+	// when Deterministic && MatchesRecorded.
+	FirstDivergence string
+}
+
+// Clean reports that the interval replays deterministically and
+// reproduces the recorded run exactly.
+func (r *BisectReport) Clean() bool { return r.Deterministic && r.MatchesRecorded }
+
+// ReplayBisect replays the interval between two snapshots of one
+// recorded run to localize a determinism regression (see the file
+// comment for the method). cfg and specs must be the configuration and
+// workload that produced the snapshots; mismatches fail with
+// ErrSnapshotMismatch.
+func ReplayBisect(cfg Config, specs []job.Spec, from, to []byte) (*BisectReport, error) {
+	snFrom, err := decodeSnapshot(from)
+	if err != nil {
+		return nil, fmt.Errorf("from snapshot: %w", err)
+	}
+	snTo, err := decodeSnapshot(to)
+	if err != nil {
+		return nil, fmt.Errorf("to snapshot: %w", err)
+	}
+	if snFrom.configHash != snTo.configHash || snFrom.kindHash != snTo.kindHash {
+		return nil, fmt.Errorf("%w: the two snapshots come from different configurations", ErrSnapshotMismatch)
+	}
+	if snFrom.mode != snTo.mode {
+		return nil, fmt.Errorf("%w: snapshots from different engine modes (%q vs %q)",
+			ErrSnapshotMismatch, snFrom.mode, snTo.mode)
+	}
+	if snFrom.events > snTo.events {
+		return nil, fmt.Errorf("%w: `from` snapshot (%d events) is later than `to` (%d events)",
+			ErrSnapshotMismatch, snFrom.events, snTo.events)
+	}
+
+	rep := &BisectReport{
+		FromTime: snFrom.time, ToTime: snTo.time,
+		FromEvents: snFrom.events, ToEvents: snTo.events,
+	}
+	shardCount := 1
+	if snFrom.mode == EngineParallel {
+		shardCount = len(snFrom.shards)
+	}
+	replay := func() ([]byte, *replayRecorder, error) {
+		run := cfg
+		run.Engine = snFrom.mode
+		run.ResumeFrom = from
+		run.CheckpointEvery = 0
+		run.CheckpointSink = nil
+		run.stopAtEvents = snTo.events
+		var captured []byte
+		run.captureAt = &captured
+		rec := newReplayRecorder(shardCount)
+		run.eventLog = rec
+		_, err := Run(run, specs)
+		switch {
+		case errors.Is(err, errReplayStop):
+			return captured, rec, nil
+		case err != nil:
+			return nil, nil, err
+		default:
+			return nil, rec, nil // run completed before reaching the target
+		}
+	}
+
+	capA, recA, err := replay()
+	if err != nil {
+		return nil, fmt.Errorf("replay 1: %w", err)
+	}
+	capB, recB, err := replay()
+	if err != nil {
+		return nil, fmt.Errorf("replay 2: %w", err)
+	}
+	for _, log := range recA.perShard {
+		rep.ReplayedEvents += int64(len(log))
+	}
+
+	if div := firstLogDivergence(recA, recB); div != "" {
+		rep.FirstDivergence = div
+		return rep, nil
+	}
+	if capA == nil || capB == nil {
+		rep.Deterministic = capA == nil && capB == nil
+		rep.FirstDivergence = fmt.Sprintf(
+			"replay completed the run after %d events without reaching the recorded boundary (%d events at t=%v): the replay diverged structurally from the recorded run inside (%v, %v]",
+			snFrom.events+rep.ReplayedEvents, snTo.events, snTo.time, snFrom.time, snTo.time)
+		return rep, nil
+	}
+	if !bytes.Equal(capA, capB) {
+		rep.FirstDivergence = "the two replays processed identical event streams but captured different states — state outside the event stream is nondeterministic"
+		return rep, nil
+	}
+	rep.Deterministic = true
+
+	snCap, err := decodeSnapshot(capA)
+	if err != nil {
+		return nil, fmt.Errorf("captured snapshot: %w", err)
+	}
+	if snCap.events != snTo.events {
+		rep.FirstDivergence = fmt.Sprintf(
+			"replay stopped at a boundary with %d events, recorded snapshot has %d: event counts diverged inside (%v, %v]",
+			snCap.events, snTo.events, snFrom.time, snTo.time)
+		return rep, nil
+	}
+	if !bytes.Equal(snCap.comparable, snTo.comparable) {
+		rep.FirstDivergence = fmt.Sprintf(
+			"replay is deterministic but its state at t=%v (event %d) differs from the recorded snapshot: this build diverges from the recorded run inside (%v, %v] — re-run the recording with a finer -checkpoint-every to bracket the first diverging event",
+			snCap.time, snCap.events, snFrom.time, snTo.time)
+		return rep, nil
+	}
+	rep.MatchesRecorded = true
+	return rep, nil
+}
+
+// firstLogDivergence compares two replays' per-shard event logs and
+// describes the earliest mismatch, or returns "".
+func firstLogDivergence(a, b *replayRecorder) string {
+	for sh := range a.perShard {
+		la, lb := a.perShard[sh], b.perShard[sh]
+		n := len(la)
+		if len(lb) < n {
+			n = len(lb)
+		}
+		for i := 0; i < n; i++ {
+			if la[i] != lb[i] {
+				return fmt.Sprintf(
+					"first diverging event: shard %d event %d — replay 1 {t=%v kind=%s arg=%d} vs replay 2 {t=%v kind=%s arg=%d}",
+					sh, i, la[i].T, la[i].Kind, la[i].Arg, lb[i].T, lb[i].Kind, lb[i].Arg)
+			}
+		}
+		if len(la) != len(lb) {
+			return fmt.Sprintf(
+				"shard %d processed %d events in replay 1 but %d in replay 2 (first %d identical)",
+				sh, len(la), len(lb), n)
+		}
+	}
+	return ""
+}

@@ -24,6 +24,12 @@ func (s *reschedSys) register(k *kernel) {
 	sh := s.sh
 	s.susDecide = k.registerKind("susDecide", true, func(p any) error { return sh.handleSusDecide(p.(int)) })
 	s.waitTimeout = k.registerKind("waitTimeout", true, func(p any) error { return sh.handleWaitTimeout(p.(int)) })
+	// The subsystem owns no state beyond its pending events (saved with
+	// the kernel queue; the core codec rewires each restored wait-timer
+	// handle to its job) and the policy's internals (saved through the
+	// Stateful contract). The empty codec records that this is by
+	// design, and keeps the registry enumeration complete.
+	k.registerState("resched", func(*snapEncoder) {}, func(*snapDecoder) error { return nil })
 }
 
 // handleSusDecide consults the rescheduling policy about a job that was

@@ -5,11 +5,21 @@ import "fmt"
 // runSerial drives the whole simulation through a single shard scoped
 // to every site: one global event queue, popped in (time, scheduling
 // order), exactly the monolithic engine's loop. This is the reference
-// semantics the partitioned engine must reproduce bit for bit.
-func runSerial(w *world) (*Result, error) {
+// semantics the partitioned engine must reproduce bit for bit. With a
+// resume snapshot the shard's state is restored instead of seeded and
+// the loop continues mid-run; with checkpointing enabled the loop
+// snapshots at the first event boundary past each cadence mark.
+func runSerial(w *world, sn *snapshot) (*Result, error) {
 	sh := newShard(w, 0, allSites(w), false)
-	sh.seed()
-	if err := serialLoop(sh); err != nil {
+	if sn != nil {
+		if err := restoreRun(sn, w, []*shard{sh}, nil); err != nil {
+			return nil, err
+		}
+	} else {
+		sh.seed()
+	}
+	ck := newCheckpointer(w, []*shard{sh}, EngineSerial, sn)
+	if err := serialLoop(sh, ck); err != nil {
 		return nil, err
 	}
 	res := sh.res
@@ -33,7 +43,7 @@ func allSites(w *world) []int {
 	return sites
 }
 
-func serialLoop(sh *shard) error {
+func serialLoop(sh *shard, ck *checkpointer) error {
 	total := len(sh.w.specs)
 	cfg := &sh.w.cfg
 	ctx := cfg.Context
@@ -64,6 +74,26 @@ func serialLoop(sh *shard) error {
 		sh.acct.advanceTo(k.now)
 		if err := k.dispatch(ev); err != nil {
 			return fmt.Errorf("sim: t=%v: %w", k.now, err)
+		}
+		if cfg.eventLog != nil {
+			cfg.eventLog.record(0, k.now, &k.kinds[ev.Kind], ev.Payload)
+		}
+		// Both checkpoint capture points sit at the same boundary: after
+		// the event's full effect, before the next pop — where every
+		// piece of state is explicit and enumerable.
+		if ck.due(k.now) {
+			if err := ck.take(k.now, k.events, 0, false); err != nil {
+				return err
+			}
+		}
+		if cfg.stopAtEvents > 0 && k.events >= cfg.stopAtEvents {
+			data, err := takeSnapshot(sh.w, []*shard{sh},
+				newSnapParams(sh.w, []*shard{sh}, EngineSerial, 0), k.now, k.events, 0, false)
+			if err != nil {
+				return err
+			}
+			*cfg.captureAt = data
+			return errReplayStop
 		}
 	}
 	return nil

@@ -290,6 +290,14 @@ func newShard(w *world, index int, sites []int, parallel bool) *shard {
 	if parallel {
 		sh.par = &parShard{}
 	}
+	// The shard core registers its own state codec (clock, event
+	// counters, Result counters, the pending event list) ahead of the
+	// subsystems', followed by the accounting sink; subsystem codecs
+	// then follow kind-registration order. The combined order is
+	// identical across shards and runs, which is what lets snapshots
+	// pair saved sections with codecs positionally.
+	sh.registerCoreState()
+	sh.acct.register(sh.k)
 	// Subsystem registration order defines the run's kind numbering;
 	// it must be identical in every shard (and is, because this is the
 	// only registration site).
@@ -318,6 +326,88 @@ func newShard(w *world, index int, sites []int, parallel bool) *shard {
 		}
 	}
 	return sh
+}
+
+// registerCoreState installs the shard-core state codec: the kernel
+// clock and counters, the submission-chain cursor, the scope counters,
+// the shard's slice of the Result counters, the pending future event
+// list (exact tie ranks included — see saveQueue/restoreQueue), and the
+// parallel engine's per-shard bookkeeping (departure bitmap, message
+// sequence, cross-site busy-shift ledger).
+func (sh *shard) registerCoreState() {
+	sh.k.registerState("core", func(e *snapEncoder) {
+		k := sh.k
+		e.F64(k.now)
+		e.I64(k.events)
+		e.U64(k.phase)
+		e.Int(sh.nextSubmit)
+		e.Int(sh.scopeBusy)
+		e.Int(sh.scopeSuspended)
+		e.Int(sh.scopeWaiting)
+		e.Int(sh.completed)
+		e.I64(sh.res.Preemptions)
+		e.I64(sh.res.Restarts)
+		e.I64(sh.res.Migrations)
+		e.I64(sh.res.WaitMoves)
+		e.I64(sh.res.CrossSiteSubmits)
+		e.I64(sh.res.CrossSiteMoves)
+		e.I64(sh.res.Kills)
+		e.I64(sh.res.Requeues)
+		sh.saveQueue(e)
+		if sh.par != nil {
+			e.Bools(sh.away)
+			e.U64(sh.par.msgSeq)
+			e.Int(len(sh.par.busyShifts))
+			for _, bs := range sh.par.busyShifts {
+				e.F64(bs.t)
+				e.Int(bs.exec)
+				e.Int(bs.site)
+				e.Int(int(bs.delta))
+			}
+		}
+	}, func(d *snapDecoder) error {
+		k := sh.k
+		k.now = d.F64()
+		k.events = d.I64()
+		k.phase = d.U64()
+		sh.nextSubmit = d.Int()
+		sh.scopeBusy = d.Int()
+		sh.scopeSuspended = d.Int()
+		sh.scopeWaiting = d.Int()
+		sh.completed = d.Int()
+		sh.res.Preemptions = d.I64()
+		sh.res.Restarts = d.I64()
+		sh.res.Migrations = d.I64()
+		sh.res.WaitMoves = d.I64()
+		sh.res.CrossSiteSubmits = d.I64()
+		sh.res.CrossSiteMoves = d.I64()
+		sh.res.Kills = d.I64()
+		sh.res.Requeues = d.I64()
+		if err := sh.restoreQueue(d); err != nil {
+			return err
+		}
+		if sh.par != nil {
+			away := d.BoolsN(len(sh.w.jobs))
+			if d.err == nil && len(away) != len(sh.away) {
+				d.fail()
+				return d.err
+			}
+			copy(sh.away, away)
+			sh.par.msgSeq = d.U64()
+			n := d.Int()
+			if d.err != nil || n < 0 {
+				d.fail()
+				return d.err
+			}
+			sh.par.busyShifts = make([]busyShift, n)
+			for i := range sh.par.busyShifts {
+				sh.par.busyShifts[i] = busyShift{
+					t: d.F64(), exec: d.Int(), site: d.Int(), delta: int32(d.Int()),
+				}
+			}
+		}
+		return nil
+	})
 }
 
 // recountRisk re-evaluates whether job idx contributes to aliasRisk:

@@ -124,6 +124,36 @@ type Config struct {
 	// every few hundred events and aborts with its error. Nil means the
 	// run cannot be canceled.
 	Context context.Context
+
+	// CheckpointEvery takes a full-state snapshot every this many
+	// simulated minutes: the serial engine at the first event boundary
+	// past each mark, the parallel engine at the first round barrier
+	// past it. 0 disables checkpointing. Resuming from any emitted
+	// snapshot reproduces the straight run bit-identically (jobs,
+	// series, counters, event counts). Requires CheckpointSink.
+	CheckpointEvery float64
+	// CheckpointSink receives each encoded snapshot. A sink error
+	// aborts the run.
+	CheckpointSink func(Checkpoint) error
+	// CheckpointLabel is free-form metadata embedded in every emitted
+	// snapshot (e.g. the experiment cell that produced it). It does not
+	// participate in compatibility checks or snapshot comparison.
+	CheckpointLabel string
+	// ResumeFrom is an encoded snapshot (Checkpoint.Data) to resume
+	// from instead of starting at t=0. The snapshot must come from a
+	// run with the same configuration, workload and engine mode;
+	// mismatches fail with ErrSnapshotMismatch before any simulation
+	// state is touched. Stateful schedulers/policies are restored
+	// through the Stateful contract.
+	ResumeFrom []byte
+
+	// stopAtEvents and captureAt are replay-bisect internals (see
+	// ReplayBisect): stop the run at the boundary where the processed
+	// event count reaches stopAtEvents and capture a snapshot there.
+	// eventLog, when set, records every dispatched event.
+	stopAtEvents int64
+	captureAt    *[]byte
+	eventLog     *replayRecorder
 }
 
 func (c *Config) withDefaults() (Config, error) {
@@ -163,6 +193,12 @@ func (c *Config) withDefaults() (Config, error) {
 	}
 	if out.DecisionDelay < 0 {
 		return out, fmt.Errorf("sim: negative decision delay %v", out.DecisionDelay)
+	}
+	if out.CheckpointEvery < 0 {
+		return out, fmt.Errorf("sim: negative checkpoint interval %v", out.CheckpointEvery)
+	}
+	if out.CheckpointEvery > 0 && out.CheckpointSink == nil {
+		return out, fmt.Errorf("sim: CheckpointEvery requires a CheckpointSink")
 	}
 	if err := out.Faults.validate(); err != nil {
 		return out, err
@@ -241,9 +277,20 @@ type Result struct {
 	ambiguousTies bool
 }
 
+// AmbiguousTies reports whether the parallel engine observed at least
+// one cross-partition pair of events with exactly equal timestamps
+// whose serial order it cannot reconstruct. When true, this run's
+// serial/parallel bit-identity guarantee is void (the run is still
+// internally consistent and deterministic for its engine). Always
+// false on serial runs. Callers replicating results across engines
+// should surface it to users instead of silently comparing.
+func (r *Result) AmbiguousTies() bool { return r.ambiguousTies }
+
 // Run simulates the specs on the configured platform until every job
 // completes. Specs must be sorted by submission time (a trace.Trace
-// guarantees this).
+// guarantees this). With Config.ResumeFrom set, the run continues from
+// the snapshot instead of t=0 and produces results bit-identical to a
+// straight run.
 func Run(cfg Config, specs []job.Spec) (*Result, error) {
 	full, err := cfg.withDefaults()
 	if err != nil {
@@ -253,8 +300,23 @@ func Run(cfg Config, specs []job.Spec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if full.Engine == EngineParallel && w.parallelizable() {
-		return runParallel(w)
+	parallel := full.Engine == EngineParallel && w.parallelizable()
+	var sn *snapshot
+	if len(full.ResumeFrom) > 0 {
+		sn, err = decodeSnapshot(full.ResumeFrom)
+		if err != nil {
+			return nil, err
+		}
+		mode := EngineSerial
+		if parallel {
+			mode = EngineParallel
+		}
+		if err := sn.verify(w, mode); err != nil {
+			return nil, err
+		}
 	}
-	return runSerial(w)
+	if parallel {
+		return runParallel(w, sn)
+	}
+	return runSerial(w, sn)
 }

@@ -28,6 +28,48 @@ func (s *snapshotSys) register(k *kernel) {
 		sh.handleSnapshot(p.(snapPair))
 		return nil
 	})
+	k.setPayloadCodec(s.snapshot,
+		func(e *snapEncoder, p any) {
+			pair := p.(snapPair)
+			e.Int(pair.obs)
+			e.Int(pair.tgt)
+		},
+		func(d *snapDecoder) any { return snapPair{obs: d.Int(), tgt: d.Int()} },
+		func(p any) int64 { return int64(p.(snapPair).tgt) })
+	k.registerState("views", s.save, s.load)
+}
+
+// save dumps the stale-view subsystem's slice of shard state: every
+// observer's snapshot cells for the pools this shard owns (the cells
+// its refresh chains write). The refresh chains themselves are pending
+// events, saved with the kernel queue.
+func (s *snapshotSys) save(e *snapEncoder) {
+	sh := s.sh
+	if sh.w.snap == nil {
+		return // no ageing configured; nothing allocated (config-determined)
+	}
+	for obs := 0; obs < sh.w.nSites; obs++ {
+		for _, site := range sh.sites {
+			for _, p := range sh.w.plat.Site(site).Pools {
+				e.F64(sh.w.snap[obs][p])
+			}
+		}
+	}
+}
+
+func (s *snapshotSys) load(d *snapDecoder) error {
+	sh := s.sh
+	if sh.w.snap == nil {
+		return nil
+	}
+	for obs := 0; obs < sh.w.nSites; obs++ {
+		for _, site := range sh.sites {
+			for _, p := range sh.w.plat.Site(site).Pools {
+				sh.w.snap[obs][p] = d.F64()
+			}
+		}
+	}
+	return d.err
 }
 
 // snapPair names one (observer site, target site) utilization-view

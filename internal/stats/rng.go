@@ -16,18 +16,62 @@ import (
 
 // RNG is a deterministic, seedable source of random variates.
 //
-// It wraps math/rand/v2's PCG generator. RNG is not safe for concurrent
-// use; the simulator is single-threaded by design, and parallel
-// experiment runners each own a distinct RNG.
+// It wraps math/rand/v2's PCG generator with explicit, exportable state:
+// ExportState captures the generator mid-stream and ImportState resumes
+// it so that a straight run and a save/restore run draw identical
+// streams (the checkpoint/restore contract). RNG is not safe for
+// concurrent use; the simulator is single-threaded by design, and
+// parallel experiment runners each own a distinct RNG.
 type RNG struct {
 	src  *rand.Rand
+	pcg  *rand.PCG
 	seed uint64
+}
+
+// RNGState is the explicit serializable state of an RNG: the seed its
+// keyed forks derive from (SplitKey/ForkSeed are pure functions of it)
+// plus the PCG generator's marshaled position in its stream.
+type RNGState struct {
+	Seed uint64 `json:"seed"`
+	PCG  []byte `json:"pcg"`
 }
 
 // NewRNG returns a generator seeded with seed. Two RNGs created with the
 // same seed produce identical streams.
 func NewRNG(seed uint64) *RNG {
-	return &RNG{src: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)), seed: seed}
+	pcg := rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)
+	return &RNG{src: rand.New(pcg), pcg: pcg, seed: seed}
+}
+
+// ExportState snapshots the generator. The result is a pure value:
+// exporting consumes no draws and the generator continues unaffected.
+func (r *RNG) ExportState() RNGState {
+	data, err := r.pcg.MarshalBinary()
+	if err != nil {
+		// rand.PCG.MarshalBinary cannot fail; keep the signature clean.
+		panic("stats: PCG marshal failed: " + err.Error())
+	}
+	return RNGState{Seed: r.seed, PCG: data}
+}
+
+// ImportState repositions the generator to a previously exported state:
+// subsequent draws (and keyed forks) are identical to those the
+// exporting generator produced after the export.
+func (r *RNG) ImportState(st RNGState) error {
+	if err := r.pcg.UnmarshalBinary(st.PCG); err != nil {
+		return err
+	}
+	r.seed = st.Seed
+	return nil
+}
+
+// RestoreRNG reconstructs a generator from an exported state.
+func RestoreRNG(st RNGState) (*RNG, error) {
+	r := NewRNG(st.Seed)
+	if err := r.ImportState(st); err != nil {
+		return nil, err
+	}
+	return r, nil
 }
 
 // Split derives an independent generator from the current stream. It is
@@ -37,7 +81,8 @@ func NewRNG(seed uint64) *RNG {
 // when the fork must not depend on how many draws preceded it.
 func (r *RNG) Split() *RNG {
 	a, b := r.src.Uint64(), r.src.Uint64()
-	return &RNG{src: rand.New(rand.NewPCG(a, b)), seed: a}
+	pcg := rand.NewPCG(a, b)
+	return &RNG{src: rand.New(pcg), pcg: pcg, seed: a}
 }
 
 // SplitKey derives an independent generator identified by key without

@@ -44,6 +44,27 @@ func (ts *TimeSeries) Add(t, v float64) {
 // Len returns the number of bins currently covered.
 func (ts *TimeSeries) Len() int { return len(ts.sums) }
 
+// Dump exports the accumulator's complete internal state — the per-bin
+// sums and observation counts — for checkpointing. The returned slices
+// are copies; mutating them does not affect the series.
+func (ts *TimeSeries) Dump() (sums []float64, counts []int64) {
+	return append([]float64(nil), ts.sums...), append([]int64(nil), ts.counts...)
+}
+
+// RestoreTimeSeries rebuilds a series from a Dump, so observations
+// added afterwards continue the accumulation bit-identically to a
+// series that was never dumped. It panics if binWidth <= 0 or the
+// slices disagree in length, which are programmer errors.
+func RestoreTimeSeries(binWidth float64, sums []float64, counts []int64) *TimeSeries {
+	if len(sums) != len(counts) {
+		panic("stats: RestoreTimeSeries sums/counts length mismatch")
+	}
+	ts := NewTimeSeries(binWidth)
+	ts.sums = append([]float64(nil), sums...)
+	ts.counts = append([]int64(nil), counts...)
+	return ts
+}
+
 // Points returns (bin midpoint time, bin average) pairs.
 func (ts *TimeSeries) Points() []Point {
 	pts := make([]Point, len(ts.sums))

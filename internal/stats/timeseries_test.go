@@ -101,3 +101,32 @@ func TestTimeSeriesCountConservation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestTimeSeriesDumpRestore(t *testing.T) {
+	a := NewTimeSeries(100)
+	b := NewTimeSeries(100)
+	add := func(ts *TimeSeries, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ts.Add(float64(i*13%997), float64(i)*0.37)
+		}
+	}
+	add(a, 0, 50)
+	add(b, 0, 50)
+	sums, counts := a.Dump()
+	restored := RestoreTimeSeries(a.BinWidth, sums, counts)
+	// Mutating the dump must not affect the restored series.
+	if len(sums) > 0 {
+		sums[0] += 1e9
+	}
+	add(restored, 50, 120)
+	add(b, 50, 120)
+	rp, bp := restored.Points(), b.Points()
+	if len(rp) != len(bp) {
+		t.Fatalf("restored %d bins, straight %d", len(rp), len(bp))
+	}
+	for i := range rp {
+		if rp[i] != bp[i] {
+			t.Fatalf("bin %d: restored %+v != straight %+v", i, rp[i], bp[i])
+		}
+	}
+}
