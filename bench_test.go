@@ -328,6 +328,10 @@ func BenchmarkTraceGeneration(b *testing.B) {
 //     simulated day (the -checkpoint-every default). The satellite
 //     target is per-checkpoint overhead under ~5% of run time —
 //     reported as pctPerCkpt;
+//   - capture_delta: the same cadence with CheckpointKeyframe=8, so
+//     seven of every eight snapshots are binary deltas. Reports the
+//     delta-file size as a percentage of the run's full-snapshot size
+//     (pctOfFull — the perf program targets ≤25%);
 //   - resume: restoring the run's mid-point snapshot and simulating to
 //     completion (decode + state rebuild + the remaining half).
 func BenchmarkCheckpoint(b *testing.B) {
@@ -364,6 +368,7 @@ func BenchmarkCheckpoint(b *testing.B) {
 	})
 
 	var mid sim.Checkpoint
+	var fullBytesPerSnap float64
 	b.Run("capture", func(b *testing.B) {
 		b.ReportAllocs()
 		var count, bytes int
@@ -388,11 +393,39 @@ func BenchmarkCheckpoint(b *testing.B) {
 		elapsed := float64(time.Since(start).Nanoseconds()) / float64(b.N)
 		perRun := count / b.N
 		mid = cks[len(cks)/2]
+		fullBytesPerSnap = float64(bytes) / float64(count)
 		b.ReportMetric(float64(perRun), "snapshots/run")
-		b.ReportMetric(float64(bytes/count)/1024, "KB/snapshot")
+		b.ReportMetric(fullBytesPerSnap/1024, "KB/snapshot")
 		if baseline > 0 && perRun > 0 {
 			perCkpt := (elapsed - baseline) / float64(perRun)
 			b.ReportMetric(100*perCkpt/baseline, "pctPerCkpt")
+		}
+	})
+
+	b.Run("capture_delta", func(b *testing.B) {
+		b.ReportAllocs()
+		var deltaCount, deltaBytes int
+		for i := 0; i < b.N; i++ {
+			cfg := mkCfg()
+			cfg.CheckpointEvery = day
+			cfg.CheckpointKeyframe = 8
+			cfg.CheckpointSink = func(c sim.Checkpoint) error {
+				if c.Delta {
+					deltaCount++
+					deltaBytes += len(c.Data)
+				}
+				return nil
+			}
+			if _, err := sim.Run(cfg, tr.Jobs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if deltaCount > 0 {
+			perDelta := float64(deltaBytes) / float64(deltaCount)
+			b.ReportMetric(perDelta/1024, "KB/delta")
+			if fullBytesPerSnap > 0 {
+				b.ReportMetric(100*perDelta/fullBytesPerSnap, "pctOfFull")
+			}
 		}
 	})
 

@@ -1,0 +1,95 @@
+// Command benchsnap records the canonical bench cells to a
+// schema-versioned JSON snapshot and/or gates the run against a
+// committed baseline.
+//
+// Record the baseline (done once per perf-relevant PR, on the CI
+// machine shape):
+//
+//	go run ./cmd/benchsnap -out BENCH_6.json
+//
+// Gate a candidate in CI (exits 1 on regression):
+//
+//	go run ./cmd/benchsnap -compare BENCH_6.json -out bench_candidate.json
+//
+// Allocations and bytes per op gate on every run (they are
+// hardware-independent); ns/op gates only when the baseline was
+// recorded on the same GOOS/GOARCH/CPU-count shape as the candidate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"netbatch/internal/benchsnap"
+)
+
+func main() {
+	out := flag.String("out", "", "write the collected snapshot to this JSON file")
+	compare := flag.String("compare", "", "baseline snapshot to gate against; exit 1 on regression")
+	scale := flag.Float64("scale", 0, "bench scale (0 = canonical 0.04)")
+	timeTol := flag.Float64("time-tol", 0.10, "allowed ns/op growth before failing (fraction)")
+	allocTol := flag.Float64("alloc-tol", 0.05, "allowed allocs/op and bytes/op growth before failing (fraction)")
+	flag.Parse()
+	if *out == "" && *compare == "" {
+		fmt.Fprintln(os.Stderr, "benchsnap: nothing to do; pass -out and/or -compare")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cand, err := benchsnap.Collect(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	for _, c := range cand.Cells {
+		fmt.Printf("%-28s %12.0f ns/op %12d B/op %9d allocs/op", c.Name, c.NsPerOp, c.BytesPerOp, c.AllocsPerOp)
+		for k, v := range c.Metrics {
+			fmt.Printf("   %.4g %s", v, k)
+		}
+		fmt.Println()
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(cand, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+
+	if *compare != "" {
+		data, err := os.ReadFile(*compare)
+		if err != nil {
+			fatal(err)
+		}
+		var base benchsnap.Snapshot
+		if err := json.Unmarshal(data, &base); err != nil {
+			fatal(fmt.Errorf("parse %s: %w", *compare, err))
+		}
+		regs, notes, err := benchsnap.Compare(base, cand, *timeTol, *allocTol)
+		if err != nil {
+			fatal(err)
+		}
+		for _, n := range notes {
+			fmt.Println("note:", n)
+		}
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "benchsnap: %d regression(s) vs %s:\n", len(regs), *compare)
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "  ", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("no regressions vs %s (time tol %.0f%%, alloc tol %.0f%%)\n",
+			*compare, 100**timeTol, 100**allocTol)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchsnap:", err)
+	os.Exit(1)
+}

@@ -26,6 +26,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime/pprof"
+	"runtime/trace"
 	"strconv"
 	"strings"
 	"time"
@@ -56,14 +58,25 @@ func run() error {
 		outDir   = flag.String("out", "", "directory for CSV output (optional)")
 		overhead = flag.Float64("overhead", 0, "reschedule transfer overhead in minutes")
 
-		ckptDir   = flag.String("checkpoint-dir", "", "directory for per-cell engine checkpoints; enables checkpointing")
-		ckptEvery = flag.Float64("checkpoint-every", 0, "checkpoint cadence in simulated minutes (default: 1440 = one simulated day)")
-		resume    = flag.Bool("resume", false, "resume each cell from its checkpoint in -checkpoint-dir (bit-identical results; incompatible checkpoints restart from t=0)")
+		ckptDir      = flag.String("checkpoint-dir", "", "directory for per-cell engine checkpoints; enables checkpointing")
+		ckptEvery    = flag.Float64("checkpoint-every", 0, "checkpoint cadence in simulated minutes (default: 1440 = one simulated day)")
+		ckptKeyframe = flag.Int("checkpoint-keyframe", 0, "emit every Nth checkpoint full and the rest as binary deltas (.dckpt) against the previous one; 0 or 1 = all full")
+		resume       = flag.Bool("resume", false, "resume each cell from its checkpoint in -checkpoint-dir (bit-identical results; incompatible checkpoints restart from t=0)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		traceFile  = flag.String("trace", "", "write a runtime execution trace of the run to this file")
 
 		replayBisect = flag.String("replay-bisect", "", "two checkpoint files \"from.ckpt,to.ckpt\" of one recorded cell: replay the interval to localize the first diverging event of a determinism regression (requires -run and -bisect-cell)")
 		bisectCell   = flag.String("bisect-cell", "", "cell coordinate \"scenario/policy/replicate\" for -replay-bisect (matches the snapshot's embedded label)")
 	)
 	flag.Parse()
+
+	stopProf, err := startProfiling(*cpuProfile, *memProfile, *traceFile)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -87,16 +100,17 @@ func run() error {
 		ids = strings.Split(*runIDs, ",")
 	}
 	opts := experiments.Options{
-		Seed:            *seed,
-		Seeds:           *seeds,
-		Scale:           *scale,
-		Jobs:            *jobs,
-		Engine:          *engine,
-		Overhead:        *overhead,
-		Context:         ctx,
-		CheckpointDir:   *ckptDir,
-		CheckpointEvery: *ckptEvery,
-		Resume:          *resume,
+		Seed:               *seed,
+		Seeds:              *seeds,
+		Scale:              *scale,
+		Jobs:               *jobs,
+		Engine:             *engine,
+		Overhead:           *overhead,
+		Context:            ctx,
+		CheckpointDir:      *ckptDir,
+		CheckpointEvery:    *ckptEvery,
+		CheckpointKeyframe: *ckptKeyframe,
+		Resume:             *resume,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -149,11 +163,11 @@ func runReplayBisect(files, cell string, ids []string, opts experiments.Options)
 	if len(parts) != 2 {
 		return fmt.Errorf("-replay-bisect wants two files \"from.ckpt,to.ckpt\", got %q", files)
 	}
-	from, err := os.ReadFile(strings.TrimSpace(parts[0]))
+	from, err := experiments.LoadCheckpoint(strings.TrimSpace(parts[0]))
 	if err != nil {
 		return err
 	}
-	to, err := os.ReadFile(strings.TrimSpace(parts[1]))
+	to, err := experiments.LoadCheckpoint(strings.TrimSpace(parts[1]))
 	if err != nil {
 		return err
 	}
@@ -257,4 +271,55 @@ func writeCSV(dir string, out *experiments.Output) error {
 		}
 	}
 	return nil
+}
+
+// startProfiling arms the requested pprof/trace outputs and returns the
+// teardown that flushes them. Empty paths are skipped.
+func startProfiling(cpu, mem, tr string) (func(), error) {
+	var stops []func()
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if tr != "" {
+		f, err := os.Create(tr)
+		if err != nil {
+			return nil, err
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stops = append(stops, func() {
+			trace.Stop()
+			f.Close()
+		})
+	}
+	stop := func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+			}
+		}
+	}
+	return stop, nil
 }

@@ -1,0 +1,326 @@
+// Package benchsnap runs the repo's canonical performance cells and
+// compares the result against a committed snapshot, so the bench
+// trajectory is CI-tracked instead of anecdotal: every PR that moves a
+// hot-path number beyond the noise band fails loudly with the cell and
+// metric that moved.
+//
+// The cell set mirrors the headline benchmarks (multi-site busy week on
+// both engines, the faulty week on both engines, and the
+// checkpoint/restore set including delta capture) at the same 4% bench
+// scale. Results serialize to a schema-versioned JSON snapshot
+// (BENCH_6.json at the repo root is the committed baseline; see
+// cmd/benchsnap).
+//
+// Comparison rules: allocations and bytes per op are
+// hardware-independent and gate on every run; wall-clock gates only
+// when the baseline was recorded on a matching machine shape (same
+// GOOS/GOARCH/CPU count), because a 1-CPU container and a 4-vCPU CI
+// runner measure different parallel engines.
+package benchsnap
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"testing"
+
+	"netbatch/internal/cluster"
+	"netbatch/internal/core"
+	"netbatch/internal/experiments"
+	"netbatch/internal/sched"
+	"netbatch/internal/sim"
+	"netbatch/internal/trace"
+)
+
+// Schema versions the snapshot layout; bump on any breaking change to
+// the JSON shape or the cell set semantics.
+const Schema = 1
+
+// Snapshot is one recorded bench pass.
+type Snapshot struct {
+	Schema int    `json:"schema"`
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	// CPUs is runtime.NumCPU at record time — the parallel cells'
+	// wall-clock depends on it, so time comparison requires a match.
+	CPUs  int     `json:"cpus"`
+	Scale float64 `json:"scale"`
+	Cells []Cell  `json:"cells"`
+}
+
+// Cell is one benchmark cell's measurement.
+type Cell struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Metrics carries the cell's extra testing.B.ReportMetric values
+	// (KB/snapshot, pctOfFull, ...). Informational — not gated.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Collect runs every cell once through testing.Benchmark and returns
+// the snapshot. scale <= 0 defaults to the canonical 4% bench scale.
+func Collect(scale float64) (Snapshot, error) {
+	if scale <= 0 {
+		scale = 0.04
+	}
+	snap := Snapshot{
+		Schema: Schema,
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		CPUs:   runtime.NumCPU(),
+		Scale:  scale,
+	}
+	var firstErr error
+	record := func(name string, fn func(b *testing.B) error) {
+		if firstErr != nil {
+			return
+		}
+		var innerErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			if err := fn(b); err != nil {
+				innerErr = err
+				b.FailNow()
+			}
+		})
+		if innerErr != nil {
+			firstErr = fmt.Errorf("%s: %w", name, innerErr)
+			return
+		}
+		cell := Cell{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			cell.Metrics = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				cell.Metrics[k] = v
+			}
+		}
+		snap.Cells = append(snap.Cells, cell)
+	}
+
+	multisite, err := prebuiltCell(experiments.MultiSiteScenario("bench-multisite", 3, 0,
+		func() sched.SiteSelector { return sched.LatencyPenalizedUtil{} }), scale)
+	if err != nil {
+		return snap, err
+	}
+	faults, err := prebuiltCell(experiments.FaultScenario("bench-faults", 3, sim.VictimRequeue), scale)
+	if err != nil {
+		return snap, err
+	}
+	pf := experiments.PolicyFactory{
+		Name: "ResSusWaitLatency",
+		New:  func(uint64) core.Policy { return core.NewResSusWaitLatency() },
+	}
+	for _, engine := range []string{sim.EngineSerial, sim.EngineParallel} {
+		engine := engine
+		record("multisite_week/"+engine, func(b *testing.B) error {
+			return runCell(b, multisite, pf, engine, scale)
+		})
+		record("faults_week/"+engine, func(b *testing.B) error {
+			return runCell(b, faults, pf, engine, scale)
+		})
+	}
+	collectCheckpointCells(record, multisite, scale)
+	return snap, firstErr
+}
+
+// prebuiltCell synthesizes a scenario's trace and platform once so the
+// timed loop is simulation only (mirrors the bench_test harness).
+func prebuiltCell(sc experiments.Scenario, scale float64) (experiments.Scenario, error) {
+	tr, err := sc.Trace(42, scale)
+	if err != nil {
+		return sc, err
+	}
+	plat, err := sc.Platform(scale)
+	if err != nil {
+		return sc, err
+	}
+	sc.Trace = func(uint64, float64) (*trace.Trace, error) { return tr, nil }
+	sc.Platform = func(float64) (*cluster.Platform, error) { return plat, nil }
+	return sc, nil
+}
+
+func runCell(b *testing.B, sc experiments.Scenario, pf experiments.PolicyFactory, engine string, scale float64) error {
+	opts := experiments.Options{Seed: 42, Scale: scale, Jobs: 1, Engine: engine}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunCell(sc, pf, opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// collectCheckpointCells records the checkpoint set: a full-cadence
+// capture run, the delta-keyframe capture run, and a resume from the
+// mid-run snapshot. One simulated day cadence, like the experiments
+// default.
+func collectCheckpointCells(record func(string, func(b *testing.B) error), sc experiments.Scenario, scale float64) {
+	const day = 1440.0
+	tr, err := sc.Trace(42, scale)
+	if err != nil {
+		record("checkpoint/capture", func(*testing.B) error { return err })
+		return
+	}
+	plat, err := sc.Platform(scale)
+	if err != nil {
+		record("checkpoint/capture", func(*testing.B) error { return err })
+		return
+	}
+	mkCfg := func() sim.Config {
+		return sim.Config{
+			Platform: plat,
+			Initial:  sc.NewInitial(),
+			Policy:   core.NewResSusWaitLatency(),
+		}
+	}
+
+	var mid sim.Checkpoint
+	var fullBytesPerSnap float64
+	record("checkpoint/capture", func(b *testing.B) error {
+		var count, bytes int
+		var cks []sim.Checkpoint
+		for i := 0; i < b.N; i++ {
+			cks = cks[:0]
+			cfg := mkCfg()
+			cfg.CheckpointEvery = day
+			cfg.CheckpointSink = func(c sim.Checkpoint) error {
+				cks = append(cks, c)
+				return nil
+			}
+			if _, err := sim.Run(cfg, tr.Jobs); err != nil {
+				return err
+			}
+			count += len(cks)
+			for _, c := range cks {
+				bytes += len(c.Data)
+			}
+		}
+		if count > 0 {
+			mid = cks[len(cks)/2]
+			fullBytesPerSnap = float64(bytes) / float64(count)
+			b.ReportMetric(fullBytesPerSnap/1024, "KB/snapshot")
+		}
+		return nil
+	})
+	record("checkpoint/capture_delta", func(b *testing.B) error {
+		var deltaCount, deltaBytes int
+		for i := 0; i < b.N; i++ {
+			cfg := mkCfg()
+			cfg.CheckpointEvery = day
+			cfg.CheckpointKeyframe = 8
+			cfg.CheckpointSink = func(c sim.Checkpoint) error {
+				if c.Delta {
+					deltaCount++
+					deltaBytes += len(c.Data)
+				}
+				return nil
+			}
+			if _, err := sim.Run(cfg, tr.Jobs); err != nil {
+				return err
+			}
+		}
+		if deltaCount > 0 {
+			perDelta := float64(deltaBytes) / float64(deltaCount)
+			b.ReportMetric(perDelta/1024, "KB/delta")
+			if fullBytesPerSnap > 0 {
+				b.ReportMetric(100*perDelta/fullBytesPerSnap, "pctOfFull")
+			}
+		}
+		return nil
+	})
+	record("checkpoint/resume", func(b *testing.B) error {
+		if len(mid.Data) == 0 {
+			return fmt.Errorf("no mid-run snapshot captured")
+		}
+		for i := 0; i < b.N; i++ {
+			cfg := mkCfg()
+			cfg.ResumeFrom = mid.Data
+			if _, err := sim.Run(cfg, tr.Jobs); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Regression is one gated metric that moved past its tolerance.
+type Regression struct {
+	Cell   string  `json:"cell"`
+	Metric string  `json:"metric"`
+	Base   float64 `json:"base"`
+	Cand   float64 `json:"candidate"`
+	// Ratio is candidate/base; the gate fires when it exceeds
+	// 1 + tolerance.
+	Ratio float64 `json:"ratio"`
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s %s: %.4g -> %.4g (%.1f%%)", r.Cell, r.Metric, r.Base, r.Cand, 100*(r.Ratio-1))
+}
+
+// Compare gates candidate against base: allocs/op and bytes/op always
+// (within allocTol), ns/op only when the machine shapes match (within
+// timeTol). Returned notes explain skipped gates and new/missing
+// cells; regressions is empty on a pass.
+func Compare(base, cand Snapshot, timeTol, allocTol float64) (regressions []Regression, notes []string, err error) {
+	if base.Schema != cand.Schema {
+		return nil, nil, fmt.Errorf("benchsnap: schema %d vs %d — re-record the baseline", base.Schema, cand.Schema)
+	}
+	if base.Scale != cand.Scale {
+		return nil, nil, fmt.Errorf("benchsnap: bench scale %v vs %v — re-record the baseline", base.Scale, cand.Scale)
+	}
+	timeGate := base.GOOS == cand.GOOS && base.GOARCH == cand.GOARCH && base.CPUs == cand.CPUs
+	if !timeGate {
+		notes = append(notes, fmt.Sprintf(
+			"time gate skipped: baseline recorded on %s/%s/%d-cpu, candidate on %s/%s/%d-cpu",
+			base.GOOS, base.GOARCH, base.CPUs, cand.GOOS, cand.GOARCH, cand.CPUs))
+	}
+	candBy := make(map[string]Cell, len(cand.Cells))
+	for _, c := range cand.Cells {
+		candBy[c.Name] = c
+	}
+	gate := func(cell, metric string, b, c, tol float64) {
+		if b <= 0 {
+			return
+		}
+		if ratio := c / b; ratio > 1+tol {
+			regressions = append(regressions, Regression{Cell: cell, Metric: metric, Base: b, Cand: c, Ratio: ratio})
+		}
+	}
+	for _, bc := range base.Cells {
+		cc, ok := candBy[bc.Name]
+		if !ok {
+			regressions = append(regressions, Regression{Cell: bc.Name, Metric: "missing", Ratio: 1})
+			continue
+		}
+		delete(candBy, bc.Name)
+		gate(bc.Name, "allocs/op", float64(bc.AllocsPerOp), float64(cc.AllocsPerOp), allocTol)
+		gate(bc.Name, "bytes/op", float64(bc.BytesPerOp), float64(cc.BytesPerOp), allocTol)
+		if timeGate {
+			gate(bc.Name, "ns/op", bc.NsPerOp, cc.NsPerOp, timeTol)
+		}
+	}
+	extra := make([]string, 0, len(candBy))
+	for name := range candBy {
+		extra = append(extra, name)
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		notes = append(notes, "new cell not in baseline: "+name)
+	}
+	sort.Slice(regressions, func(i, j int) bool {
+		if regressions[i].Cell != regressions[j].Cell {
+			return regressions[i].Cell < regressions[j].Cell
+		}
+		return regressions[i].Metric < regressions[j].Metric
+	})
+	return regressions, notes, nil
+}

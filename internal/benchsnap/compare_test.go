@@ -1,0 +1,91 @@
+package benchsnap
+
+import (
+	"strings"
+	"testing"
+)
+
+func snapWith(cpus int, cells ...Cell) Snapshot {
+	return Snapshot{Schema: Schema, GOOS: "linux", GOARCH: "amd64", CPUs: cpus, Scale: 0.04, Cells: cells}
+}
+
+func TestCompareGates(t *testing.T) {
+	base := snapWith(4,
+		Cell{Name: "a", NsPerOp: 1000, BytesPerOp: 1 << 20, AllocsPerOp: 1000},
+		Cell{Name: "b", NsPerOp: 2000, BytesPerOp: 2 << 20, AllocsPerOp: 2000},
+	)
+
+	t.Run("within tolerance passes", func(t *testing.T) {
+		cand := snapWith(4,
+			Cell{Name: "a", NsPerOp: 1090, BytesPerOp: 1<<20 + 1<<15, AllocsPerOp: 1040},
+			Cell{Name: "b", NsPerOp: 1900, BytesPerOp: 2 << 20, AllocsPerOp: 2000},
+		)
+		regs, notes, err := Compare(base, cand, 0.10, 0.05)
+		if err != nil || len(regs) != 0 || len(notes) != 0 {
+			t.Fatalf("want clean pass, got regs=%v notes=%v err=%v", regs, notes, err)
+		}
+	})
+
+	t.Run("alloc regression fails", func(t *testing.T) {
+		cand := snapWith(4,
+			Cell{Name: "a", NsPerOp: 1000, BytesPerOp: 1 << 20, AllocsPerOp: 1100},
+			Cell{Name: "b", NsPerOp: 2000, BytesPerOp: 2 << 20, AllocsPerOp: 2000},
+		)
+		regs, _, err := Compare(base, cand, 0.10, 0.05)
+		if err != nil || len(regs) != 1 || regs[0].Cell != "a" || regs[0].Metric != "allocs/op" {
+			t.Fatalf("want one allocs/op regression on a, got %v err=%v", regs, err)
+		}
+	})
+
+	t.Run("time regression fails on matching shape", func(t *testing.T) {
+		cand := snapWith(4,
+			Cell{Name: "a", NsPerOp: 1200, BytesPerOp: 1 << 20, AllocsPerOp: 1000},
+			Cell{Name: "b", NsPerOp: 2000, BytesPerOp: 2 << 20, AllocsPerOp: 2000},
+		)
+		regs, _, err := Compare(base, cand, 0.10, 0.05)
+		if err != nil || len(regs) != 1 || regs[0].Metric != "ns/op" {
+			t.Fatalf("want one ns/op regression, got %v err=%v", regs, err)
+		}
+	})
+
+	t.Run("time gate skipped on cpu mismatch", func(t *testing.T) {
+		cand := snapWith(1,
+			Cell{Name: "a", NsPerOp: 5000, BytesPerOp: 1 << 20, AllocsPerOp: 1000},
+			Cell{Name: "b", NsPerOp: 9000, BytesPerOp: 2 << 20, AllocsPerOp: 2000},
+		)
+		regs, notes, err := Compare(base, cand, 0.10, 0.05)
+		if err != nil || len(regs) != 0 {
+			t.Fatalf("time must not gate across shapes, got %v err=%v", regs, err)
+		}
+		if len(notes) != 1 || !strings.Contains(notes[0], "time gate skipped") {
+			t.Fatalf("want a skip note, got %v", notes)
+		}
+	})
+
+	t.Run("missing and extra cells reported", func(t *testing.T) {
+		cand := snapWith(4,
+			Cell{Name: "a", NsPerOp: 1000, BytesPerOp: 1 << 20, AllocsPerOp: 1000},
+			Cell{Name: "c", NsPerOp: 10, BytesPerOp: 10, AllocsPerOp: 10},
+		)
+		regs, notes, err := Compare(base, cand, 0.10, 0.05)
+		if err != nil || len(regs) != 1 || regs[0].Cell != "b" || regs[0].Metric != "missing" {
+			t.Fatalf("want missing-cell regression for b, got %v err=%v", regs, err)
+		}
+		if len(notes) != 1 || !strings.Contains(notes[0], "new cell not in baseline: c") {
+			t.Fatalf("want new-cell note for c, got %v", notes)
+		}
+	})
+
+	t.Run("schema and scale mismatches are errors", func(t *testing.T) {
+		bad := snapWith(4)
+		bad.Schema = Schema + 1
+		if _, _, err := Compare(bad, snapWith(4), 0.10, 0.05); err == nil {
+			t.Fatal("schema mismatch must error")
+		}
+		bad = snapWith(4)
+		bad.Scale = 0.1
+		if _, _, err := Compare(bad, snapWith(4), 0.10, 0.05); err == nil {
+			t.Fatal("scale mismatch must error")
+		}
+	})
+}

@@ -1,44 +1,55 @@
 // Package eventq implements the future event list that drives the
-// discrete-event simulator: a binary heap of timestamped events with
-// stable FIFO ordering among simultaneous events and O(log n)
-// cancellation.
+// discrete-event simulator: a pooled, flattened 4-ary heap of
+// timestamped events with stable FIFO ordering among simultaneous
+// events and O(1) cancellation.
 //
 // Stability matters for reproducibility: the simulator frequently
 // schedules several events at the same simulated minute (e.g. a burst of
 // job submissions), and the paper's metrics are sensitive to dispatch
 // order. Events that compare equal in time fire in the order they were
 // scheduled.
+//
+// Layout. Event records live in per-queue struct-of-arrays slot storage
+// recycled through a free list, and the heap itself is a flat slice of
+// slot indices — no per-event allocation, no container/heap interface
+// dispatch, and no `any` boxing on the hot path: the payload of every
+// high-volume kind is inlined into two scalar words (A, B), with a
+// reference slot (Ref) only for the rare structured payloads. Handles
+// are generation-counted: freeing a slot bumps its generation, so a
+// stale handle to a recycled slot is detected (Cancel returns false)
+// rather than corrupting an unrelated event.
+//
+// Cancellation is lazy: a canceled event stays in the heap as a
+// tombstone until it surfaces or until tombstones outnumber live events,
+// at which point the heap is compacted in place (O(n) Floyd rebuild).
 package eventq
 
-import (
-	"container/heap"
-	"fmt"
-	"sort"
-)
+import "sort"
 
-// Event is a scheduled occurrence. The simulator defines the meaning of
-// Kind and Payload; eventq only orders and delivers them.
+// Event is a scheduled occurrence, returned by value from Pop/Peek.
+// The simulator defines the meaning of Kind and the payload words;
+// eventq only orders and delivers them. A and B carry the two inline
+// payload words (job/site/machine indices and the like); Ref carries a
+// reference payload for the few kinds that need one, nil otherwise.
 type Event struct {
 	// Time is the simulated time (minutes) at which the event fires.
 	Time float64
 	// Kind discriminates the payload for the consumer.
 	Kind int
-	// Payload carries consumer-defined data.
-	Payload any
-
-	// rank breaks ties among events with equal Time: lexicographic on
-	// (phase, class, seq). Plain Schedule uses (0, orderLocal, n-th
-	// schedule), i.e. pure scheduling order — the historical behavior.
-	// Partitioned simulations use SchedulePhased / ScheduleDelivery to
-	// reproduce the creation order a single global queue would have
-	// assigned across partitions (see package sim).
-	rank     [3]uint64
-	index    int
-	canceled bool
+	// A and B are the inline payload words.
+	A, B int64
+	// Ref carries a consumer-defined reference payload; nil for the
+	// high-volume kinds, which keeps the hot path allocation-free.
+	Ref any
 }
 
-// Handle identifies a scheduled event for cancellation.
-type Handle struct{ ev *Event }
+// Handle identifies a scheduled event for cancellation. It is a value:
+// a slot index plus the slot's generation at scheduling time. The zero
+// Handle identifies nothing (generations start at 1).
+type Handle struct {
+	slot int32
+	gen  uint32
+}
 
 // Tie-break class ranks: delivered (cross-partition) events order
 // before locally scheduled ones within the same phase, reproducing
@@ -49,14 +60,41 @@ const (
 	orderLocal     = 2
 )
 
+// minCompact is the heap size below which tombstone compaction is not
+// worth triggering.
+const minCompact = 64
+
 // Queue is a future event list. The zero value is NOT ready to use;
 // construct with New.
 type Queue struct {
-	h   eventHeap
+	// Slot storage (struct-of-arrays, indexed by slot number). The
+	// rank breaks ties among events with equal Time: lexicographic on
+	// (phase, class, seq). Plain Schedule uses (0, orderLocal, n-th
+	// schedule), i.e. pure scheduling order — the historical behavior.
+	// Partitioned simulations use SchedulePhased / ScheduleDelivery to
+	// reproduce the creation order a single global queue would have
+	// assigned across partitions (see package sim).
+	time     []float64
+	rank     [][3]uint64
+	kind     []int32
+	a, b     []int64
+	ref      []any
+	gen      []uint32
+	canceled []bool
+
+	// free lists recycled slots; heap is the 4-ary implicit heap of
+	// slot indices.
+	free []int32
+	heap []int32
+
 	seq uint64
 	// live counts scheduled, non-canceled events. Canceled events stay
-	// in the heap until popped (lazy deletion keeps cancellation O(1)).
+	// in the heap as tombstones until popped or compacted away.
 	live int
+
+	// dropRef, when set, observes the Ref payload of every canceled
+	// event dropped without firing (see SetDropHook).
+	dropRef func(kind int, ref any)
 }
 
 // New returns an empty queue.
@@ -64,15 +102,170 @@ func New() *Queue {
 	return &Queue{}
 }
 
-// Len returns the number of pending (non-canceled) events.
-func (q *Queue) Len() int { return q.live }
+// Live returns the number of pending (non-canceled) events.
+func (q *Queue) Live() int { return q.live }
+
+// Len returns the physical heap size: pending events plus canceled
+// tombstones not yet compacted away. Len()-Live() is the tombstone
+// count; compaction keeps it at most Live() (above a small minimum).
+func (q *Queue) Len() int { return len(q.heap) }
+
+// SetDropHook installs fn, called once for each canceled event whose
+// non-nil Ref payload is dropped without firing (during lazy-deletion
+// sweeps or compaction), so consumers can recycle payload storage.
+// Events that fire transfer Ref ownership to the returned Event
+// instead.
+func (q *Queue) SetDropHook(fn func(kind int, ref any)) { q.dropRef = fn }
+
+// alloc takes a slot from the free list (or grows the storage) and
+// fills it. The slot's generation is preserved across reuse and only
+// bumped on free, so handles to prior tenants stay invalid.
+func (q *Queue) alloc(t float64, kind int, a, b int64, ref any, rank [3]uint64) int32 {
+	if n := len(q.free); n > 0 {
+		s := q.free[n-1]
+		q.free = q.free[:n-1]
+		q.time[s] = t
+		q.rank[s] = rank
+		q.kind[s] = int32(kind)
+		q.a[s] = a
+		q.b[s] = b
+		q.ref[s] = ref
+		q.canceled[s] = false
+		return s
+	}
+	s := int32(len(q.time))
+	q.time = append(q.time, t)
+	q.rank = append(q.rank, rank)
+	q.kind = append(q.kind, int32(kind))
+	q.a = append(q.a, a)
+	q.b = append(q.b, b)
+	q.ref = append(q.ref, ref)
+	q.gen = append(q.gen, 1)
+	q.canceled = append(q.canceled, false)
+	return s
+}
+
+// freeSlot returns a slot to the free list, invalidating outstanding
+// handles by bumping the generation (which skips 0, the nil-handle
+// sentinel, on wraparound).
+func (q *Queue) freeSlot(s int32) {
+	g := q.gen[s] + 1
+	if g == 0 {
+		g = 1
+	}
+	q.gen[s] = g
+	q.ref[s] = nil // release the reference payload
+	q.free = append(q.free, s)
+}
+
+// dropCanceled frees a canceled slot, routing its reference payload
+// through the drop hook.
+func (q *Queue) dropCanceled(s int32) {
+	if q.dropRef != nil && q.ref[s] != nil {
+		q.dropRef(int(q.kind[s]), q.ref[s])
+	}
+	q.freeSlot(s)
+}
+
+// less orders slots by (time, rank): the FEL's total firing order.
+func (q *Queue) less(x, y int32) bool {
+	if q.time[x] != q.time[y] {
+		return q.time[x] < q.time[y]
+	}
+	rx, ry := &q.rank[x], &q.rank[y]
+	if rx[0] != ry[0] {
+		return rx[0] < ry[0]
+	}
+	if rx[1] != ry[1] {
+		return rx[1] < ry[1]
+	}
+	return rx[2] < ry[2]
+}
+
+// push appends a slot to the 4-ary heap and sifts it up.
+func (q *Queue) push(s int32) {
+	q.heap = append(q.heap, s)
+	h := q.heap
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !q.less(s, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = s
+}
+
+// down sifts the slot at heap position i down to its place.
+func (q *Queue) down(i int) {
+	h := q.heap
+	n := len(h)
+	s := h[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if q.less(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !q.less(h[m], s) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = s
+}
+
+// popTop removes and returns the heap's minimum slot.
+func (q *Queue) popTop() int32 {
+	h := q.heap
+	s := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	q.heap = h[:n]
+	if n > 0 {
+		q.down(0)
+	}
+	return s
+}
+
+// compact filters every tombstone out of the heap, frees their slots,
+// and rebuilds the heap property in O(n) (Floyd). Triggered by Cancel
+// when tombstones outnumber live events.
+func (q *Queue) compact() {
+	h := q.heap
+	w := 0
+	for _, s := range h {
+		if q.canceled[s] {
+			q.dropCanceled(s)
+			continue
+		}
+		h[w] = s
+		w++
+	}
+	q.heap = h[:w]
+	for i := (w - 2) >> 2; i >= 0; i-- {
+		q.down(i)
+	}
+}
 
 // Schedule adds an event at time t. It returns a handle that can cancel
 // the event. Scheduling an event in the past relative to previously
 // popped events is the caller's responsibility to avoid; the queue
 // itself only orders what it holds.
-func (q *Queue) Schedule(t float64, kind int, payload any) Handle {
-	return q.SchedulePhased(t, kind, payload, 0)
+func (q *Queue) Schedule(t float64, kind int, a, b int64, ref any) Handle {
+	return q.SchedulePhased(t, kind, a, b, ref, 0)
 }
 
 // SchedulePhased adds an event whose tie rank is (phase, local,
@@ -80,63 +273,126 @@ func (q *Queue) Schedule(t float64, kind int, payload any) Handle {
 // decision count at the creating event's claim as phase, so that
 // same-time events created before and after a decision order the way
 // one global queue would have ordered them.
-func (q *Queue) SchedulePhased(t float64, kind int, payload any, phase uint64) Handle {
+func (q *Queue) SchedulePhased(t float64, kind int, a, b int64, ref any, phase uint64) Handle {
 	q.seq++
-	ev := &Event{Time: t, Kind: kind, Payload: payload, rank: [3]uint64{phase, orderLocal, q.seq}}
-	heap.Push(&q.h, ev)
+	s := q.alloc(t, kind, a, b, ref, [3]uint64{phase, orderLocal, q.seq})
+	q.push(s)
 	q.live++
-	return Handle{ev: ev}
+	return Handle{slot: s, gen: q.gen[s]}
 }
 
 // ScheduleDelivery adds a cross-partition event delivered at a round
 // barrier: its tie rank (g, delivered, idx) places it by its creating
 // decision g and send index, before any event the receiving partition
 // scheduled at phase g or later.
-func (q *Queue) ScheduleDelivery(t float64, kind int, payload any, g, idx uint64) Handle {
-	ev := &Event{Time: t, Kind: kind, Payload: payload, rank: [3]uint64{g, orderDelivered, idx}}
-	heap.Push(&q.h, ev)
+func (q *Queue) ScheduleDelivery(t float64, kind int, a, b int64, ref any, g, idx uint64) Handle {
+	s := q.alloc(t, kind, a, b, ref, [3]uint64{g, orderDelivered, idx})
+	q.push(s)
 	q.live++
-	return Handle{ev: ev}
+	return Handle{slot: s, gen: q.gen[s]}
+}
+
+// Delivery is one element of a DeliverBatch call: the event plus its
+// (creating decision, send index) tie rank.
+type Delivery struct {
+	Time   float64
+	Kind   int
+	A, B   int64
+	Ref    any
+	G, Idx uint64
+}
+
+// DeliverBatch schedules one round's cross-partition deliveries in a
+// single call, equivalent to calling ScheduleDelivery for each element.
+// Callers pre-sort the batch into firing order, which both makes the
+// insertion order deterministic and keeps the sift-up work minimal
+// (later elements land deeper in the heap).
+func (q *Queue) DeliverBatch(batch []Delivery) {
+	for i := range batch {
+		d := &batch[i]
+		s := q.alloc(d.Time, d.Kind, d.A, d.B, d.Ref, [3]uint64{d.G, orderDelivered, d.Idx})
+		q.push(s)
+	}
+	q.live += len(batch)
 }
 
 // Cancel removes the event identified by h from the queue. Canceling an
-// already-fired or already-canceled event is a no-op returning false.
+// already-fired, already-canceled, or otherwise stale handle is a no-op
+// returning false: the generation check detects handles whose slot has
+// been freed (and possibly recycled) since they were issued.
 func (q *Queue) Cancel(h Handle) bool {
-	if h.ev == nil || h.ev.canceled || h.ev.index < 0 {
+	if h.gen == 0 || int(h.slot) >= len(q.gen) || q.gen[h.slot] != h.gen || q.canceled[h.slot] {
 		return false
 	}
-	h.ev.canceled = true
+	q.canceled[h.slot] = true
 	q.live--
+	if tomb := len(q.heap) - q.live; tomb > q.live && len(q.heap) >= minCompact {
+		q.compact()
+	}
 	return true
 }
 
-// Pop removes and returns the earliest pending event. It returns nil
-// when the queue is empty. Among events with equal time, the one
-// scheduled first is returned first.
-func (q *Queue) Pop() *Event {
-	for q.h.Len() > 0 {
-		ev, ok := heap.Pop(&q.h).(*Event)
-		if !ok {
-			panic(fmt.Sprintf("eventq: heap contained %T", ev))
-		}
-		if ev.canceled {
+// Pop removes and returns the earliest pending event. ok is false when
+// the queue is empty. Among events with equal time, the one scheduled
+// first is returned first. The event's slot is recycled immediately;
+// outstanding handles to it become stale.
+func (q *Queue) Pop() (Event, bool) {
+	for len(q.heap) > 0 {
+		s := q.popTop()
+		if q.canceled[s] {
+			q.dropCanceled(s)
 			continue
 		}
+		ev := Event{Time: q.time[s], Kind: int(q.kind[s]), A: q.a[s], B: q.b[s], Ref: q.ref[s]}
+		q.freeSlot(s)
 		q.live--
-		return ev
+		return ev, true
 	}
-	return nil
+	return Event{}, false
+}
+
+// Peek returns the earliest pending event without removing it. ok is
+// false when the queue is empty.
+func (q *Queue) Peek() (Event, bool) {
+	for len(q.heap) > 0 {
+		s := q.heap[0]
+		if q.canceled[s] {
+			q.popTop()
+			q.dropCanceled(s)
+			continue
+		}
+		return Event{Time: q.time[s], Kind: int(q.kind[s]), A: q.a[s], B: q.b[s], Ref: q.ref[s]}, true
+	}
+	return Event{}, false
+}
+
+// NextTime returns the timestamp of the earliest pending event. ok is
+// false when the queue is empty. Partitioned simulations use it to
+// publish per-partition lower bounds (lookahead fences) without
+// exposing the event itself.
+func (q *Queue) NextTime() (t float64, ok bool) {
+	for len(q.heap) > 0 {
+		s := q.heap[0]
+		if q.canceled[s] {
+			q.popTop()
+			q.dropCanceled(s)
+			continue
+		}
+		return q.time[s], true
+	}
+	return 0, false
 }
 
 // SavedEvent is a pending event exported for checkpointing: the
-// schedulable triple plus the exact tie rank that positions the event
+// schedulable payload plus the exact tie rank that positions the event
 // among simultaneous ones. Restoring a SavedEvent reproduces the
 // event's firing position bit-identically.
 type SavedEvent struct {
-	Time    float64
-	Kind    int
-	Payload any
-	Rank    [3]uint64
+	Time float64
+	Kind int
+	A, B int64
+	Ref  any
+	Rank [3]uint64
 }
 
 // Export returns every pending (non-canceled) event in firing order.
@@ -144,11 +400,15 @@ type SavedEvent struct {
 // never fire).
 func (q *Queue) Export() []SavedEvent {
 	out := make([]SavedEvent, 0, q.live)
-	for _, ev := range q.h {
-		if ev.canceled {
+	for _, s := range q.heap {
+		if q.canceled[s] {
 			continue
 		}
-		out = append(out, SavedEvent{Time: ev.Time, Kind: ev.Kind, Payload: ev.Payload, Rank: ev.rank})
+		out = append(out, SavedEvent{
+			Time: q.time[s], Kind: int(q.kind[s]),
+			A: q.a[s], B: q.b[s], Ref: q.ref[s],
+			Rank: q.rank[s],
+		})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Time != out[j].Time {
@@ -170,10 +430,10 @@ func (q *Queue) Export() []SavedEvent {
 // not advance the scheduling-order counter; pair it with SetSeq when
 // rebuilding a queue from a checkpoint.
 func (q *Queue) Restore(sev SavedEvent) Handle {
-	ev := &Event{Time: sev.Time, Kind: sev.Kind, Payload: sev.Payload, rank: sev.Rank}
-	heap.Push(&q.h, ev)
+	s := q.alloc(sev.Time, sev.Kind, sev.A, sev.B, sev.Ref, sev.Rank)
+	q.push(s)
 	q.live++
-	return Handle{ev: ev}
+	return Handle{slot: s, gen: q.gen[s]}
 }
 
 // Seq returns the scheduling-order counter: the number of SchedulePhased
@@ -184,71 +444,7 @@ func (q *Queue) Seq() uint64 { return q.seq }
 // SetSeq overwrites the scheduling-order counter (see Seq).
 func (q *Queue) SetSeq(n uint64) { q.seq = n }
 
-// NextTime returns the timestamp of the earliest pending event. ok is
-// false when the queue is empty. Partitioned simulations use it to
-// publish per-partition lower bounds (lookahead fences) without
-// exposing the event itself.
-func (q *Queue) NextTime() (t float64, ok bool) {
-	ev := q.Peek()
-	if ev == nil {
-		return 0, false
-	}
-	return ev.Time, true
-}
-
-// Peek returns the earliest pending event without removing it, or nil if
-// the queue is empty.
-func (q *Queue) Peek() *Event {
-	// Drop canceled events off the top so Peek is accurate.
-	for q.h.Len() > 0 {
-		if top := q.h[0]; top.canceled {
-			heap.Pop(&q.h)
-			continue
-		}
-		return q.h[0]
-	}
-	return nil
-}
-
-type eventHeap []*Event
-
-var _ heap.Interface = (*eventHeap)(nil)
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].Time != h[j].Time {
-		return h[i].Time < h[j].Time
-	}
-	for k := 0; k < 2; k++ {
-		if h[i].rank[k] != h[j].rank[k] {
-			return h[i].rank[k] < h[j].rank[k]
-		}
-	}
-	return h[i].rank[2] < h[j].rank[2]
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev, ok := x.(*Event)
-	if !ok {
-		panic(fmt.Sprintf("eventq: pushed %T, want *Event", x))
-	}
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil // avoid retaining the event
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
-}
+// Cap returns the allocated slot count — the high-water mark of
+// concurrently pending events. Tests use it to assert that slot reuse
+// keeps storage bounded under churn.
+func (q *Queue) Cap() int { return len(q.time) }

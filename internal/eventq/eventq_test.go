@@ -9,80 +9,80 @@ import (
 
 func TestEmptyQueue(t *testing.T) {
 	q := New()
-	if q.Len() != 0 {
-		t.Fatalf("Len = %d", q.Len())
+	if q.Live() != 0 || q.Len() != 0 {
+		t.Fatalf("Live = %d, Len = %d", q.Live(), q.Len())
 	}
-	if q.Pop() != nil {
-		t.Fatal("Pop on empty queue should return nil")
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue should return ok=false")
 	}
-	if q.Peek() != nil {
-		t.Fatal("Peek on empty queue should return nil")
+	if _, ok := q.Peek(); ok {
+		t.Fatal("Peek on empty queue should return ok=false")
 	}
 }
 
 func TestTimeOrdering(t *testing.T) {
 	q := New()
-	q.Schedule(3, 1, "c")
-	q.Schedule(1, 1, "a")
-	q.Schedule(2, 1, "b")
-	var got []string
-	for ev := q.Pop(); ev != nil; ev = q.Pop() {
-		got = append(got, ev.Payload.(string))
+	q.Schedule(3, 1, 0, 0, "c")
+	q.Schedule(1, 1, 0, 0, "a")
+	q.Schedule(2, 1, 0, 0, "b")
+	var got string
+	for ev, ok := q.Pop(); ok; ev, ok = q.Pop() {
+		got += ev.Ref.(string)
 	}
-	if want := "abc"; got[0]+got[1]+got[2] != want {
-		t.Fatalf("order = %v", got)
+	if got != "abc" {
+		t.Fatalf("order = %q", got)
 	}
 }
 
 func TestFIFOAmongEqualTimes(t *testing.T) {
 	q := New()
 	for i := 0; i < 100; i++ {
-		q.Schedule(5, 0, i)
+		q.Schedule(5, 0, int64(i), 0, nil)
 	}
 	for i := 0; i < 100; i++ {
-		ev := q.Pop()
-		if ev == nil {
+		ev, ok := q.Pop()
+		if !ok {
 			t.Fatal("queue exhausted early")
 		}
-		if ev.Payload.(int) != i {
-			t.Fatalf("equal-time events out of FIFO order: got %v at pos %d", ev.Payload, i)
+		if ev.A != int64(i) {
+			t.Fatalf("equal-time events out of FIFO order: got %v at pos %d", ev.A, i)
 		}
 	}
 }
 
 func TestCancel(t *testing.T) {
 	q := New()
-	h1 := q.Schedule(1, 0, "a")
-	q.Schedule(2, 0, "b")
+	h1 := q.Schedule(1, 0, 0, 0, "a")
+	q.Schedule(2, 0, 0, 0, "b")
 	if !q.Cancel(h1) {
 		t.Fatal("Cancel returned false for live event")
 	}
-	if q.Len() != 1 {
-		t.Fatalf("Len after cancel = %d", q.Len())
+	if q.Live() != 1 {
+		t.Fatalf("Live after cancel = %d", q.Live())
 	}
 	if q.Cancel(h1) {
 		t.Fatal("double Cancel should return false")
 	}
-	ev := q.Pop()
-	if ev == nil || ev.Payload.(string) != "b" {
-		t.Fatalf("Pop after cancel = %+v", ev)
+	ev, ok := q.Pop()
+	if !ok || ev.Ref.(string) != "b" {
+		t.Fatalf("Pop after cancel = %+v, %v", ev, ok)
 	}
-	if q.Pop() != nil {
+	if _, ok := q.Pop(); ok {
 		t.Fatal("canceled event leaked out")
 	}
 }
 
 func TestCancelAfterPop(t *testing.T) {
 	q := New()
-	h := q.Schedule(1, 0, nil)
-	if q.Pop() == nil {
+	h := q.Schedule(1, 0, 0, 0, nil)
+	if _, ok := q.Pop(); !ok {
 		t.Fatal("expected event")
 	}
 	if q.Cancel(h) {
 		t.Fatal("Cancel after Pop should return false")
 	}
-	if q.Len() != 0 {
-		t.Fatalf("Len = %d", q.Len())
+	if q.Live() != 0 {
+		t.Fatalf("Live = %d", q.Live())
 	}
 }
 
@@ -93,26 +93,104 @@ func TestCancelZeroHandle(t *testing.T) {
 	}
 }
 
+func TestStaleHandleAfterSlotReuse(t *testing.T) {
+	// A handle to a popped event must stay invalid even after its slot
+	// is recycled for a new event: the generation check detects it.
+	q := New()
+	h := q.Schedule(1, 0, 0, 0, nil)
+	if _, ok := q.Pop(); !ok {
+		t.Fatal("expected event")
+	}
+	// The freed slot is recycled for the next schedule.
+	h2 := q.Schedule(2, 0, 0, 0, nil)
+	if q.Cap() != 1 {
+		t.Fatalf("Cap = %d, want 1 (slot reuse)", q.Cap())
+	}
+	if q.Cancel(h) {
+		t.Fatal("stale handle canceled the slot's new tenant")
+	}
+	if q.Live() != 1 {
+		t.Fatalf("Live = %d after stale cancel", q.Live())
+	}
+	if !q.Cancel(h2) {
+		t.Fatal("fresh handle to recycled slot should cancel")
+	}
+}
+
 func TestPeekSkipsCanceled(t *testing.T) {
 	q := New()
-	h := q.Schedule(1, 0, "a")
-	q.Schedule(2, 0, "b")
+	h := q.Schedule(1, 0, 0, 0, "a")
+	q.Schedule(2, 0, 0, 0, "b")
 	q.Cancel(h)
-	if ev := q.Peek(); ev == nil || ev.Payload.(string) != "b" {
-		t.Fatalf("Peek = %+v, want b", ev)
+	if ev, ok := q.Peek(); !ok || ev.Ref.(string) != "b" {
+		t.Fatalf("Peek = %+v, %v, want b", ev, ok)
 	}
 	// Peek must not consume.
-	if ev := q.Pop(); ev == nil || ev.Payload.(string) != "b" {
-		t.Fatalf("Pop after Peek = %+v, want b", ev)
+	if ev, ok := q.Pop(); !ok || ev.Ref.(string) != "b" {
+		t.Fatalf("Pop after Peek = %+v, %v, want b", ev, ok)
 	}
 }
 
 func TestKindAndTimePreserved(t *testing.T) {
 	q := New()
-	q.Schedule(7.25, 42, "x")
-	ev := q.Pop()
-	if ev.Time != 7.25 || ev.Kind != 42 {
-		t.Fatalf("event fields = %+v", ev)
+	q.Schedule(7.25, 42, 3, 9, "x")
+	ev, ok := q.Pop()
+	if !ok || ev.Time != 7.25 || ev.Kind != 42 || ev.A != 3 || ev.B != 9 || ev.Ref.(string) != "x" {
+		t.Fatalf("event fields = %+v, %v", ev, ok)
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	// Canceling more than half the queue must shed the tombstones:
+	// Len() (physical size) collapses toward Live().
+	q := New()
+	handles := make([]Handle, 0, 4*minCompact)
+	for i := 0; i < 4*minCompact; i++ {
+		handles = append(handles, q.Schedule(float64(i), 0, int64(i), 0, nil))
+	}
+	// Cancel even slots: tombstones never exceed live, no compaction yet.
+	for i := 0; i < len(handles); i += 2 {
+		q.Cancel(handles[i])
+	}
+	live := len(handles) / 2
+	if q.Live() != live {
+		t.Fatalf("Live = %d, want %d", q.Live(), live)
+	}
+	// One more cancel tips tombstones over live and triggers compaction.
+	q.Cancel(handles[1])
+	if q.Len() != q.Live() {
+		t.Fatalf("after compaction Len = %d, want Live = %d", q.Len(), q.Live())
+	}
+	// Order is preserved: remaining odd slots (except 1) pop in order.
+	prev := -1.0
+	n := 0
+	for ev, ok := q.Pop(); ok; ev, ok = q.Pop() {
+		if ev.Time <= prev {
+			t.Fatalf("pop order broken after compaction: %v after %v", ev.Time, prev)
+		}
+		prev = ev.Time
+		n++
+	}
+	if n != live-1 {
+		t.Fatalf("drained %d events, want %d", n, live-1)
+	}
+}
+
+func TestDropHookFiresOnDroppedRefs(t *testing.T) {
+	q := New()
+	var dropped []any
+	q.SetDropHook(func(kind int, ref any) { dropped = append(dropped, ref) })
+	h1 := q.Schedule(1, 7, 0, 0, "dropme")
+	h2 := q.Schedule(2, 7, 0, 0, "fired")
+	q.Schedule(3, 7, 0, 0, nil)
+	q.Cancel(h1)
+	_ = h2
+	// Draining sweeps the canceled event: hook sees its ref; the fired
+	// ones transfer ownership to the popped Event.
+	for _, ok := q.Pop(); ok; _, ok = q.Pop() {
+	}
+	if len(dropped) != 1 || dropped[0].(string) != "dropme" {
+		t.Fatalf("drop hook saw %v, want [dropme]", dropped)
 	}
 }
 
@@ -127,7 +205,7 @@ func TestPopDrainsMonotonically(t *testing.T) {
 		handles := make([]Handle, 0, n)
 		for i := 0; i < n; i++ {
 			tm := r.Float64() * 1000
-			handles = append(handles, q.Schedule(tm, 0, tm))
+			handles = append(handles, q.Schedule(tm, 0, int64(i), 0, tm))
 			times = append(times, tm)
 		}
 		// Cancel a random subset.
@@ -139,17 +217,17 @@ func TestPopDrainsMonotonically(t *testing.T) {
 				kept = append(kept, times[i])
 			}
 		}
-		if q.Len() != len(kept) {
+		if q.Live() != len(kept) {
 			return false
 		}
 		got := make([]float64, 0, len(kept))
 		prev := -1.0
-		for ev := q.Pop(); ev != nil; ev = q.Pop() {
+		for ev, ok := q.Pop(); ok; ev, ok = q.Pop() {
 			if ev.Time < prev {
 				return false
 			}
 			prev = ev.Time
-			got = append(got, ev.Payload.(float64))
+			got = append(got, ev.Ref.(float64))
 		}
 		if len(got) != len(kept) {
 			return false
@@ -160,7 +238,7 @@ func TestPopDrainsMonotonically(t *testing.T) {
 				return false
 			}
 		}
-		return q.Len() == 0
+		return q.Live() == 0
 	}, &quick.Config{MaxCount: 50})
 	if err != nil {
 		t.Fatal(err)
@@ -169,19 +247,91 @@ func TestPopDrainsMonotonically(t *testing.T) {
 
 func TestInterleavedScheduleAndPop(t *testing.T) {
 	q := New()
-	q.Schedule(10, 0, 10.0)
-	ev := q.Pop()
+	q.Schedule(10, 0, 0, 0, nil)
+	ev, _ := q.Pop()
 	if ev.Time != 10 {
 		t.Fatal("wrong first event")
 	}
 	// Schedule later events after popping; simulator does this constantly.
-	q.Schedule(20, 0, 20.0)
-	q.Schedule(15, 0, 15.0)
-	if got := q.Pop().Time; got != 15 {
-		t.Fatalf("got %v, want 15", got)
+	q.Schedule(20, 0, 0, 0, nil)
+	q.Schedule(15, 0, 0, 0, nil)
+	if ev, _ := q.Pop(); ev.Time != 15 {
+		t.Fatalf("got %v, want 15", ev.Time)
 	}
-	if got := q.Pop().Time; got != 20 {
-		t.Fatalf("got %v, want 20", got)
+	if ev, _ := q.Pop(); ev.Time != 20 {
+		t.Fatalf("got %v, want 20", ev.Time)
+	}
+}
+
+// TestPoolReuseStress storms the queue with randomized schedule /
+// cancel / pop bursts and asserts the generation contract throughout:
+// a handle cancels successfully exactly once, handles of popped or
+// canceled events stay dead forever (even after their slot is recycled
+// by later traffic), and the live count matches an exact model. Run
+// under -race in CI; the point here is the slot-recycling invariants.
+func TestPoolReuseStress(t *testing.T) {
+	r := rand.New(rand.NewPCG(0xfeed, 0xbeef))
+	q := New()
+	type tracked struct {
+		h    Handle
+		dead bool // popped or canceled
+	}
+	var evs []tracked
+	byA := make(map[int64]int) // event A-word -> index in evs
+	live := 0
+	next := int64(0)
+	for round := 0; round < 2000; round++ {
+		switch r.IntN(3) {
+		case 0: // schedule burst
+			for n := r.IntN(8); n >= 0; n-- {
+				h := q.Schedule(float64(r.IntN(64)), 1, next, 0, nil)
+				byA[next] = len(evs)
+				evs = append(evs, tracked{h: h})
+				next++
+				live++
+			}
+		case 1: // cancel storm, including repeats and stale handles
+			for n := r.IntN(8); n >= 0 && len(evs) > 0; n-- {
+				i := r.IntN(len(evs))
+				want := !evs[i].dead
+				if got := q.Cancel(evs[i].h); got != want {
+					t.Fatalf("round %d: Cancel(#%d) = %v, want %v", round, i, got, want)
+				}
+				if want {
+					evs[i].dead = true
+					live--
+				}
+			}
+		case 2: // pop burst
+			for n := r.IntN(8); n >= 0; n-- {
+				ev, ok := q.Pop()
+				if !ok {
+					if live != 0 {
+						t.Fatalf("round %d: Pop empty with %d live", round, live)
+					}
+					break
+				}
+				i := byA[ev.A]
+				if evs[i].dead {
+					t.Fatalf("round %d: popped dead event %d", round, ev.A)
+				}
+				evs[i].dead = true
+				live--
+				if q.Cancel(evs[i].h) {
+					t.Fatalf("round %d: canceled already-popped event %d", round, ev.A)
+				}
+			}
+		}
+		if q.Live() != live {
+			t.Fatalf("round %d: Live = %d, want %d", round, q.Live(), live)
+		}
+		if q.Len() > 2*q.Live()+minCompact {
+			t.Fatalf("round %d: tombstones unbounded: Len = %d, Live = %d", round, q.Len(), q.Live())
+		}
+	}
+	// Slot storage is bounded by peak concurrency, not total traffic.
+	if q.Cap() >= int(next) {
+		t.Fatalf("no slot reuse: Cap = %d after %d events", q.Cap(), next)
 	}
 }
 
@@ -190,8 +340,8 @@ func BenchmarkScheduleAndPop(b *testing.B) {
 	q := New()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		q.Schedule(r.Float64()*1e6, 0, nil)
-		if q.Len() > 1024 {
+		q.Schedule(r.Float64()*1e6, 0, 0, 0, nil)
+		if q.Live() > 1024 {
 			for j := 0; j < 512; j++ {
 				q.Pop()
 			}
@@ -203,7 +353,7 @@ func BenchmarkCancel(b *testing.B) {
 	q := New()
 	handles := make([]Handle, b.N)
 	for i := 0; i < b.N; i++ {
-		handles[i] = q.Schedule(float64(i), 0, nil)
+		handles[i] = q.Schedule(float64(i), 0, 0, 0, nil)
 	}
 	b.ResetTimer()
 	b.ReportAllocs()
@@ -218,8 +368,8 @@ func TestExportRestoreRoundTrip(t *testing.T) {
 	var cancelA, cancelB []Handle
 	for i := 0; i < 200; i++ {
 		tm := float64(r.IntN(20)) // force plenty of ties
-		ha := a.Schedule(tm, i%5, i)
-		hb := b.Schedule(tm, i%5, i)
+		ha := a.Schedule(tm, i%5, int64(i), 0, nil)
+		hb := b.Schedule(tm, i%5, int64(i), 0, nil)
 		if i%7 == 0 {
 			cancelA = append(cancelA, ha)
 			cancelB = append(cancelB, hb)
@@ -236,27 +386,28 @@ func TestExportRestoreRoundTrip(t *testing.T) {
 		q.Restore(sev)
 	}
 	q.SetSeq(a.Seq())
-	if q.Len() != b.Len() {
-		t.Fatalf("restored Len %d != straight %d", q.Len(), b.Len())
+	if q.Live() != b.Live() {
+		t.Fatalf("restored Live %d != straight %d", q.Live(), b.Live())
 	}
 	// Future scheduling must interleave with restored events exactly as
 	// it would have with the originals.
 	for i := 0; i < 50; i++ {
 		tm := float64(r.IntN(20))
-		q.Schedule(tm, 9, 1000+i)
-		b.Schedule(tm, 9, 1000+i)
+		q.Schedule(tm, 9, int64(1000+i), 0, nil)
+		b.Schedule(tm, 9, int64(1000+i), 0, nil)
 	}
 	for {
-		x, y := q.Pop(), b.Pop()
-		if x == nil || y == nil {
-			if x != y && (x != nil || y != nil) {
+		x, okx := q.Pop()
+		y, oky := b.Pop()
+		if !okx || !oky {
+			if okx != oky {
 				t.Fatal("queues drained at different lengths")
 			}
 			break
 		}
-		if x.Time != y.Time || x.Kind != y.Kind || x.Payload != y.Payload {
+		if x.Time != y.Time || x.Kind != y.Kind || x.A != y.A {
 			t.Fatalf("restored pop (%v,%d,%v) != straight (%v,%d,%v)",
-				x.Time, x.Kind, x.Payload, y.Time, y.Kind, y.Payload)
+				x.Time, x.Kind, x.A, y.Time, y.Kind, y.A)
 		}
 	}
 }
@@ -264,11 +415,11 @@ func TestExportRestoreRoundTrip(t *testing.T) {
 func TestExportIsSortedAndPure(t *testing.T) {
 	q := New()
 	for i := 0; i < 100; i++ {
-		q.Schedule(float64(100-i%10), 0, i)
+		q.Schedule(float64(100-i%10), 0, int64(i), 0, nil)
 	}
-	before := q.Len()
+	before := q.Live()
 	saved := q.Export()
-	if q.Len() != before {
+	if q.Live() != before {
 		t.Fatal("Export modified the queue")
 	}
 	if len(saved) != before {
@@ -277,6 +428,41 @@ func TestExportIsSortedAndPure(t *testing.T) {
 	for i := 1; i < len(saved); i++ {
 		if saved[i].Time < saved[i-1].Time {
 			t.Fatal("Export not in firing order")
+		}
+	}
+}
+
+func TestDeliverBatchMatchesScheduleDelivery(t *testing.T) {
+	// A pre-sorted batch delivery must be indistinguishable from the
+	// equivalent ScheduleDelivery sequence.
+	a, b := New(), New()
+	for i := 0; i < 10; i++ {
+		a.Schedule(float64(i), 1, int64(i), 0, nil)
+		b.Schedule(float64(i), 1, int64(i), 0, nil)
+	}
+	batch := []Delivery{
+		{Time: 2.5, Kind: 2, A: 100, B: 7, G: 3, Idx: 1},
+		{Time: 2.5, Kind: 2, A: 101, B: 7, G: 3, Idx: 2},
+		{Time: 4, Kind: 2, A: 102, B: 8, G: 5, Idx: 1},
+	}
+	a.DeliverBatch(batch)
+	for _, d := range batch {
+		b.ScheduleDelivery(d.Time, d.Kind, d.A, d.B, d.Ref, d.G, d.Idx)
+	}
+	if a.Live() != b.Live() {
+		t.Fatalf("Live %d != %d", a.Live(), b.Live())
+	}
+	for {
+		x, okx := a.Pop()
+		y, oky := b.Pop()
+		if okx != oky {
+			t.Fatal("queues drained at different lengths")
+		}
+		if !okx {
+			break
+		}
+		if x != y {
+			t.Fatalf("batch pop %+v != sequential pop %+v", x, y)
 		}
 	}
 }

@@ -14,9 +14,10 @@ import (
 //     order): earliest-first, FIFO among ties (the determinism contract
 //     the simulator's reproducibility rests on).
 //   - Cancel reports true exactly once per scheduled event and popped
-//     events can no longer be canceled.
-//   - Len always equals the number of scheduled-not-canceled-not-popped
-//     events.
+//     events can no longer be canceled — including when the pooled
+//     queue has recycled the event's slot (generation check).
+//   - Live always equals the number of scheduled-not-canceled-not-popped
+//     events, and tombstone compaction keeps Len bounded.
 func FuzzQueueOps(f *testing.F) {
 	// Seed corpus: schedule bursts with ties, interleaved cancels and
 	// pops, duplicate cancels, pop-from-empty.
@@ -57,15 +58,15 @@ func FuzzQueueOps(f *testing.F) {
 		}
 		pop := func() {
 			want := expectedNext()
-			ev := q.Pop()
+			ev, ok := q.Pop()
 			if want == -1 {
-				if ev != nil {
+				if ok {
 					t.Fatalf("Pop returned %+v from an empty queue", ev)
 				}
 				return
 			}
-			if ev == nil {
-				t.Fatalf("Pop returned nil with %d live events", liveCount())
+			if !ok {
+				t.Fatalf("Pop returned nothing with %d live events", liveCount())
 			}
 			if ev.Kind != model[want].seq || ev.Time != model[want].time {
 				t.Fatalf("Pop returned (t=%v, seq=%d), want (t=%v, seq=%d)",
@@ -81,7 +82,7 @@ func FuzzQueueOps(f *testing.F) {
 				// Schedule; time domain 0..15 forces simultaneous events.
 				tm := float64(arg % 16)
 				seq := len(model)
-				handles = append(handles, q.Schedule(tm, seq, nil))
+				handles = append(handles, q.Schedule(tm, seq, 0, 0, nil))
 				model = append(model, modelEv{time: tm, seq: seq})
 			case 1:
 				if len(handles) == 0 {
@@ -99,19 +100,103 @@ func FuzzQueueOps(f *testing.F) {
 			case 2:
 				pop()
 			}
-			if q.Len() != liveCount() {
-				t.Fatalf("Len = %d, want %d", q.Len(), liveCount())
+			if q.Live() != liveCount() {
+				t.Fatalf("Live = %d, want %d", q.Live(), liveCount())
+			}
+			if q.Len() < q.Live() {
+				t.Fatalf("Len = %d < Live = %d", q.Len(), q.Live())
 			}
 		}
 		// Drain: the remaining events must come out in (time, seq) order.
 		for liveCount() > 0 {
 			pop()
 		}
-		if ev := q.Pop(); ev != nil {
+		if ev, ok := q.Pop(); ok {
 			t.Fatalf("drained queue popped %+v", ev)
 		}
-		if q.Len() != 0 {
-			t.Fatalf("drained queue Len = %d", q.Len())
+		if q.Live() != 0 {
+			t.Fatalf("drained queue Live = %d", q.Live())
+		}
+	})
+}
+
+// FuzzQueueDiff differentially fuzzes the pooled 4-ary queue against
+// the retired container/heap implementation (legacy_test.go) on the
+// same op-stream encoding as FuzzQueueOps, extended with phased and
+// delivery scheduling. Every observable — pop stream, cancel results,
+// live counts, export contents — must match exactly.
+func FuzzQueueDiff(f *testing.F) {
+	f.Add([]byte{0, 5, 0, 5, 0, 5, 2, 0, 2, 0, 2, 0, 2, 0})
+	f.Add([]byte{0, 10, 0, 3, 1, 0, 2, 0, 0, 3, 1, 1, 1, 1, 2, 0})
+	f.Add([]byte{2, 0, 0, 0, 0, 255, 0, 128, 1, 2, 2, 0, 2, 0})
+	f.Add([]byte{3, 9, 3, 9, 4, 9, 0, 9, 2, 0, 2, 0, 1, 0, 2, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q := New()
+		lq := newLegacyQueue()
+		var handles []Handle
+		var lhandles []legacyHandle
+		seq := int64(0)
+		g := uint64(0)
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i], data[i+1]
+			switch op % 5 {
+			case 0: // plain schedule
+				tm := float64(arg % 16)
+				handles = append(handles, q.Schedule(tm, 1, seq, 0, nil))
+				lhandles = append(lhandles, lq.Schedule(tm, 1, seq, 0, nil))
+				seq++
+			case 1: // cancel
+				if len(handles) == 0 {
+					continue
+				}
+				k := int(arg) % len(handles)
+				got, want := q.Cancel(handles[k]), lq.Cancel(lhandles[k])
+				if got != want {
+					t.Fatalf("Cancel(%d): pooled %v, legacy %v", k, got, want)
+				}
+			case 2: // pop
+				ev, ok := q.Pop()
+				lev, lok := lq.Pop()
+				if ok != lok || ev != lev {
+					t.Fatalf("Pop: pooled (%+v,%v), legacy (%+v,%v)", ev, ok, lev, lok)
+				}
+			case 3: // phased schedule
+				tm := float64(arg % 16)
+				phase := uint64(arg % 4)
+				handles = append(handles, q.SchedulePhased(tm, 2, seq, 0, nil, phase))
+				lhandles = append(lhandles, lq.SchedulePhased(tm, 2, seq, 0, nil, phase))
+				seq++
+			case 4: // cross-partition delivery
+				tm := float64(arg % 16)
+				g++
+				handles = append(handles, q.ScheduleDelivery(tm, 3, seq, int64(arg), nil, g, 1))
+				lhandles = append(lhandles, lq.ScheduleDelivery(tm, 3, seq, int64(arg), nil, g, 1))
+				seq++
+			}
+			if q.Live() != lq.Live() {
+				t.Fatalf("Live: pooled %d, legacy %d", q.Live(), lq.Live())
+			}
+		}
+		// Exports must agree exactly (same events, same firing order).
+		ex, lex := q.Export(), lq.Export()
+		if len(ex) != len(lex) {
+			t.Fatalf("Export length: pooled %d, legacy %d", len(ex), len(lex))
+		}
+		for i := range ex {
+			if ex[i] != lex[i] {
+				t.Fatalf("Export[%d]: pooled %+v, legacy %+v", i, ex[i], lex[i])
+			}
+		}
+		// Drain both to the end.
+		for {
+			ev, ok := q.Pop()
+			lev, lok := lq.Pop()
+			if ok != lok || ev != lev {
+				t.Fatalf("drain: pooled (%+v,%v), legacy (%+v,%v)", ev, ok, lev, lok)
+			}
+			if !ok {
+				break
+			}
 		}
 	})
 }

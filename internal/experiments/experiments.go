@@ -66,6 +66,13 @@ type Options struct {
 	// Values <= 0 default to one simulated day (1440) when
 	// CheckpointDir is set.
 	CheckpointEvery float64
+	// CheckpointKeyframe delta-encodes the checkpoint stream: every Nth
+	// snapshot of a cell is a full keyframe (.ckpt file), the ones
+	// between are binary deltas against the previous snapshot (.dckpt
+	// files, typically a small fraction of the full size). Resume and
+	// replay-bisect reconstruct delta files transparently from their
+	// keyframe chain. 0 or 1 writes only full snapshots.
+	CheckpointKeyframe int
 	// Resume makes each cell continue from its checkpoint file when a
 	// compatible one exists in CheckpointDir, so an interrupted matrix
 	// run re-executes only the tail of each cell. Incompatible or

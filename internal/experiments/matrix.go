@@ -328,15 +328,79 @@ func cellCheckpointPrefix(dir, scenarioID string, p, rep int) string {
 	return filepath.Join(dir, fmt.Sprintf("%s_p%d_r%d", safe, p, rep))
 }
 
+// cellCheckpointFiles lists a cell's checkpoint files — full (.ckpt)
+// and delta (.dckpt) — sorted chronologically. The zero-padded time in
+// the name sorts lexically, and each emitted time appears exactly once,
+// so mixing the two extensions cannot reorder the chain.
+func cellCheckpointFiles(prefix string) []string {
+	full, _ := filepath.Glob(prefix + "_t*.ckpt")
+	delta, _ := filepath.Glob(prefix + "_t*.dckpt")
+	files := append(full, delta...)
+	sort.Strings(files)
+	return files
+}
+
 // latestCheckpoint returns the newest checkpoint file of a cell, or ""
 // when none exists.
 func latestCheckpoint(prefix string) string {
-	files, err := filepath.Glob(prefix + "_t*.ckpt")
-	if err != nil || len(files) == 0 {
+	files := cellCheckpointFiles(prefix)
+	if len(files) == 0 {
 		return ""
 	}
-	sort.Strings(files)
 	return files[len(files)-1]
+}
+
+// LoadCheckpoint reads one checkpoint file and returns full snapshot
+// bytes ready for sim resume or replay-bisect. A delta file (.dckpt)
+// is reconstructed from its keyframe chain: the loader walks the
+// cell's sibling files back to the nearest full snapshot and applies
+// every delta in emission order, with each step's base CRC guarding
+// against gaps or cross-run mixing. Failures along the chain wrap
+// sim.ErrSnapshotMismatch.
+func LoadCheckpoint(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if !sim.IsDeltaSnapshot(data) {
+		return data, nil
+	}
+	cut := strings.LastIndex(path, "_t")
+	if cut < 0 {
+		return nil, fmt.Errorf("%w: delta snapshot %s has no _t<time> chain name", sim.ErrSnapshotMismatch, path)
+	}
+	prefix := path[:cut]
+	files := cellCheckpointFiles(prefix)
+	at := sort.SearchStrings(files, path)
+	if at == len(files) || files[at] != path {
+		return nil, fmt.Errorf("%w: delta snapshot %s not found among its cell's files", sim.ErrSnapshotMismatch, path)
+	}
+	// Walk back to the nearest full snapshot, then replay the deltas
+	// forward from it.
+	key := -1
+	for i := at - 1; i >= 0; i-- {
+		if strings.HasSuffix(files[i], ".ckpt") && !strings.HasSuffix(files[i], ".dckpt") {
+			key = i
+			break
+		}
+	}
+	if key < 0 {
+		return nil, fmt.Errorf("%w: delta snapshot %s has no preceding keyframe", sim.ErrSnapshotMismatch, path)
+	}
+	base, err := os.ReadFile(files[key])
+	if err != nil {
+		return nil, err
+	}
+	for i := key + 1; i <= at; i++ {
+		delta, err := os.ReadFile(files[i])
+		if err != nil {
+			return nil, err
+		}
+		if base, err = sim.ApplySnapshotDelta(base, delta); err != nil {
+			return nil, fmt.Errorf("%s: %w", files[i], err)
+		}
+	}
+	return base, nil
 }
 
 // runCellSim executes one cell's simulation, wiring in per-cell
@@ -367,9 +431,14 @@ func runCellSim(cfg sim.Config, specs []job.Spec, scenarioID, policyName string,
 		every = 1440 // one simulated day
 	}
 	cfg.CheckpointEvery = every
+	cfg.CheckpointKeyframe = opts.CheckpointKeyframe
 	cfg.CheckpointLabel = fmt.Sprintf("%s/%s/%d", scenarioID, policyName, rep)
 	cfg.CheckpointSink = func(ck sim.Checkpoint) error {
-		path := fmt.Sprintf("%s_t%014.1f.ckpt", prefix, ck.Time)
+		ext := ".ckpt"
+		if ck.Delta {
+			ext = ".dckpt"
+		}
+		path := fmt.Sprintf("%s_t%014.1f%s", prefix, ck.Time, ext)
 		tmp := path + ".tmp"
 		if err := os.WriteFile(tmp, ck.Data, 0o644); err != nil {
 			return err
@@ -378,12 +447,7 @@ func runCellSim(cfg sim.Config, specs []job.Spec, scenarioID, policyName string,
 	}
 	if opts.Resume {
 		if path := latestCheckpoint(prefix); path != "" {
-			data, err := os.ReadFile(path)
-			if err != nil {
-				return nil, err
-			}
-			cfg.ResumeFrom = data
-			r, err := sim.Run(cfg, specs)
+			r, err := resumeCell(cfg, specs, path)
 			if err == nil {
 				return r, nil
 			}
@@ -394,6 +458,17 @@ func runCellSim(cfg sim.Config, specs []job.Spec, scenarioID, policyName string,
 			cfg.ResumeFrom = nil
 		}
 	}
+	return sim.Run(cfg, specs)
+}
+
+// resumeCell loads one checkpoint file — reconstructing a delta chain
+// when needed — and resumes the cell from it.
+func resumeCell(cfg sim.Config, specs []job.Spec, path string) (*sim.Result, error) {
+	data, err := LoadCheckpoint(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg.ResumeFrom = data
 	return sim.Run(cfg, specs)
 }
 

@@ -317,3 +317,107 @@ func TestMatrixCheckpointResume(t *testing.T) {
 		t.Fatalf("expected one fallback warning, got %v", warnings)
 	}
 }
+
+// TestMatrixCheckpointKeyframes pins the delta-checkpoint file plumbing:
+// with CheckpointKeyframe set, cells write mixed .ckpt/.dckpt streams,
+// LoadCheckpoint reconstructs any member from its keyframe chain, and a
+// resume whose newest file is a delta still reproduces the straight run
+// byte-identically. A corrupted delta falls back to a fresh run.
+func TestMatrixCheckpointKeyframes(t *testing.T) {
+	m := testMatrix()
+	plain, err := m.Run(matrixOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprint(t, plain)
+
+	dir := t.TempDir()
+	ckOpts := matrixOpts(2)
+	ckOpts.CheckpointDir = dir
+	ckOpts.CheckpointEvery = 400 // several marks per cell
+	ckOpts.CheckpointKeyframe = 3
+	ck, err := m.Run(ckOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fingerprint(t, ck); !bytes.Equal(got, want) {
+		t.Fatal("keyframed checkpointing perturbed matrix results")
+	}
+	deltas := 0
+	for s := range m.Scenarios {
+		for p := range m.Policies {
+			prefix := cellCheckpointPrefix(dir, m.Scenarios[s].ID, p, 0)
+			files := cellCheckpointFiles(prefix)
+			if len(files) == 0 {
+				t.Fatalf("cell %s/p%d has no checkpoint files", m.Scenarios[s].ID, p)
+			}
+			if strings.HasSuffix(files[0], ".dckpt") {
+				t.Fatalf("cell %s/p%d starts with a delta: %s", m.Scenarios[s].ID, p, files[0])
+			}
+			for _, f := range files {
+				if !strings.HasSuffix(f, ".dckpt") {
+					continue
+				}
+				deltas++
+				// Every delta file must reconstruct through its chain.
+				if _, err := LoadCheckpoint(f); err != nil {
+					t.Fatalf("LoadCheckpoint(%s): %v", f, err)
+				}
+			}
+		}
+	}
+	if deltas == 0 {
+		t.Fatal("keyframed matrix run wrote no .dckpt files; lower the cadence")
+	}
+
+	var warnings []string
+	resOpts := ckOpts
+	resOpts.Resume = true
+	resOpts.Logf = func(format string, args ...any) {
+		warnings = append(warnings, fmt.Sprintf(format, args...))
+	}
+	resumed, err := m.Run(resOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fingerprint(t, resumed); !bytes.Equal(got, want) {
+		t.Fatal("resume through delta chains differs from straight run")
+	}
+	if len(warnings) != 0 {
+		t.Fatalf("clean keyframed resume produced warnings: %v", warnings)
+	}
+
+	// Corrupt the newest file of a cell that ends on a delta: resume
+	// must fall back, warn, and still match.
+	victim := ""
+	for s := range m.Scenarios {
+		for p := range m.Policies {
+			newest := latestCheckpoint(cellCheckpointPrefix(dir, m.Scenarios[s].ID, p, 0))
+			if strings.HasSuffix(newest, ".dckpt") {
+				victim = newest
+			}
+		}
+	}
+	if victim == "" {
+		t.Skip("no cell's newest checkpoint is a delta at this cadence")
+	}
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x55
+	if err := os.WriteFile(victim, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	warnings = nil
+	fell, err := m.Run(resOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fingerprint(t, fell); !bytes.Equal(got, want) {
+		t.Fatal("fallback after delta corruption differs from straight run")
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "not resumable") {
+		t.Fatalf("expected one fallback warning, got %v", warnings)
+	}
+}

@@ -58,7 +58,12 @@ type Checkpoint struct {
 	// Events is the number of events processed before the boundary.
 	Events int64
 	// Data is the encoded snapshot; pass it to Config.ResumeFrom.
+	// With Delta set it is a delta against the previously emitted
+	// snapshot instead — reconstruct with ApplySnapshotDelta before
+	// resuming (see Config.CheckpointKeyframe).
 	Data []byte
+	// Delta marks Data as delta-encoded.
+	Delta bool
 }
 
 // Stateful is the state contract for user-supplied schedulers and
@@ -669,6 +674,18 @@ type checkpointer struct {
 	params snapParams
 	every  float64
 	next   float64
+
+	// Delta emission (Config.CheckpointKeyframe > 1): lastFull holds
+	// the full encoding of the previously emitted snapshot — the diff
+	// base — and lastTime/lastEvents its boundary; emitted counts
+	// snapshots since the run (or resume) started, so emitted%keyframe
+	// == 0 forces a full keyframe. The first snapshot after a resume is
+	// always full (lastFull nil), so no delta ever chains across runs.
+	keyframe   int
+	emitted    int
+	lastFull   []byte
+	lastTime   float64
+	lastEvents int64
 }
 
 // newCheckpointer returns nil when checkpointing is disabled.
@@ -677,11 +694,12 @@ func newCheckpointer(w *world, shards []*shard, mode string, resumed *snapshot) 
 		return nil
 	}
 	ck := &checkpointer{
-		w:      w,
-		shards: shards,
-		params: newSnapParams(w, shards, mode, w.cfg.CheckpointEvery),
-		every:  w.cfg.CheckpointEvery,
-		next:   w.start + w.cfg.CheckpointEvery,
+		w:        w,
+		shards:   shards,
+		params:   newSnapParams(w, shards, mode, w.cfg.CheckpointEvery),
+		every:    w.cfg.CheckpointEvery,
+		next:     w.start + w.cfg.CheckpointEvery,
+		keyframe: w.cfg.CheckpointKeyframe,
 	}
 	if resumed != nil {
 		for ck.next <= resumed.time {
@@ -695,7 +713,11 @@ func newCheckpointer(w *world, shards []*shard, mode string, resumed *snapshot) 
 func (ck *checkpointer) due(t float64) bool { return ck != nil && t >= ck.next }
 
 // take snapshots the run at boundary time t and hands the encoding to
-// the sink, then advances past every mark the boundary crossed.
+// the sink, then advances past every mark the boundary crossed. In
+// keyframe mode the non-keyframe snapshots are emitted as deltas
+// against the previous emission, unless the delta fails to shrink (a
+// delta at least as large as its full encoding carries no value and
+// would still force chain reconstruction on resume).
 func (ck *checkpointer) take(t float64, events int64, gseq uint64, ties bool) error {
 	data, err := takeSnapshot(ck.w, ck.shards, ck.params, t, events, gseq, ties)
 	if err != nil {
@@ -705,7 +727,18 @@ func (ck *checkpointer) take(t float64, events int64, gseq uint64, ties bool) er
 	for ck.next <= t {
 		ck.next += ck.every
 	}
-	if err := ck.w.cfg.CheckpointSink(Checkpoint{Time: t, Events: events, Data: data}); err != nil {
+	out, isDelta := data, false
+	if ck.keyframe > 1 && ck.lastFull != nil && ck.emitted%ck.keyframe != 0 {
+		delta := encodeSnapshotDelta(ck.lastFull, data, ck.lastTime, t, ck.lastEvents, events)
+		if len(delta) < len(data) {
+			out, isDelta = delta, true
+		}
+	}
+	ck.emitted++
+	if ck.keyframe > 1 {
+		ck.lastFull, ck.lastTime, ck.lastEvents = data, t, events
+	}
+	if err := ck.w.cfg.CheckpointSink(Checkpoint{Time: t, Events: events, Data: out, Delta: isDelta}); err != nil {
 		return fmt.Errorf("sim: checkpoint sink at t=%v: %w", t, err)
 	}
 	return nil
@@ -766,16 +799,16 @@ func (sh *shard) restoreQueue(d *snapDecoder) error {
 		if kd <= 0 || kd >= len(k.kinds) {
 			return fmt.Errorf("%w: pending event references unknown kind %d", ErrSnapshotMismatch, kd)
 		}
-		payload := k.kinds[kd].decPayload(d)
+		a, b, pref := k.kinds[kd].decPayload(d)
 		if d.err != nil {
 			return d.err
 		}
-		ref := k.restoreEvent(eventq.SavedEvent{Time: t, Kind: kd, Payload: payload, Rank: rank})
+		ref := k.restoreEvent(eventq.SavedEvent{Time: t, Kind: kd, A: a, B: b, Ref: pref, Rank: rank})
 		switch kind(kd) {
 		case sh.place.finish:
-			sh.w.jobs[payload.(int)].finish = ref
+			sh.w.jobs[int(a)].finish = ref
 		case sh.dyn.waitTimeout:
-			sh.w.jobs[payload.(int)].waitTO = ref
+			sh.w.jobs[int(a)].waitTO = ref
 		}
 	}
 	return nil
@@ -795,6 +828,6 @@ func (sh *shard) saveQueue(e *snapEncoder) {
 		e.U64(sev.Rank[0])
 		e.U64(sev.Rank[1])
 		e.U64(sev.Rank[2])
-		k.kinds[sev.Kind].encPayload(e, sev.Payload)
+		k.kinds[sev.Kind].encPayload(e, sev.A, sev.B, sev.Ref)
 	}
 }

@@ -1,0 +1,262 @@
+package sim
+
+// Delta-encoded snapshots: a periodic checkpoint stream mostly re-states
+// the previous snapshot — the platform rarely changes shape between
+// marks and most job records are stable — so the checkpointer can emit
+// the difference instead of the whole state. The encoding is a
+// content-defined binary diff (rsync-style): the base snapshot is
+// indexed in fixed-size blocks by a rolling checksum, the new snapshot
+// is scanned with the same rolling window, and every verified block
+// match extends forward as far as the bytes agree, producing a COPY op;
+// bytes between matches become LITERAL ops. Content addressing makes
+// the diff robust to insertions and deletions (a grown wait queue or
+// fault log shifts everything after it; aligned diffs would degenerate
+// to literals there).
+//
+// A delta is framed independently of the full-snapshot format: its own
+// magic, version, op stream, and three integrity anchors — a CRC of the
+// base it chains from (so applying against the wrong base fails before
+// any bytes are produced), a CRC of the reconstruction (so a corrupt op
+// stream cannot yield a plausible-but-wrong snapshot; the full format's
+// own trailer CRC is checked again on resume), and a trailer CRC of the
+// delta bytes themselves. Every failure is ErrSnapshotMismatch, the
+// same contract as full-snapshot corruption.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+const (
+	deltaMagic   = uint32(0x4e425344) // "NBSD"
+	deltaVersion = uint32(1)
+	// deltaBlock is the rolling-hash window: matches shorter than this
+	// are not worth a COPY op (24 bytes) and stay literal.
+	deltaBlock = 64
+)
+
+// IsDeltaSnapshot reports whether data is a delta-encoded snapshot
+// (Checkpoint.Delta set) rather than a full one. It inspects only the
+// magic; validation happens in ApplySnapshotDelta.
+func IsDeltaSnapshot(data []byte) bool {
+	return len(data) >= 8 && uint32(binary.LittleEndian.Uint64(data)) == deltaMagic
+}
+
+// DeltaMeta is the human-facing header of a delta snapshot.
+type DeltaMeta struct {
+	// BaseTime/BaseEvents locate the snapshot this delta chains from;
+	// Time/Events locate the snapshot it reconstructs.
+	BaseTime   float64
+	BaseEvents int64
+	Time       float64
+	Events     int64
+}
+
+// ReadDeltaMeta decodes just the metadata of a delta snapshot,
+// validating framing and integrity of the delta bytes (not the chain).
+func ReadDeltaMeta(data []byte) (DeltaMeta, error) {
+	d, err := openDelta(data)
+	if err != nil {
+		return DeltaMeta{}, err
+	}
+	m := DeltaMeta{}
+	_ = d.U64() // baseCRC
+	m.BaseTime = d.F64()
+	m.BaseEvents = d.I64()
+	m.Time = d.F64()
+	m.Events = d.I64()
+	if d.err != nil {
+		return DeltaMeta{}, d.err
+	}
+	return m, nil
+}
+
+// openDelta verifies the trailer CRC, magic and version, returning a
+// decoder positioned after the version word.
+func openDelta(data []byte) (*snapDecoder, error) {
+	if len(data) < 24 {
+		return nil, fmt.Errorf("%w: truncated delta snapshot", ErrSnapshotMismatch)
+	}
+	body, sum := data[:len(data)-8], binary.LittleEndian.Uint64(data[len(data)-8:])
+	if uint64(crc32.Checksum(body, castagnoli)) != sum {
+		return nil, fmt.Errorf("%w: delta checksum mismatch (snapshot corrupted)", ErrSnapshotMismatch)
+	}
+	d := &snapDecoder{data: body}
+	if magic := d.U64(); d.err == nil && uint32(magic) != deltaMagic {
+		return nil, fmt.Errorf("%w: bad delta magic %#x", ErrSnapshotMismatch, magic)
+	}
+	if version := d.U64(); d.err == nil && uint32(version) != deltaVersion {
+		return nil, fmt.Errorf("%w: delta format version %d, this build reads %d",
+			ErrSnapshotMismatch, version, deltaVersion)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return d, nil
+}
+
+// rollHash is a byte-sum pair checksum (Adler-style) over a deltaBlock
+// window, rollable in O(1): a is the byte sum, b the position-weighted
+// sum.
+type rollHash struct{ a, b uint32 }
+
+func rollInit(p []byte) rollHash {
+	var h rollHash
+	for i, c := range p {
+		h.a += uint32(c)
+		h.b += uint32(len(p)-i) * uint32(c)
+	}
+	return h
+}
+
+// roll slides the window one byte: out leaves, in enters.
+func (h *rollHash) roll(out, in byte) {
+	h.a += uint32(in) - uint32(out)
+	h.b += h.a - deltaBlock*uint32(out)
+}
+
+func (h rollHash) sum() uint32 { return h.a ^ h.b<<16 ^ h.b>>16 }
+
+// encodeSnapshotDelta diffs full against base and frames the result.
+// It never fails: in the worst case (nothing matches) the op stream is
+// one literal the size of full, and the checkpointer falls back to the
+// full encoding by size comparison.
+func encodeSnapshotDelta(base, full []byte, baseTime, newTime float64, baseEvents, newEvents int64) []byte {
+	// Index base in non-overlapping blocks. Last partial block is not
+	// indexed; the forward extension of earlier matches covers most of
+	// the tail anyway.
+	idx := make(map[uint32]int32, len(base)/deltaBlock+1)
+	for off := 0; off+deltaBlock <= len(base); off += deltaBlock {
+		// First writer wins: keeping the lowest offset makes the op
+		// stream deterministic regardless of map iteration.
+		h := rollInit(base[off : off+deltaBlock]).sum()
+		if _, ok := idx[h]; !ok {
+			idx[h] = int32(off)
+		}
+	}
+
+	e := snapEncoder{buf: make([]byte, 0, len(full)/8+256)}
+	e.U64(uint64(deltaMagic))
+	e.U64(uint64(deltaVersion))
+	e.U64(uint64(crc32.Checksum(base, castagnoli)))
+	e.F64(baseTime)
+	e.I64(baseEvents)
+	e.F64(newTime)
+	e.I64(newEvents)
+	e.U64(uint64(len(full)))
+	// Op count is backpatched once the scan knows it.
+	e.U64(0)
+	opsAt := len(e.buf) - 8
+
+	ops := uint64(0)
+	litStart := 0 // start of the pending literal run
+	flushLit := func(end int) {
+		if end > litStart {
+			e.Bool(false)
+			e.Bytes(full[litStart:end])
+			ops++
+		}
+	}
+	if len(full) >= deltaBlock && len(idx) > 0 {
+		i := 0
+		h := rollInit(full[:deltaBlock])
+		for {
+			if off, ok := idx[h.sum()]; ok && bytes.Equal(base[off:int(off)+deltaBlock], full[i:i+deltaBlock]) {
+				flushLit(i)
+				// Extend the verified block forward while bytes agree.
+				n := deltaBlock
+				for int(off)+n < len(base) && i+n < len(full) && base[int(off)+n] == full[i+n] {
+					n++
+				}
+				e.Bool(true)
+				e.U64(uint64(off))
+				e.U64(uint64(n))
+				ops++
+				i += n
+				litStart = i
+				if i+deltaBlock > len(full) {
+					break
+				}
+				h = rollInit(full[i : i+deltaBlock])
+				continue
+			}
+			if i+deltaBlock >= len(full) {
+				break
+			}
+			h.roll(full[i], full[i+deltaBlock])
+			i++
+		}
+	}
+	flushLit(len(full))
+	binary.LittleEndian.PutUint64(e.buf[opsAt:], ops)
+	e.U64(uint64(crc32.Checksum(full, castagnoli)))
+	e.U64(uint64(crc32.Checksum(e.buf, castagnoli)))
+	return e.buf
+}
+
+// ApplySnapshotDelta reconstructs the full snapshot a delta encodes,
+// given the exact snapshot bytes it was diffed against (the previous
+// snapshot in the emission order — itself possibly reconstructed from
+// an earlier delta). Any mismatch — corrupted delta, wrong base,
+// out-of-range op — fails with ErrSnapshotMismatch and produces
+// nothing.
+func ApplySnapshotDelta(base, delta []byte) ([]byte, error) {
+	d, err := openDelta(delta)
+	if err != nil {
+		return nil, err
+	}
+	baseCRC := d.U64()
+	_ = d.F64() // baseTime
+	_ = d.I64() // baseEvents
+	_ = d.F64() // newTime
+	_ = d.I64() // newEvents
+	outLen := d.U64()
+	ops := d.U64()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if uint64(crc32.Checksum(base, castagnoli)) != baseCRC {
+		return nil, fmt.Errorf("%w: delta does not chain from this base snapshot", ErrSnapshotMismatch)
+	}
+	if outLen > uint64(len(base))+uint64(len(delta))*8+(1<<20) {
+		return nil, fmt.Errorf("%w: implausible delta output length %d", ErrSnapshotMismatch, outLen)
+	}
+	out := make([]byte, 0, outLen)
+	for op := uint64(0); op < ops; op++ {
+		if d.Bool() {
+			off, n := d.U64(), d.U64()
+			if d.err != nil {
+				return nil, d.err
+			}
+			if off > uint64(len(base)) || n > uint64(len(base))-off {
+				return nil, fmt.Errorf("%w: delta copy op outside base bounds", ErrSnapshotMismatch)
+			}
+			out = append(out, base[off:off+n]...)
+		} else {
+			out = append(out, d.Bytes()...)
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+		if uint64(len(out)) > outLen {
+			return nil, fmt.Errorf("%w: delta reconstruction overruns declared length", ErrSnapshotMismatch)
+		}
+	}
+	wantCRC := d.U64()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes in delta", ErrSnapshotMismatch, len(d.data)-d.off)
+	}
+	if uint64(len(out)) != outLen {
+		return nil, fmt.Errorf("%w: delta reconstructed %d bytes, declared %d",
+			ErrSnapshotMismatch, len(out), outLen)
+	}
+	if uint64(crc32.Checksum(out, castagnoli)) != wantCRC {
+		return nil, fmt.Errorf("%w: delta reconstruction checksum mismatch", ErrSnapshotMismatch)
+	}
+	return out, nil
+}

@@ -1,0 +1,254 @@
+package sim
+
+// Delta-snapshot contract tests: the codec round-trips arbitrary edits,
+// a keyframed checkpoint stream reconstructs and resumes bit-identically
+// from full and delta members alike, and every corruption or mis-chain
+// is rejected with ErrSnapshotMismatch.
+
+import (
+	"bytes"
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"netbatch/internal/core"
+	"netbatch/internal/job"
+	"netbatch/internal/sched"
+)
+
+// TestDeltaCodecRoundTrip drives encodeSnapshotDelta/ApplySnapshotDelta
+// over synthetic base/full pairs covering in-place mutation, insertion,
+// deletion, growth and shrinkage — the shapes a snapshot stream
+// actually produces.
+func TestDeltaCodecRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 11))
+	randBytes := func(n int) []byte {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(r.UintN(256))
+		}
+		return b
+	}
+	base := randBytes(8192)
+	cases := map[string]func() []byte{
+		"identical": func() []byte { return append([]byte(nil), base...) },
+		"mutated": func() []byte {
+			f := append([]byte(nil), base...)
+			for i := 0; i < 20; i++ {
+				f[r.IntN(len(f))] ^= 0x5a
+			}
+			return f
+		},
+		"inserted": func() []byte {
+			at := r.IntN(len(base))
+			return append(append(append([]byte(nil), base[:at]...), randBytes(300)...), base[at:]...)
+		},
+		"deleted": func() []byte {
+			at := r.IntN(len(base) - 500)
+			return append(append([]byte(nil), base[:at]...), base[at+500:]...)
+		},
+		"appended":  func() []byte { return append(append([]byte(nil), base...), randBytes(700)...) },
+		"unrelated": func() []byte { return randBytes(4096) },
+		"tiny":      func() []byte { return randBytes(16) },
+		"empty":     func() []byte { return nil },
+	}
+	for name, gen := range cases {
+		full := gen()
+		delta := encodeSnapshotDelta(base, full, 1, 2, 10, 20)
+		got, err := ApplySnapshotDelta(base, delta)
+		if err != nil {
+			t.Fatalf("%s: apply: %v", name, err)
+		}
+		if !bytes.Equal(got, full) {
+			t.Fatalf("%s: reconstruction differs (%d vs %d bytes)", name, len(got), len(full))
+		}
+		meta, err := ReadDeltaMeta(delta)
+		if err != nil {
+			t.Fatalf("%s: meta: %v", name, err)
+		}
+		if meta.BaseTime != 1 || meta.Time != 2 || meta.BaseEvents != 10 || meta.Events != 20 {
+			t.Fatalf("%s: meta round-trip: %+v", name, meta)
+		}
+		if !IsDeltaSnapshot(delta) || IsDeltaSnapshot(full) && len(full) > 0 {
+			t.Fatalf("%s: magic classification wrong", name)
+		}
+	}
+	// Near-identical inputs must compress hard: this is the payoff the
+	// checkpointer's keyframe mode banks on.
+	full := append([]byte(nil), base...)
+	full[100] ^= 1
+	if delta := encodeSnapshotDelta(base, full, 0, 0, 0, 0); len(delta) > len(full)/4 {
+		t.Fatalf("single-byte edit delta is %d bytes of %d full", len(delta), len(full))
+	}
+}
+
+// deltaFixture runs one deterministic multi-site workload with a
+// keyframed checkpoint stream and returns the base config, specs, the
+// emitted checkpoints, and the straight-run fingerprint.
+func deltaFixture(t *testing.T, parallel bool) (Config, []job.Spec, []Checkpoint, string) {
+	t.Helper()
+	r := rand.New(rand.NewPCG(404, 405))
+	plat, specs, err := randomFederation(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{
+		Platform:          plat,
+		Initial:           federatedInitial(sched.LatencyPenalizedUtil{}),
+		Policy:            core.NewResSusWaitRand(99),
+		CheckConservation: true,
+	}
+	if parallel {
+		base.Engine = EngineParallel
+	}
+	plain := base
+	plain.Policy = core.NewResSusWaitRand(99)
+	plainRes, err := Run(plain, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckCfg, cks := collectCheckpoints(base, 60)
+	ckCfg.CheckpointKeyframe = 4
+	ckCfg.Policy = core.NewResSusWaitRand(99)
+	if _, err := Run(*ckCfg, specs); err != nil {
+		t.Fatal(err)
+	}
+	if len(*cks) < 6 {
+		t.Fatalf("fixture emitted only %d checkpoints; need a keyframe cycle plus deltas", len(*cks))
+	}
+	return base, specs, *cks, fingerprint(plainRes)
+}
+
+// reconstructChain resolves every checkpoint of a keyframed stream to
+// full snapshot bytes, mirroring what the experiments runner does with
+// .ckpt/.dckpt files.
+func reconstructChain(t *testing.T, cks []Checkpoint) [][]byte {
+	t.Helper()
+	fulls := make([][]byte, len(cks))
+	for i, ck := range cks {
+		if !ck.Delta {
+			if IsDeltaSnapshot(ck.Data) {
+				t.Fatalf("checkpoint %d: Delta flag false but bytes are a delta", i)
+			}
+			fulls[i] = ck.Data
+			continue
+		}
+		if i == 0 {
+			t.Fatal("first emitted checkpoint is a delta; every chain must start at a keyframe")
+		}
+		full, err := ApplySnapshotDelta(fulls[i-1], ck.Data)
+		if err != nil {
+			t.Fatalf("checkpoint %d: apply delta: %v", i, err)
+		}
+		fulls[i] = full
+	}
+	return fulls
+}
+
+// TestDeltaSnapshotChain checks the keyframed stream end to end on both
+// engines: the emission pattern honors the keyframe cadence, deltas
+// shrink the stream, and resuming from a keyframe, from a
+// mid-chain delta, from the delta straight after a keyframe boundary,
+// and from the last checkpoint all reproduce the straight run
+// bit-identically.
+func TestDeltaSnapshotChain(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		name := "serial"
+		if parallel {
+			name = "parallel"
+		}
+		t.Run(name, func(t *testing.T) {
+			base, specs, cks, fpPlain := deltaFixture(t, parallel)
+			deltas := 0
+			for i, ck := range cks {
+				wantFull := i%4 == 0
+				if wantFull && ck.Delta {
+					t.Fatalf("checkpoint %d: keyframe slot emitted a delta", i)
+				}
+				if ck.Delta {
+					deltas++
+				}
+			}
+			if deltas == 0 {
+				t.Fatal("keyframed stream emitted no deltas (every delta fell back to full?)")
+			}
+			fulls := reconstructChain(t, cks)
+
+			// A raw delta must be rejected as ResumeFrom before any state
+			// is touched.
+			for i, ck := range cks {
+				if !ck.Delta {
+					continue
+				}
+				bad := base
+				bad.ResumeFrom = ck.Data
+				if _, err := Run(bad, specs); !errors.Is(err, ErrSnapshotMismatch) {
+					t.Fatalf("checkpoint %d: raw delta resume: want ErrSnapshotMismatch, got %v", i, err)
+				}
+				break
+			}
+
+			picks := map[string]int{
+				"keyframe":       4,            // a keyframe boundary
+				"after-keyframe": 5,            // first delta of a cycle
+				"mid-chain":      6,            // delta chaining through another delta
+				"last":           len(cks) - 1, // whatever the stream ends on
+			}
+			for what, idx := range picks {
+				resumed := base
+				resumed.Policy = core.NewResSusWaitRand(99)
+				resumed.ResumeFrom = fulls[idx]
+				res, err := Run(resumed, specs)
+				if err != nil {
+					t.Fatalf("resume from %s (checkpoint %d, t=%v): %v", what, idx, cks[idx].Time, err)
+				}
+				if fp := fingerprint(res); fp != fpPlain {
+					t.Fatalf("resume from %s (checkpoint %d, t=%v) diverged:\n%s",
+						what, idx, cks[idx].Time, firstDiff(fpPlain, fp))
+				}
+			}
+		})
+	}
+}
+
+// TestDeltaCorruptionRejected flips bytes in a real delta and chains it
+// against the wrong base: every failure mode must be
+// ErrSnapshotMismatch and never a wrong reconstruction.
+func TestDeltaCorruptionRejected(t *testing.T) {
+	_, _, cks, _ := deltaFixture(t, false)
+	di := -1
+	for i, ck := range cks {
+		if ck.Delta {
+			di = i
+			break
+		}
+	}
+	if di <= 0 {
+		t.Fatal("fixture emitted no delta")
+	}
+	fulls := reconstructChain(t, cks)
+	base, delta := fulls[di-1], cks[di].Data
+
+	for _, at := range []int{0, 8, len(delta) / 2, len(delta) - 9, len(delta) - 1} {
+		bad := append([]byte(nil), delta...)
+		bad[at] ^= 0x40
+		if _, err := ApplySnapshotDelta(base, bad); !errors.Is(err, ErrSnapshotMismatch) {
+			t.Fatalf("flip at %d: want ErrSnapshotMismatch, got %v", at, err)
+		}
+	}
+	if _, err := ApplySnapshotDelta(delta, delta); !errors.Is(err, ErrSnapshotMismatch) {
+		t.Fatalf("delta applied to itself as base: want ErrSnapshotMismatch, got %v", err)
+	}
+	if di+1 < len(cks) && cks[di+1].Delta {
+		// Skipping a link: the next delta must refuse the earlier base.
+		if _, err := ApplySnapshotDelta(base, cks[di+1].Data); !errors.Is(err, ErrSnapshotMismatch) {
+			t.Fatalf("delta applied across a gap: want ErrSnapshotMismatch, got %v", err)
+		}
+	}
+	if _, err := ApplySnapshotDelta(nil, delta[:16]); !errors.Is(err, ErrSnapshotMismatch) {
+		t.Fatalf("truncated delta: want ErrSnapshotMismatch, got %v", err)
+	}
+	if _, err := ApplySnapshotDelta(nil, fulls[0]); !errors.Is(err, ErrSnapshotMismatch) {
+		t.Fatalf("full snapshot as delta: want ErrSnapshotMismatch, got %v", err)
+	}
+}

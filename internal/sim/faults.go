@@ -149,32 +149,38 @@ type siteFaults struct {
 	maintIdx  int
 }
 
-// maintEndPayload carries the machines a window actually took down.
-type maintEndPayload struct {
-	site  int
-	taken []int
-}
-
 type faultSys struct {
 	sh *shard
 
 	// Allocated event kinds, all capacity handoffs.
 	crash, repair, maintStart, maintEnd kind
+
+	// takenPool recycles the machine-block slices carried by maintEnd
+	// events: the kernel's payload-release hook returns each slice here
+	// after its event dispatches (or is dropped), and handleMaintStart
+	// draws from the pool before allocating. Purely an allocation cache;
+	// never saved.
+	takenPool [][]int
 }
 
 func (s *faultSys) register(k *kernel) {
-	s.crash = k.registerHandoffKind("fault.crash", func(p any) error { return s.handleCrash(p.(int)) })
-	s.repair = k.registerHandoffKind("fault.repair", func(p any) error { return s.handleRepair(p.(int)) })
-	s.maintStart = k.registerHandoffKind("fault.maintStart", func(p any) error { return s.handleMaintStart(p.(int)) })
-	s.maintEnd = k.registerHandoffKind("fault.maintEnd", func(p any) error { return s.handleMaintEnd(p.(maintEndPayload)) })
+	s.crash = k.registerHandoffKind("fault.crash", func(a, _ int64, _ any) error { return s.handleCrash(int(a)) })
+	s.repair = k.registerHandoffKind("fault.repair", func(a, _ int64, _ any) error { return s.handleRepair(int(a)) })
+	s.maintStart = k.registerHandoffKind("fault.maintStart", func(a, _ int64, _ any) error { return s.handleMaintStart(int(a)) })
+	s.maintEnd = k.registerHandoffKind("fault.maintEnd", func(_, _ int64, ref any) error { return s.handleMaintEnd(ref.([]int)) })
+	// maintEnd carries the site in a and the taken-machine block as a
+	// boxed slice; the encoding is byte-identical to the historical
+	// struct codec.
 	k.setPayloadCodec(s.maintEnd,
-		func(e *snapEncoder, p any) {
-			mp := p.(maintEndPayload)
-			e.Int(mp.site)
-			e.Ints(mp.taken)
+		func(e *snapEncoder, a, _ int64, ref any) {
+			e.I64(a)
+			e.Ints(ref.([]int))
 		},
-		func(d *snapDecoder) any { return maintEndPayload{site: d.Int(), taken: d.IntsN(-1)} },
-		func(p any) int64 { return int64(p.(maintEndPayload).site) })
+		func(d *snapDecoder) (int64, int64, any) { return d.I64(), 0, d.IntsN(-1) },
+		func(a, _ int64, _ any) int64 { return a })
+	k.setPayloadRelease(s.maintEnd, func(ref any) {
+		s.takenPool = append(s.takenPool, ref.([]int)[:0])
+	})
 	k.registerState("faults", s.save, s.load)
 }
 
@@ -243,10 +249,10 @@ func (s *faultSys) seed() {
 	for _, site := range sh.sites {
 		f := &sh.w.faults[site]
 		if cfg.MTBF > 0 {
-			sh.k.schedule(sh.w.start+f.rng.Exp(cfg.MTBF), s.crash, site)
+			sh.k.schedule(sh.w.start+f.rng.Exp(cfg.MTBF), s.crash, int64(site), 0)
 		}
 		if cfg.MaintPeriod > 0 {
-			sh.k.schedule(f.maintNext, s.maintStart, site)
+			sh.k.schedule(f.maintNext, s.maintStart, int64(site), 0)
 		}
 	}
 }
@@ -260,7 +266,7 @@ func (s *faultSys) handleCrash(site int) error {
 	sh := s.sh
 	cfg := &sh.w.cfg.Faults
 	f := &sh.w.faults[site]
-	sh.k.schedule(sh.k.now+f.rng.Exp(cfg.MTBF), s.crash, site)
+	sh.k.schedule(sh.k.now+f.rng.Exp(cfg.MTBF), s.crash, int64(site), 0)
 
 	ups := make([]int, 0, len(sh.w.machBySite[site]))
 	for _, mid := range sh.w.machBySite[site] {
@@ -276,7 +282,7 @@ func (s *faultSys) handleCrash(site int) error {
 	if err := sh.killMachineJobs(mid); err != nil {
 		return err
 	}
-	sh.k.schedule(sh.k.now+f.rng.Exp(cfg.MTTR), s.repair, mid)
+	sh.k.schedule(sh.k.now+f.rng.Exp(cfg.MTTR), s.repair, int64(mid), 0)
 	return nil
 }
 
@@ -297,7 +303,7 @@ func (s *faultSys) handleMaintStart(site int) error {
 	cfg := &sh.w.cfg.Faults
 	f := &sh.w.faults[site]
 	f.windowStarts = append(f.windowStarts, sh.k.now)
-	sh.k.schedule(sh.k.now+cfg.MaintPeriod, s.maintStart, site)
+	sh.k.schedule(sh.k.now+cfg.MaintPeriod, s.maintStart, int64(site), 0)
 
 	machines := sh.w.machBySite[site]
 	count := int(math.Round(cfg.MaintFraction * float64(len(machines))))
@@ -313,6 +319,9 @@ func (s *faultSys) handleMaintStart(site int) error {
 	// any victim is handled, so a kill-and-requeue cannot land a victim
 	// on a machine the same window is about to take away.
 	var taken []int
+	if n := len(s.takenPool); n > 0 {
+		taken, s.takenPool = s.takenPool[n-1], s.takenPool[:n-1]
+	}
 	for i := 0; i < count; i++ {
 		mid := machines[(start+i)%len(machines)]
 		if sh.w.machines[mid].down {
@@ -329,7 +338,7 @@ func (s *faultSys) handleMaintStart(site int) error {
 		}
 	}
 	if len(taken) > 0 {
-		sh.k.schedule(sh.k.now+cfg.MaintDuration, s.maintEnd, maintEndPayload{site: site, taken: taken})
+		sh.k.scheduleRef(sh.k.now+cfg.MaintDuration, s.maintEnd, int64(site), 0, taken)
 	}
 	return nil
 }
@@ -337,8 +346,8 @@ func (s *faultSys) handleMaintStart(site int) error {
 // handleMaintEnd closes a window: every machine it took down comes
 // back and hands its capacity off (resuming drained suspended jobs
 // first, then serving the wait queue, like any freed capacity).
-func (s *faultSys) handleMaintEnd(p maintEndPayload) error {
-	for _, mid := range p.taken {
+func (s *faultSys) handleMaintEnd(taken []int) error {
+	for _, mid := range taken {
 		s.bringUp(mid)
 		if err := s.sh.onFree(mid); err != nil {
 			return err

@@ -34,8 +34,12 @@ import (
 // is reserved so an unregistered kind is caught at dispatch.
 type kind int
 
-// handlerFunc applies one event's payload to shard state.
-type handlerFunc func(payload any) error
+// handlerFunc applies one event's payload to shard state. The payload
+// arrives as the event's two inline words (a, b) plus the reference
+// slot (ref, nil for the high-volume kinds) — see eventq.Event. Keeping
+// payloads out of `any` for the hot kinds is what makes the event loop
+// allocation-free.
+type handlerFunc func(a, b int64, ref any) error
 
 // kindInfo is one registry entry: the kind's diagnostic name, its
 // synchronization class, its handler, and its payload codec (how the
@@ -56,14 +60,20 @@ type kindInfo struct {
 	handoff bool
 
 	// encPayload/decPayload serialize the kind's event payload for
-	// checkpointing. registerKind installs the int codec (most kinds
-	// carry a job, site or machine index); kinds with structured
-	// payloads override via setPayloadCodec.
-	encPayload func(*snapEncoder, any)
-	decPayload func(*snapDecoder) any
+	// checkpointing. registerKind installs the one-word codec (most
+	// kinds carry a job, site or machine index in a); kinds with wider
+	// payloads override via setPayloadCodec. The encodings are
+	// byte-identical to the pre-pooling any-boxed codecs, so snapshot
+	// compatibility is preserved.
+	encPayload func(e *snapEncoder, a, b int64, ref any)
+	decPayload func(d *snapDecoder) (a, b int64, ref any)
 	// argOf projects a payload onto the integer argument shown in
 	// replay-bisect event records.
-	argOf func(any) int64
+	argOf func(a, b int64, ref any) int64
+	// release, when set, recycles the kind's reference payloads: the
+	// queue's drop hook routes every canceled-and-dropped Ref here, and
+	// handlers may call it themselves once a fired payload is consumed.
+	release func(ref any)
 }
 
 // stateCodec is one entry of the kernel's state registry — the
@@ -135,6 +145,13 @@ type kernel struct {
 
 func newKernel(trackDecides bool) *kernel {
 	k := &kernel{q: eventq.New(), kinds: make([]kindInfo, 1)}
+	// Route reference payloads of canceled-and-dropped events to their
+	// kind's recycler, if it registered one.
+	k.q.SetDropHook(func(kd int, ref any) {
+		if kd > 0 && kd < len(k.kinds) && k.kinds[kd].release != nil {
+			k.kinds[kd].release(ref)
+		}
+	})
 	if trackDecides {
 		k.decideQ = eventq.New()
 		k.handoffQ = eventq.New()
@@ -157,20 +174,27 @@ func (k *kernel) registerKind(name string, deciding bool, h handlerFunc) kind {
 	}
 	k.kinds = append(k.kinds, kindInfo{
 		name: name, deciding: deciding, handler: h,
-		encPayload: func(e *snapEncoder, p any) { e.Int(p.(int)) },
-		decPayload: func(d *snapDecoder) any { return d.Int() },
-		argOf:      func(p any) int64 { return int64(p.(int)) },
+		encPayload: func(e *snapEncoder, a, _ int64, _ any) { e.I64(a) },
+		decPayload: func(d *snapDecoder) (int64, int64, any) { return d.I64(), 0, nil },
+		argOf:      func(a, _ int64, _ any) int64 { return a },
 	})
 	return kind(len(k.kinds) - 1)
 }
 
 // setPayloadCodec overrides the payload codec of a kind whose events
-// carry something other than a bare int.
+// carry more than the single inline word a.
 func (k *kernel) setPayloadCodec(kd kind,
-	enc func(*snapEncoder, any), dec func(*snapDecoder) any, argOf func(any) int64) {
+	enc func(*snapEncoder, int64, int64, any), dec func(*snapDecoder) (int64, int64, any),
+	argOf func(int64, int64, any) int64) {
 	k.kinds[kd].encPayload = enc
 	k.kinds[kd].decPayload = dec
 	k.kinds[kd].argOf = argOf
+}
+
+// setPayloadRelease installs a recycler for a kind's reference
+// payloads (see kindInfo.release).
+func (k *kernel) setPayloadRelease(kd kind, release func(ref any)) {
+	k.kinds[kd].release = release
 }
 
 // registerState adds a subsystem's state codec to the kernel's state
@@ -205,8 +229,15 @@ func (k *kernel) decides(kd int) bool { return k.kinds[kd].deciding }
 func (k *kernel) isHandoff(kd int) bool { return k.kinds[kd].handoff }
 
 // schedule adds an event at time t, shadowing fence-published kinds.
-func (k *kernel) schedule(t float64, kd kind, payload any) evRef {
-	ref := evRef{main: k.q.SchedulePhased(t, int(kd), payload, k.phase), mainQ: k.q}
+// The payload is the inline word pair (a, b); the rare reference
+// payloads go through scheduleRef.
+func (k *kernel) schedule(t float64, kd kind, a, b int64) evRef {
+	return k.scheduleRef(t, kd, a, b, nil)
+}
+
+// scheduleRef is schedule for kinds that carry a reference payload.
+func (k *kernel) scheduleRef(t float64, kd kind, a, b int64, payload any) evRef {
+	ref := evRef{main: k.q.SchedulePhased(t, int(kd), a, b, payload, k.phase), mainQ: k.q}
 	info := &k.kinds[kd]
 	switch {
 	case k.decideQ != nil && info.deciding:
@@ -215,7 +246,7 @@ func (k *kernel) schedule(t float64, kd kind, payload any) evRef {
 		ref.shadowQ = k.handoffQ
 	}
 	if ref.shadowQ != nil {
-		ref.shadow = ref.shadowQ.SchedulePhased(t, int(kd), nil, k.phase)
+		ref.shadow = ref.shadowQ.SchedulePhased(t, int(kd), 0, 0, nil, k.phase)
 	}
 	return ref
 }
@@ -223,10 +254,27 @@ func (k *kernel) schedule(t float64, kd kind, payload any) evRef {
 // deliver adds a cross-partition event at a round barrier, ranked by
 // its creating decision (g) and send index so same-time ties resolve
 // exactly as the serial engine's creation order would.
-func (k *kernel) deliver(t float64, kd kind, payload any, g, idx uint64) {
-	k.q.ScheduleDelivery(t, int(kd), payload, g, idx)
+func (k *kernel) deliver(t float64, kd kind, a, b int64, g, idx uint64) {
+	k.q.ScheduleDelivery(t, int(kd), a, b, nil, g, idx)
 	if k.handoffQ != nil && k.kinds[kd].handoff {
-		k.handoffQ.ScheduleDelivery(t, int(kd), nil, g, idx)
+		k.handoffQ.ScheduleDelivery(t, int(kd), 0, 0, nil, g, idx)
+	}
+}
+
+// deliverBatch bulk-schedules one round's pre-sorted cross-partition
+// deliveries, equivalent to calling deliver once per element. The main
+// queue takes the whole batch in one call; fence shadows for handoff
+// kinds are added in the same pass.
+func (k *kernel) deliverBatch(batch []eventq.Delivery) {
+	k.q.DeliverBatch(batch)
+	if k.handoffQ == nil {
+		return
+	}
+	for i := range batch {
+		d := &batch[i]
+		if k.kinds[d.Kind].handoff {
+			k.handoffQ.ScheduleDelivery(d.Time, d.Kind, 0, 0, nil, d.G, d.Idx)
+		}
 	}
 }
 
@@ -249,6 +297,18 @@ func (k *kernel) restoreEvent(sev eventq.SavedEvent) evRef {
 		ref.shadow = ref.shadowQ.Restore(eventq.SavedEvent{Time: sev.Time, Kind: sev.Kind, Rank: sev.Rank})
 	}
 	return ref
+}
+
+// releaseRef recycles a fired event's reference payload through its
+// kind's recycler, if any. Engines call it after the handler (and any
+// replay recording) has consumed the payload.
+func (k *kernel) releaseRef(ev eventq.Event) {
+	if ev.Ref == nil {
+		return
+	}
+	if rel := k.kinds[ev.Kind].release; rel != nil {
+		rel(ev.Ref)
+	}
 }
 
 // cancel removes a scheduled event (and its shadow) from the queues
@@ -302,9 +362,9 @@ func sameKinds(a, b *kernel) bool {
 }
 
 // dispatch applies one popped event through the registered handler.
-func (k *kernel) dispatch(ev *eventq.Event) error {
+func (k *kernel) dispatch(ev eventq.Event) error {
 	if ev.Kind <= 0 || ev.Kind >= len(k.kinds) {
 		return fmt.Errorf("sim: unknown event kind %d", ev.Kind)
 	}
-	return k.kinds[ev.Kind].handler(ev.Payload)
+	return k.kinds[ev.Kind].handler(ev.A, ev.B, ev.Ref)
 }

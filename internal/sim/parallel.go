@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"netbatch/internal/eventq"
 	"netbatch/internal/stats"
 )
 
@@ -48,15 +49,16 @@ import (
 // start time — is provably ordered (the serial engine schedules the
 // submission first) and is not flagged.
 
-// outMsg is one cross-shard event awaiting barrier delivery. g and idx
-// identify the creating decision and send order for tie ranking.
+// outMsg is one cross-shard event awaiting barrier delivery: the inline
+// payload words plus the (creating decision g, send index idx) pair for
+// tie ranking. The destination shard is encoded by which per-dest
+// buffer holds the message (parShard.outbox).
 type outMsg struct {
-	dest    int
-	t       float64
-	kind    kind
-	payload any
-	g       uint64
-	idx     uint64
+	t    float64
+	kind kind
+	a, b int64
+	g    uint64
+	idx  uint64
 }
 
 // busyShift is one busy-core mutation a shard applied to a machine at
@@ -72,7 +74,10 @@ type busyShift struct {
 
 // parShard is the per-shard parallel bookkeeping.
 type parShard struct {
-	outbox []outMsg
+	// outbox holds this round's outgoing cross-shard messages, one
+	// buffer per destination shard. Buffers are truncated (not freed) at
+	// each barrier, so steady-state rounds append into warm storage.
+	outbox [][]outMsg
 
 	// busyShifts logs cross-site busy mutations for the whole run
 	// (NOT cleared per round).
@@ -144,6 +149,9 @@ type coordinator struct {
 	// gseq counts executed deciding events; it stamps event ranks (see
 	// kernel.phase) so cross-shard creation order is reproducible.
 	gseq uint64
+
+	// batch is the reusable scratch slice for barrier deliveries.
+	batch []eventq.Delivery
 }
 
 // refreshFences republishes every shard's fence from its (quiescent)
@@ -279,8 +287,8 @@ func (c *coordinator) runShardRound(sh *shard, H float64) {
 	// shard that holds the actual work.
 	announce := true
 	for !c.aborted {
-		ev := sh.k.q.Peek()
-		if ev == nil || ev.Time >= H {
+		ev, ok := sh.k.q.Peek()
+		if !ok || ev.Time >= H {
 			break
 		}
 		t := ev.Time
@@ -318,7 +326,7 @@ func (c *coordinator) runShardRound(sh *shard, H float64) {
 			c.cond.Wait()
 			continue
 		}
-		sh.k.q.Pop()
+		ev, _ = sh.k.q.Pop()
 		if sh.k.decides(ev.Kind) {
 			sh.k.decideQ.Pop()
 		} else if sh.k.isHandoff(ev.Kind) {
@@ -350,12 +358,13 @@ func (c *coordinator) runShardRound(sh *shard, H float64) {
 		err := sh.k.dispatch(ev)
 		fin := int32(-1)
 		if ev.Kind == int(sh.place.finish) {
-			fin = int32(ev.Payload.(int))
+			fin = int32(ev.A)
 		}
 		if w.cfg.eventLog != nil {
 			// Per-shard append: each worker owns its own slice.
-			w.cfg.eventLog.record(sh.index, t, &sh.k.kinds[ev.Kind], ev.Payload)
+			w.cfg.eventLog.record(sh.index, t, &sh.k.kinds[ev.Kind], ev.A, ev.B, ev.Ref)
 		}
+		sh.k.releaseRef(ev)
 
 		if !deciding {
 			c.mu.Lock()
@@ -396,7 +405,7 @@ func (c *coordinator) publish(shards []*shard) {
 		ctl := &c.ctl[i]
 		ctl.busy = false
 		ctl.next, ctl.nextKind = inf, 0
-		if ev := sh.k.q.Peek(); ev != nil {
+		if ev, ok := sh.k.q.Peek(); ok {
 			ctl.next, ctl.nextKind = ev.Time, ev.Kind
 		}
 		ctl.fence = sh.publishedFence()
@@ -544,13 +553,38 @@ func runParallel(w *world, sn *snapshot) (*Result, error) {
 			return nil, err
 		}
 
-		// Barrier: deliver cross-shard messages ranked by their
-		// creating decision, reproducing serial creation order.
-		for _, sh := range shards {
-			for _, m := range sh.par.outbox {
-				shards[m.dest].k.deliver(m.t, m.kind, m.payload, m.g, m.idx)
+		// Barrier: flush the round's cross-shard messages, one batched
+		// delivery per destination. The batch is pre-sorted into firing
+		// order — every message's (g, idx) rank is unique because all
+		// cross-shard sends originate from globally-serialized deciding
+		// events — so the bulk insert is deterministic and equivalent to
+		// the per-message deliveries it replaces. The scratch batch and
+		// the per-dest buffers are reused across rounds.
+		for d := range shards {
+			batch := c.batch[:0]
+			for _, sh := range shards {
+				for _, m := range sh.par.outbox[d] {
+					batch = append(batch, eventq.Delivery{
+						Time: m.t, Kind: int(m.kind), A: m.a, B: m.b, G: m.g, Idx: m.idx,
+					})
+				}
+				sh.par.outbox[d] = sh.par.outbox[d][:0]
 			}
-			sh.par.outbox = sh.par.outbox[:0]
+			if len(batch) > 1 {
+				sort.Slice(batch, func(i, j int) bool {
+					if batch[i].Time != batch[j].Time {
+						return batch[i].Time < batch[j].Time
+					}
+					if batch[i].G != batch[j].G {
+						return batch[i].G < batch[j].G
+					}
+					return batch[i].Idx < batch[j].Idx
+				})
+			}
+			if len(batch) > 0 {
+				shards[d].k.deliverBatch(batch)
+			}
+			c.batch = batch[:0]
 		}
 		completed = 0
 		for _, sh := range shards {

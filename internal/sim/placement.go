@@ -25,20 +25,20 @@ type placementSys struct {
 
 func (s *placementSys) register(k *kernel) {
 	sh := s.sh
-	s.submit = k.registerKind("submit", true, func(p any) error { return sh.handleSubmit(p.(int)) })
-	s.arrive = k.registerHandoffKind("arrive", func(p any) error {
-		a := p.(arrivePayload)
-		return sh.arrival(a.idx, a.pool)
+	s.submit = k.registerKind("submit", true, func(a, _ int64, _ any) error { return sh.handleSubmit(int(a)) })
+	s.arrive = k.registerHandoffKind("arrive", func(a, b int64, _ any) error {
+		return sh.arrival(int(a), int(b))
 	})
-	s.finish = k.registerHandoffKind("finish", func(p any) error { return sh.handleFinish(p.(int)) })
+	s.finish = k.registerHandoffKind("finish", func(a, _ int64, _ any) error { return sh.handleFinish(int(a)) })
+	// arrive carries (job idx, destination pool) in (a, b); the encoding
+	// is byte-identical to the historical two-int struct codec.
 	k.setPayloadCodec(s.arrive,
-		func(e *snapEncoder, p any) {
-			a := p.(arrivePayload)
-			e.Int(a.idx)
-			e.Int(a.pool)
+		func(e *snapEncoder, a, b int64, _ any) {
+			e.I64(a)
+			e.I64(b)
 		},
-		func(d *snapDecoder) any { return arrivePayload{idx: d.Int(), pool: d.Int()} },
-		func(p any) int64 { return int64(p.(arrivePayload).idx) })
+		func(d *snapDecoder) (int64, int64, any) { return d.I64(), d.I64(), nil },
+		func(a, _ int64, _ any) int64 { return a })
 	k.registerState("placement", s.save, s.load)
 }
 
@@ -274,13 +274,6 @@ func (s *placementSys) load(d *snapDecoder) error {
 	return d.err
 }
 
-// arrivePayload routes a rescheduled job to a destination pool after
-// its transfer delay.
-type arrivePayload struct {
-	idx  int
-	pool int
-}
-
 // handleSubmit routes a newly submitted job through the virtual pool
 // manager and chains the shard's next submission event. Dispatch to a
 // pool at another site pays the one-way inter-site delay before
@@ -288,7 +281,7 @@ type arrivePayload struct {
 func (sh *shard) handleSubmit(idx int) error {
 	if sh.nextSubmit < len(sh.subIdx) {
 		next := sh.subIdx[sh.nextSubmit]
-		sh.k.schedule(sh.w.specs[next].Submit, sh.place.submit, next)
+		sh.k.schedule(sh.w.specs[next].Submit, sh.place.submit, int64(next), 0)
 		sh.nextSubmit++
 	}
 	rt := &sh.w.jobs[idx]
@@ -300,7 +293,7 @@ func (sh *shard) handleSubmit(idx int) error {
 	if sh.siteOfPool(pool) != rt.spec.Site {
 		sh.res.CrossSiteSubmits++
 		if d := sh.w.plat.RTT(rt.spec.Site, sh.siteOfPool(pool)); d > 0 {
-			sh.send(sh.siteOfPool(pool), sh.k.now+d, sh.place.arrive, arrivePayload{idx: idx, pool: pool})
+			sh.send(sh.siteOfPool(pool), sh.k.now+d, sh.place.arrive, int64(idx), int64(pool))
 			return nil
 		}
 	}
@@ -383,7 +376,7 @@ func (sh *shard) startOn(rt *jobRT, mid int) error {
 		return err
 	}
 	rem := rt.j.RemainingAt(sh.k.now)
-	rt.finish = sh.k.schedule(sh.k.now+rem, sh.place.finish, rt.idx)
+	rt.finish = sh.k.schedule(sh.k.now+rem, sh.place.finish, int64(rt.idx), 0)
 	p.pushRunning(rt)
 	mach.running = append(mach.running, rt)
 	sh.ensureFree(p, mid)
@@ -421,7 +414,7 @@ func (sh *shard) preempt(rt *jobRT, victim *jobRT) error {
 	// at the next agent sweep, DecisionDelay later. If the victim has
 	// resumed (or been re-suspended and moved) by then, the stale event
 	// is ignored.
-	sh.k.schedule(sh.k.now+sh.w.cfg.DecisionDelay, sh.dyn.susDecide, victim.idx)
+	sh.k.schedule(sh.k.now+sh.w.cfg.DecisionDelay, sh.dyn.susDecide, int64(victim.idx), 0)
 
 	// The victim may have freed more cores than the preemptor needs.
 	return sh.onFree(mid)
@@ -435,7 +428,7 @@ func (sh *shard) enqueue(rt *jobRT, p *poolRT) {
 	rt.enqueuedAt = sh.k.now
 	sh.scopeWaiting++
 	if th := sh.w.cfg.Policy.WaitThreshold(); th > 0 {
-		rt.waitTO = sh.k.schedule(sh.k.now+th, sh.dyn.waitTimeout, rt.idx)
+		rt.waitTO = sh.k.schedule(sh.k.now+th, sh.dyn.waitTimeout, int64(rt.idx), 0)
 	}
 }
 
@@ -566,7 +559,7 @@ func (sh *shard) resume(rt *jobRT) error {
 		return err
 	}
 	rem := rt.j.RemainingAt(sh.k.now)
-	rt.finish = sh.k.schedule(sh.k.now+rem, sh.place.finish, rt.idx)
+	rt.finish = sh.k.schedule(sh.k.now+rem, sh.place.finish, int64(rt.idx), 0)
 	p.pushRunning(rt)
 	mach.running = append(mach.running, rt)
 	return nil

@@ -58,8 +58,8 @@ func newReplayRecorder(shards int) *replayRecorder {
 	return &replayRecorder{perShard: make([][]EventRecord, shards)}
 }
 
-func (r *replayRecorder) record(shard int, t float64, info *kindInfo, payload any) {
-	r.perShard[shard] = append(r.perShard[shard], EventRecord{T: t, Kind: info.name, Arg: info.argOf(payload)})
+func (r *replayRecorder) record(shard int, t float64, info *kindInfo, a, b int64, ref any) {
+	r.perShard[shard] = append(r.perShard[shard], EventRecord{T: t, Kind: info.name, Arg: info.argOf(a, b, ref)})
 }
 
 // BisectReport is ReplayBisect's finding.

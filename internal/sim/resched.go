@@ -22,8 +22,8 @@ type reschedSys struct {
 
 func (s *reschedSys) register(k *kernel) {
 	sh := s.sh
-	s.susDecide = k.registerKind("susDecide", true, func(p any) error { return sh.handleSusDecide(p.(int)) })
-	s.waitTimeout = k.registerKind("waitTimeout", true, func(p any) error { return sh.handleWaitTimeout(p.(int)) })
+	s.susDecide = k.registerKind("susDecide", true, func(a, _ int64, _ any) error { return sh.handleSusDecide(int(a)) })
+	s.waitTimeout = k.registerKind("waitTimeout", true, func(a, _ int64, _ any) error { return sh.handleWaitTimeout(int(a)) })
 	// The subsystem owns no state beyond its pending events (saved with
 	// the kernel queue; the core codec rewires each restored wait-timer
 	// handle to its job) and the policy's internals (saved through the
@@ -90,7 +90,7 @@ func (sh *shard) departSuspended(rt *jobRT, target int) error {
 // The destination may be another shard's site; cross-site overhead
 // always includes the inter-site RTT, preserving the lookahead.
 func (sh *shard) route(rt *jobRT, pool int, overhead float64) {
-	sh.send(sh.siteOfPool(pool), sh.k.now+overhead, sh.place.arrive, arrivePayload{idx: rt.idx, pool: pool})
+	sh.send(sh.siteOfPool(pool), sh.k.now+overhead, sh.place.arrive, int64(rt.idx), int64(pool))
 }
 
 // handleWaitTimeout applies the policy's waiting-job rescheduling
@@ -108,7 +108,7 @@ func (sh *shard) handleWaitTimeout(idx int) error {
 	sh.view.observe(sh.siteOfPool(rt.j.Pool))
 	target, move := sh.w.cfg.Policy.OnWaitTimeout(sh.k.now, rt.j, sh.view)
 	if !move || target == rt.j.Pool {
-		rt.waitTO = sh.k.schedule(sh.k.now+th, sh.dyn.waitTimeout, rt.idx)
+		rt.waitTO = sh.k.schedule(sh.k.now+th, sh.dyn.waitTimeout, int64(rt.idx), 0)
 		return nil
 	}
 	p := sh.w.pools[rt.j.Pool]

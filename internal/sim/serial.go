@@ -49,8 +49,8 @@ func serialLoop(sh *shard, ck *checkpointer) error {
 	ctx := cfg.Context
 	k := sh.k
 	for sh.completed < total {
-		ev := k.q.Pop()
-		if ev == nil {
+		ev, ok := k.q.Pop()
+		if !ok {
 			return fmt.Errorf("sim: deadlock at t=%v: %d of %d jobs completed and no pending events",
 				k.now, sh.completed, total)
 		}
@@ -76,8 +76,9 @@ func serialLoop(sh *shard, ck *checkpointer) error {
 			return fmt.Errorf("sim: t=%v: %w", k.now, err)
 		}
 		if cfg.eventLog != nil {
-			cfg.eventLog.record(0, k.now, &k.kinds[ev.Kind], ev.Payload)
+			cfg.eventLog.record(0, k.now, &k.kinds[ev.Kind], ev.A, ev.B, ev.Ref)
 		}
+		k.releaseRef(ev)
 		// Both checkpoint capture points sit at the same boundary: after
 		// the event's full effect, before the next pop — where every
 		// piece of state is explicit and enumerable.

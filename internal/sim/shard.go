@@ -288,7 +288,7 @@ func newShard(w *world, index int, sites []int, parallel bool) *shard {
 	sh.view = newPoolView(sh)
 	sh.acct = newAccounting(sh, parallel)
 	if parallel {
-		sh.par = &parShard{}
+		sh.par = &parShard{outbox: make([][]outMsg, w.nSites)}
 	}
 	// The shard core registers its own state codec (clock, event
 	// counters, Result counters, the pending event list) ahead of the
@@ -468,7 +468,7 @@ func (sh *shard) seed() {
 	}
 	if len(sh.subIdx) > 0 {
 		first := sh.subIdx[0]
-		sh.k.schedule(sh.w.specs[first].Submit, sh.place.submit, first)
+		sh.k.schedule(sh.w.specs[first].Submit, sh.place.submit, int64(first), 0)
 		sh.nextSubmit = 1
 	}
 	// Fault chains seed last: they start strictly after the trace
@@ -489,7 +489,7 @@ func (sh *shard) seed() {
 	for obs := 0; obs < sh.w.nSites; obs++ {
 		for _, tgt := range sh.sites {
 			if sh.w.ageDelay(obs, tgt) > 0 {
-				sh.k.schedule(sh.w.start, sh.snaps.snapshot, snapPair{obs, tgt})
+				sh.k.schedule(sh.w.start, sh.snaps.snapshot, int64(obs), int64(tgt))
 			}
 		}
 	}
@@ -542,21 +542,22 @@ func (sh *shard) publishedFence() float64 {
 
 // send schedules an event for the pool-owning shard: locally when the
 // destination site is in scope (always, in the serial engine),
-// otherwise into the outbox for delivery at the next round barrier.
-// Cross-shard events always carry at least the inter-site RTT of
-// delay, which is what keeps rounds closed under the lookahead. A job
-// routed away is marked departed for the alias-risk accounting.
-func (sh *shard) send(destSite int, t float64, kd kind, payload any) {
+// otherwise into the destination's outbox buffer for batched delivery
+// at the next round barrier. Cross-shard events always carry at least
+// the inter-site RTT of delay, which is what keeps rounds closed under
+// the lookahead. A job routed away (an arrive event crossing sites) is
+// marked departed for the alias-risk accounting.
+func (sh *shard) send(destSite int, t float64, kd kind, a, b int64) {
 	if sh.par == nil || destSite == sh.sites[0] {
-		sh.k.schedule(t, kd, payload)
+		sh.k.schedule(t, kd, a, b)
 		return
 	}
-	if a, ok := payload.(arrivePayload); ok {
-		sh.noteAway(a.idx)
+	if kd == sh.place.arrive {
+		sh.noteAway(int(a))
 	}
 	sh.par.msgSeq++
-	sh.par.outbox = append(sh.par.outbox, outMsg{
-		dest: destSite, t: t, kind: kd, payload: payload,
+	sh.par.outbox[destSite] = append(sh.par.outbox[destSite], outMsg{
+		t: t, kind: kd, a: a, b: b,
 		g: sh.k.phase, idx: sh.par.msgSeq,
 	})
 }

@@ -139,6 +139,18 @@ type Config struct {
 	// snapshot (e.g. the experiment cell that produced it). It does not
 	// participate in compatibility checks or snapshot comparison.
 	CheckpointLabel string
+	// CheckpointKeyframe delta-encodes the periodic snapshot stream:
+	// every Nth emitted snapshot is a full keyframe and the snapshots
+	// between are binary deltas against the immediately previous
+	// snapshot (Checkpoint.Delta marks them). 0 or 1 emits only full
+	// snapshots. The first snapshot of any run — including a resumed
+	// one — is always full, so every delta chains back to a keyframe
+	// in the same run. A delta that would not be smaller than the full
+	// encoding is emitted full instead. Resuming from a delta requires
+	// reconstructing it first: apply ApplySnapshotDelta along the chain
+	// from the nearest keyframe (the experiments runner does this for
+	// its checkpoint directories).
+	CheckpointKeyframe int
 	// ResumeFrom is an encoded snapshot (Checkpoint.Data) to resume
 	// from instead of starting at t=0. The snapshot must come from a
 	// run with the same configuration, workload and engine mode;
@@ -199,6 +211,9 @@ func (c *Config) withDefaults() (Config, error) {
 	}
 	if out.CheckpointEvery > 0 && out.CheckpointSink == nil {
 		return out, fmt.Errorf("sim: CheckpointEvery requires a CheckpointSink")
+	}
+	if out.CheckpointKeyframe < 0 {
+		return out, fmt.Errorf("sim: negative checkpoint keyframe interval %d", out.CheckpointKeyframe)
 	}
 	if err := out.Faults.validate(); err != nil {
 		return out, err
@@ -303,6 +318,9 @@ func Run(cfg Config, specs []job.Spec) (*Result, error) {
 	parallel := full.Engine == EngineParallel && w.parallelizable()
 	var sn *snapshot
 	if len(full.ResumeFrom) > 0 {
+		if IsDeltaSnapshot(full.ResumeFrom) {
+			return nil, fmt.Errorf("%w: ResumeFrom is a delta snapshot; reconstruct it with ApplySnapshotDelta from its keyframe chain first", ErrSnapshotMismatch)
+		}
 		sn, err = decodeSnapshot(full.ResumeFrom)
 		if err != nil {
 			return nil, err

@@ -24,18 +24,19 @@ type snapshotSys struct {
 
 func (s *snapshotSys) register(k *kernel) {
 	sh := s.sh
-	s.snapshot = k.registerKind("snapshot", false, func(p any) error {
-		sh.handleSnapshot(p.(snapPair))
+	s.snapshot = k.registerKind("snapshot", false, func(a, b int64, _ any) error {
+		sh.handleSnapshot(snapPair{obs: int(a), tgt: int(b)})
 		return nil
 	})
+	// snapshot carries (observer, target) in (a, b); the encoding is
+	// byte-identical to the historical two-int struct codec.
 	k.setPayloadCodec(s.snapshot,
-		func(e *snapEncoder, p any) {
-			pair := p.(snapPair)
-			e.Int(pair.obs)
-			e.Int(pair.tgt)
+		func(e *snapEncoder, a, b int64, _ any) {
+			e.I64(a)
+			e.I64(b)
 		},
-		func(d *snapDecoder) any { return snapPair{obs: d.Int(), tgt: d.Int()} },
-		func(p any) int64 { return int64(p.(snapPair).tgt) })
+		func(d *snapDecoder) (int64, int64, any) { return d.I64(), d.I64(), nil },
+		func(_, b int64, _ any) int64 { return b })
 	k.registerState("views", s.save, s.load)
 }
 
@@ -102,7 +103,7 @@ func (sh *shard) handleSnapshot(pair snapPair) {
 	for next-sh.k.now < d {
 		next += sh.w.cfg.SampleEvery
 	}
-	sh.k.schedule(next, sh.snaps.snapshot, pair)
+	sh.k.schedule(next, sh.snaps.snapshot, int64(pair.obs), int64(pair.tgt))
 }
 
 // poolView implements sched.SiteView over shard state. Utilization
