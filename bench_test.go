@@ -208,7 +208,9 @@ func BenchmarkAblationMigration(b *testing.B) {
 // combined rescheduling) at bench scale, once per engine: the serial
 // reference kernel and the partitioned per-site engine (bit-identical
 // results; wall-clock scales with cores on multi-core hardware, while
-// a single-core box pays the synchronization overhead instead). CI
+// a single-core box pays the synchronization overhead instead) and the
+// optimistic speculative engine (same bit-identity contract, commits
+// serialized at decisions instead of lookahead barriers). CI
 // uploads both series in the bench artifact. Sampling stays enabled:
 // the inter-site view ageing refreshes on the sample grid, so this
 // bench also covers the per-site sampling and snapshot-chain overhead.
@@ -229,7 +231,7 @@ func BenchmarkMultiSiteWeek(b *testing.B) {
 		Name: "ResSusWaitLatency",
 		New:  func(uint64) core.Policy { return core.NewResSusWaitLatency() },
 	}
-	for _, engine := range []string{sim.EngineSerial, sim.EngineParallel} {
+	for _, engine := range []string{sim.EngineSerial, sim.EngineParallel, sim.EngineOptimistic} {
 		b.Run("engine="+engine, func(b *testing.B) {
 			opts := benchOpts()
 			opts.Engine = engine
@@ -261,7 +263,7 @@ func BenchmarkFaultsMultiSiteWeek(b *testing.B) {
 		Name: "ResSusWaitLatency",
 		New:  func(uint64) core.Policy { return core.NewResSusWaitLatency() },
 	}
-	for _, engine := range []string{sim.EngineSerial, sim.EngineParallel} {
+	for _, engine := range []string{sim.EngineSerial, sim.EngineParallel, sim.EngineOptimistic} {
 		b.Run("engine="+engine, func(b *testing.B) {
 			opts := benchOpts()
 			opts.Engine = engine

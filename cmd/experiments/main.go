@@ -4,7 +4,7 @@
 // Usage:
 //
 //	experiments [-run table1,fig2,...] [-scale 1.0] [-seed 42]
-//	            [-seeds N] [-jobs N] [-engine serial|parallel]
+//	            [-seeds N] [-jobs N] [-engine serial|parallel|optimistic]
 //	            [-timeout 30m] [-out DIR] [-overhead MIN]
 //
 // Without -run, every registered experiment executes. Each experiment
@@ -53,7 +53,7 @@ func run() error {
 		seed     = flag.Uint64("seed", 42, "base random seed for trace generation and policies")
 		seeds    = flag.Int("seeds", 1, "seed replicates per cell; >1 reports mean ± 95% CI")
 		jobs     = flag.Int("jobs", 0, "max concurrent simulations (0 = one per CPU)")
-		engine   = flag.String("engine", "serial", "simulation engine: serial or parallel (per-site partitions; identical results)")
+		engine   = flag.String("engine", "serial", "simulation engine: serial, parallel or optimistic (per-site partitions; identical results)")
 		timeout  = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = none)")
 		outDir   = flag.String("out", "", "directory for CSV output (optional)")
 		overhead = flag.Float64("overhead", 0, "reschedule transfer overhead in minutes")
@@ -234,6 +234,7 @@ func printRegistry(w io.Writer) error {
 	fmt.Fprintln(w, "\nengines (-engine):")
 	fmt.Fprintf(w, "  %-10s single-threaded reference kernel (default)\n", sim.EngineSerial)
 	fmt.Fprintf(w, "  %-10s one goroutine per site, conservatively synchronized; bit-identical results\n", sim.EngineParallel)
+	fmt.Fprintf(w, "  %-10s per-site speculation with snapshot rollback; bit-identical results\n", sim.EngineOptimistic)
 	return nil
 }
 

@@ -4,12 +4,12 @@
 // hot-path number beyond the noise band fails loudly with the cell and
 // metric that moved.
 //
-// The cell set mirrors the headline benchmarks (multi-site busy week on
-// both engines, the faulty week on both engines, and the
-// checkpoint/restore set including delta capture) at the same 4% bench
-// scale. Results serialize to a schema-versioned JSON snapshot
-// (BENCH_6.json at the repo root is the committed baseline; see
-// cmd/benchsnap).
+// The cell set mirrors the headline benchmarks (multi-site busy week
+// and the faulty week on all three engines, the 6-site metro week on
+// both partitioned engines, and the checkpoint/restore set including
+// delta capture) at the same 4% bench scale. Results serialize to a
+// schema-versioned JSON snapshot (BENCH_7.json at the repo root is the
+// committed baseline; see cmd/benchsnap).
 //
 // Comparison rules: allocations and bytes per op are
 // hardware-independent and gate on every run; wall-clock gates only
@@ -119,13 +119,30 @@ func Collect(scale float64) (Snapshot, error) {
 		Name: "ResSusWaitLatency",
 		New:  func(uint64) core.Policy { return core.NewResSusWaitLatency() },
 	}
-	for _, engine := range []string{sim.EngineSerial, sim.EngineParallel} {
+	for _, engine := range []string{sim.EngineSerial, sim.EngineParallel, sim.EngineOptimistic} {
 		engine := engine
 		record("multisite_week/"+engine, func(b *testing.B) error {
 			return runCell(b, multisite, pf, engine, scale)
 		})
 		record("faults_week/"+engine, func(b *testing.B) error {
 			return runCell(b, faults, pf, engine, scale)
+		})
+	}
+	// The 6-site metro federation is the optimistic engine's headline
+	// cell: cross-site RTTs of 5–25 minutes keep the conservative
+	// engine's LBTS lookahead short (thousands of barrier rounds per
+	// simulated week), while the speculative engine only synchronizes at
+	// decisions. The parallel twin is recorded alongside so the snapshot
+	// itself documents the comparison.
+	metro6, err := prebuiltCell(experiments.MultiSiteScenario("bench-metro6", 6, 0,
+		func() sched.SiteSelector { return sched.LatencyPenalizedUtil{} }), scale)
+	if err != nil {
+		return snap, err
+	}
+	for _, engine := range []string{sim.EngineParallel, sim.EngineOptimistic} {
+		engine := engine
+		record("metro6_week/"+engine, func(b *testing.B) error {
+			return runCell(b, metro6, pf, engine, scale)
 		})
 	}
 	collectCheckpointCells(record, multisite, scale)

@@ -448,3 +448,24 @@ func (q *Queue) SetSeq(n uint64) { q.seq = n }
 // concurrently pending events. Tests use it to assert that slot reuse
 // keeps storage bounded under churn.
 func (q *Queue) Cap() int { return len(q.time) }
+
+// Reset empties the queue in place: every pending event — live or
+// tombstoned — is dropped, with reference payloads routed through the
+// drop hook exactly as cancellation does, so kind-level recyclers see
+// them. All slots return to the free list with bumped generations, so
+// every outstanding Handle goes stale. The scheduling-order counter is
+// preserved; callers that rebuild the queue from a snapshot overwrite
+// it with SetSeq.
+//
+// This is the undo primitive for speculative execution: rolling a
+// shard back discards its future event list wholesale and re-creates
+// it from saved state, which (together with the fact that only
+// globally-serialized decisions send cross-shard) stands in for
+// per-message anti-messages.
+func (q *Queue) Reset() {
+	for _, s := range q.heap {
+		q.dropCanceled(s)
+	}
+	q.heap = q.heap[:0]
+	q.live = 0
+}

@@ -47,9 +47,11 @@ type Options struct {
 	// future-work knob; 0 matches the paper's evaluation).
 	Overhead float64
 	// Engine selects the simulation engine for every cell:
-	// sim.EngineSerial (default, also "") or sim.EngineParallel. The
-	// engines produce bit-identical results; parallel executes
-	// multi-site cells with one goroutine per site.
+	// sim.EngineSerial (default, also ""), sim.EngineParallel or
+	// sim.EngineOptimistic. The engines produce bit-identical results;
+	// both partitioned engines execute multi-site cells with one
+	// goroutine per site (conservatively synchronized vs speculative
+	// with snapshot rollback).
 	Engine string
 	// Context cancels in-flight simulations cooperatively. Nil defaults
 	// to context.Background().

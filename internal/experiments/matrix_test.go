@@ -421,3 +421,96 @@ func TestMatrixCheckpointKeyframes(t *testing.T) {
 		t.Fatalf("expected one fallback warning, got %v", warnings)
 	}
 }
+
+// TestMatrixCheckpointKeyframeCadenceChange pins delta-chain resume
+// across a keyframe-cadence change: a run checkpointed with one
+// cadence is interrupted (its newer marks dropped), then resumed with
+// a different cadence. The loader must reconstruct the pre-change
+// chain for the resume point, the resumed run must open its own chain
+// with a fresh keyframe (its deltas must never chain across the
+// cadence boundary into the old run's emissions), and the final
+// results must be byte-identical to the straight run — a broken chain
+// may only ever mean a warned fallback, never an error or a silently
+// wrong result.
+func TestMatrixCheckpointKeyframeCadenceChange(t *testing.T) {
+	m := testMatrix()
+	plain, err := m.Run(matrixOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprint(t, plain)
+
+	dir := t.TempDir()
+	ckOpts := matrixOpts(2)
+	ckOpts.CheckpointDir = dir
+	ckOpts.CheckpointEvery = 400 // several marks per cell
+	ckOpts.CheckpointKeyframe = 3
+	if _, err := m.Run(ckOpts); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupt: keep only the first two marks of every cell, so the
+	// resume point sits mid-run (and, with keyframe 3, is usually a
+	// delta that must reconstruct through the old chain).
+	kept := 0
+	for s := range m.Scenarios {
+		for p := range m.Policies {
+			files := cellCheckpointFiles(cellCheckpointPrefix(dir, m.Scenarios[s].ID, p, 0))
+			if len(files) < 3 {
+				t.Fatalf("cell %s/p%d wrote %d marks; need at least 3 to interrupt mid-run",
+					m.Scenarios[s].ID, p, len(files))
+			}
+			for _, f := range files[2:] {
+				if err := os.Remove(f); err != nil {
+					t.Fatal(err)
+				}
+			}
+			kept += 2
+		}
+	}
+
+	var warnings []string
+	resOpts := ckOpts
+	resOpts.Resume = true
+	resOpts.CheckpointKeyframe = 5 // cadence change across the resume
+	resOpts.Logf = func(format string, args ...any) {
+		warnings = append(warnings, fmt.Sprintf(format, args...))
+	}
+	resumed, err := m.Run(resOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fingerprint(t, resumed); !bytes.Equal(got, want) {
+		t.Fatal("resume across keyframe-cadence change differs from straight run")
+	}
+	if len(warnings) != 0 {
+		t.Fatalf("clean cadence-change resume produced warnings: %v", warnings)
+	}
+
+	// The mixed directory — old cadence-3 prefix, new cadence-5 tail —
+	// must stay fully loadable file by file, and the resumed tail must
+	// actually have re-emitted marks, opening with a full keyframe.
+	total, firstNew := 0, 0
+	for s := range m.Scenarios {
+		for p := range m.Policies {
+			files := cellCheckpointFiles(cellCheckpointPrefix(dir, m.Scenarios[s].ID, p, 0))
+			if len(files) <= 2 {
+				t.Fatalf("cell %s/p%d re-emitted no marks after the interrupt", m.Scenarios[s].ID, p)
+			}
+			if strings.HasSuffix(files[2], ".dckpt") {
+				t.Fatalf("cell %s/p%d opened its post-resume chain with a delta: %s",
+					m.Scenarios[s].ID, p, files[2])
+			}
+			firstNew++
+			for _, f := range files {
+				if _, err := LoadCheckpoint(f); err != nil {
+					t.Fatalf("LoadCheckpoint(%s): %v", f, err)
+				}
+				total++
+			}
+		}
+	}
+	if total <= kept || firstNew == 0 {
+		t.Fatalf("cadence-change resume exercised nothing: %d files total, %d kept", total, kept)
+	}
+}

@@ -79,6 +79,14 @@ func newAccounting(sh *shard, raw bool) *accounting {
 func (a *accounting) register(k *kernel) {
 	k.registerState("accounting", func(e *snapEncoder) {
 		e.F64(a.next)
+		if a.sh.opt != nil {
+			// Light mode (optimistic rollback snapshots): the raw logs
+			// are append-only and rollback replay re-appends identical
+			// values, so undoing speculation only needs the length to
+			// truncate to. All three logs grow in lockstep.
+			e.Int(len(a.rawBusy))
+			return
+		}
 		e.Bool(a.raw)
 		if a.raw {
 			e.I32s(a.rawBusy)
@@ -95,6 +103,17 @@ func (a *accounting) register(k *kernel) {
 		}
 	}, func(d *snapDecoder) error {
 		a.next = d.F64()
+		if a.sh.opt != nil {
+			n := d.Int()
+			if d.err != nil || n < 0 || n > len(a.rawBusy) {
+				d.fail()
+				return d.err
+			}
+			a.rawBusy = a.rawBusy[:n]
+			a.rawSusp = a.rawSusp[:n]
+			a.rawWait = a.rawWait[:n]
+			return d.err
+		}
 		if raw := d.Bool(); d.err == nil && raw != a.raw {
 			d.fail()
 			return d.err

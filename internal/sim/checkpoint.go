@@ -821,6 +821,17 @@ func (sh *shard) saveQueue(e *snapEncoder) {
 	k := sh.k
 	e.U64(k.q.Seq())
 	events := k.q.Export()
+	if sh.opt != nil {
+		// Stash the jobs with a pending arrive event for the placement
+		// codec's light-mode scope (the core codec saves first, so the
+		// stash is fresh when placement consults it).
+		sh.opt.inTransit = sh.opt.inTransit[:0]
+		for _, sev := range events {
+			if kind(sev.Kind) == sh.place.arrive {
+				sh.opt.inTransit = append(sh.opt.inTransit, int(sev.A))
+			}
+		}
+	}
 	e.Int(len(events))
 	for _, sev := range events {
 		e.F64(sev.Time)

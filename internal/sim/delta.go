@@ -117,7 +117,11 @@ func (h *rollHash) roll(out, in byte) {
 	h.b += h.a - deltaBlock*uint32(out)
 }
 
-func (h rollHash) sum() uint32 { return h.a ^ h.b<<16 ^ h.b>>16 }
+// sum combines the pair into one index key, Fletcher-style: a in the
+// low half, b in the high. a is at most deltaBlock*255 so it fits the
+// low 16 bits; b only enters once, so two windows collide on the key
+// only when both components collide.
+func (h rollHash) sum() uint32 { return h.a&0xffff | h.b<<16 }
 
 // encodeSnapshotDelta diffs full against base and frames the result.
 // It never fails: in the worst case (nothing matches) the op stream is

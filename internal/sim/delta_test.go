@@ -252,3 +252,68 @@ func TestDeltaCorruptionRejected(t *testing.T) {
 		t.Fatalf("full snapshot as delta: want ErrSnapshotMismatch, got %v", err)
 	}
 }
+
+// TestDeltaRollingHashKeyRegression pins the rollHash.sum key layout.
+// The original formula (a ^ b<<16 ^ b>>16) folded b's high bits into
+// the same low half as a, so two windows whose byte sums differed
+// could still collide in the block index — and with first-writer-wins
+// indexing the second block was silently never indexed, turning its
+// every occurrence in the new snapshot into literal bytes. The fix
+// keeps a and b in disjoint halves (a is at most deltaBlock*255, well
+// under 16 bits). This test hand-builds such a pair and checks both
+// the key property and the observable consequence: the match rate on
+// a snapshot that merely reorders the colliding content.
+func TestDeltaRollingHashKeyRegression(t *testing.T) {
+	// blockA: uniform 128s. a = 64*128 = 8192, b = 128*Σ(1..64) =
+	// 266240 = 4<<16 | 0x1000.
+	blockA := bytes.Repeat([]byte{128}, deltaBlock)
+	// blockB: uniform 128s reshaped by weight-preserving edits so that
+	// a = 8193 and b = 331776 = 5<<16 | 0x1000 — same low half of b,
+	// b>>16 bumped by one, a bumped by one to cancel it in the old
+	// key's xor. Weights are 64-i for position i.
+	blockB := bytes.Repeat([]byte{128}, deltaBlock)
+	for i := 0; i < 9; i++ {
+		blockB[i] += 127    // weights 64..56: +127 each
+		blockB[63-i] -= 127 // weights 1..9:   -127 each
+	}
+	blockB[9] += 58  // weight 55
+	blockB[54] -= 58 // weight 10
+	blockB[14] += 2  // weight 50
+	blockB[44] -= 2  // weight 20
+	blockB[63] += 1  // weight 1: the +1 on a
+
+	hA, hB := rollInit(blockA), rollInit(blockB)
+	if hA.a != 8192 || hA.b != 266240 || hB.a != 8193 || hB.b != 331776 {
+		t.Fatalf("fixture drifted: got (%d,%d) and (%d,%d)", hA.a, hA.b, hB.a, hB.b)
+	}
+	oldSum := func(h rollHash) uint32 { return h.a ^ h.b<<16 ^ h.b>>16 }
+	if oldSum(hA) != oldSum(hB) {
+		t.Fatalf("fixture no longer collides under the historical key: %#x vs %#x",
+			oldSum(hA), oldSum(hB))
+	}
+	if hA.sum() == hB.sum() {
+		t.Fatalf("distinct windows share an index key: %#x (a differs: %d vs %d)",
+			hA.sum(), hA.a, hB.a)
+	}
+
+	// Observable half: a base of A-runs then B-runs, and a new snapshot
+	// with the halves swapped. Every byte of full exists verbatim in
+	// base, so the delta should be a couple of long COPY ops. Under the
+	// colliding key, blockB never made it into the index and its whole
+	// half degenerated to literals — thousands of bytes instead of
+	// hundreds.
+	base := append(bytes.Repeat(blockA, 32), bytes.Repeat(blockB, 32)...)
+	full := append(bytes.Repeat(blockB, 32), bytes.Repeat(blockA, 32)...)
+	delta := encodeSnapshotDelta(base, full, 1, 2, 10, 20)
+	got, err := ApplySnapshotDelta(base, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, full) {
+		t.Fatal("reordered snapshot did not reconstruct")
+	}
+	if len(delta) > len(full)/8 {
+		t.Fatalf("reordered content matched poorly: delta %d bytes of %d full (index collision?)",
+			len(delta), len(full))
+	}
+}

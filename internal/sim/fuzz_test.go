@@ -22,8 +22,20 @@ package sim
 
 import (
 	"math/rand/v2"
+	"sync"
 	"testing"
 )
+
+// fuzzCmp tallies, per engine, how many corpus inputs actually reached
+// the bit-identity comparison versus skipping it on an ambiguous tie.
+// A skip is legitimate for one coordinate, but if every input skips the
+// fuzz target has silently stopped checking anything — the coverage
+// test after the fuzz target turns that into a failure.
+var fuzzCmp = struct {
+	sync.Mutex
+	runs  int
+	skips map[string]int
+}{skips: make(map[string]int)}
 
 // fuzzFaults derives a fault regime from one fuzz byte pair: zero
 // disables the subsystem entirely (historical behavior); otherwise
@@ -81,20 +93,51 @@ func FuzzParallelOrdering(f *testing.F) {
 			}
 		}
 		serialRes, serialErr := Run(mk(), specs)
-		par := mk()
-		par.Engine = EngineParallel
-		parRes, parErr := Run(par, specs)
-		if (serialErr == nil) != (parErr == nil) {
-			t.Fatalf("engines disagree on failure: serial=%v parallel=%v", serialErr, parErr)
+		skipped := false
+		for _, engine := range []string{EngineParallel, EngineOptimistic} {
+			par := mk()
+			par.Engine = engine
+			parRes, parErr := Run(par, specs)
+			if (serialErr == nil) != (parErr == nil) {
+				t.Fatalf("engines disagree on failure: serial=%v %s=%v", serialErr, engine, parErr)
+			}
+			if serialErr != nil {
+				continue
+			}
+			if parRes.ambiguousTies {
+				fuzzCmp.Lock()
+				fuzzCmp.skips[engine]++
+				fuzzCmp.Unlock()
+				skipped = true
+				continue
+			}
+			if a, b := fingerprint(serialRes), fingerprint(parRes); a != b {
+				t.Fatalf("serial and %s results diverge:\n%s", engine, firstDiff(a, b))
+			}
 		}
 		if serialErr != nil {
 			return
 		}
-		if parRes.ambiguousTies {
+		fuzzCmp.Lock()
+		fuzzCmp.runs++
+		fuzzCmp.Unlock()
+		if skipped {
 			t.Skip("ambiguous cross-partition tie: serial order not reconstructible")
 		}
-		if a, b := fingerprint(serialRes), fingerprint(parRes); a != b {
-			t.Fatalf("serial and parallel results diverge:\n%s", firstDiff(a, b))
-		}
 	})
+}
+
+// TestFuzzCorpusComparisonCoverage runs after the fuzz target's seed
+// corpus (in-file declaration order) and fails if some engine skipped
+// the bit-identity comparison on every single input. Guarded on
+// runs > 0 so -run filters and -shuffle cannot produce a vacuous
+// failure or a false pass being load-bearing.
+func TestFuzzCorpusComparisonCoverage(t *testing.T) {
+	fuzzCmp.Lock()
+	defer fuzzCmp.Unlock()
+	for engine, skips := range fuzzCmp.skips {
+		if fuzzCmp.runs > 0 && skips >= fuzzCmp.runs {
+			t.Errorf("%s: all %d fuzz corpus inputs skipped the comparison as ambiguous ties", engine, fuzzCmp.runs)
+		}
+	}
 }

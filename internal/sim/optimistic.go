@@ -1,0 +1,808 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"netbatch/internal/eventq"
+)
+
+// This file is the optimistic (Time Warp) engine: the third execution
+// mode next to the serial loop and the conservative round engine in
+// parallel.go. The conservative engine advances all shards in lockstep
+// rounds of width MinCrossRTT; when that lookahead is small (metro
+// federations) the round barriers dominate the runtime even though
+// decisions — the only events that actually need global order — are
+// far sparser than rounds. The optimistic engine inverts the bet:
+//
+//   - Non-deciding events are shard-local by construction (the same
+//     property the conservative engine exploits to dispatch them
+//     outside the mutex), so shards run them speculatively, far past
+//     each other's clocks, with no synchronization at all.
+//   - Deciding events (and alias-promoted handoffs) still execute one
+//     at a time under global quiescence, in timestamp order, exactly
+//     like a conservative claim. Before each commit every shard that
+//     sped past the decision time is rolled back to just below it, so
+//     the decision observes precisely the state a serial run would.
+//
+// Rollback rides the checkpoint contract from PR 5 and the delta
+// encoder from PR 6: each shard keeps a small stack of incremental
+// snapshots (the registered state codecs, concatenated; older stack
+// entries are reverse-delta-compressed against their newer neighbor),
+// taken every snapEvery events while speculating. Undo is: reset the
+// event queues, decode the codec sections positionally, truncate the
+// per-event logs, then re-execute the restored queue up to the commit
+// time. Speculative events never send cross-shard messages — sends
+// originate only from deciding dispatches, which never speculate — so
+// queue restoration is the entire anti-message machinery: there is
+// nothing in flight to cancel.
+//
+// Two horizons bound each speculation burst, both computed at
+// quiescence from the same fences the conservative engine publishes:
+//
+//	safe_i = min over peers j != i of publishedFence(j)
+//	cap    = min(min fence + window, td)
+//
+// safe_i deliberately excludes shard i's own fence: a shard parks at
+// its own deciding heads, and decisions it arms dynamically enter its
+// own queue ahead of it in time order, so the only commits that can
+// ever roll shard i back belong to its peers — each bounded below by
+// that peer's fence at every earlier instant. Events below safe_i are
+// therefore commit-certain and need no snapshots; events in
+// [safe_i, cap) are speculative and snapshot-protected. The cap never
+// crosses td, the earliest known decision time: a quiescent commit at
+// td undoes every shard that reached it and spawns follow-up decisions
+// only at or after it, so speculation past td is guaranteed waste.
+// Rollbacks are thereby confined to decisions that did not exist when
+// the burst launched — suspension decisions and wait timeouts armed
+// inside the minDyn window by a peer's own speculation. The adaptive
+// window on top of the fences halves when a commit had to undo work
+// and doubles after a run of clean commits.
+//
+// On a single P (GOMAXPROCS=1) speculation cannot overlap with any
+// other work, so its insurance cost — a snapshot before every at-risk
+// event — buys nothing. The coordinator then runs bursts inline and
+// clamps each shard to its certain region: cap_i = safe_i, no
+// snapshots, no rollbacks, ever. Progress still holds: if no shard can
+// drain, the lowest queue head is blocked by a peer's decideFence or
+// promoted handoff (the minDyn fence terms sit strictly above the
+// lowest head), which makes td committable, and the loop commits
+// instead of bursting.
+//
+// The global virtual time of classic Time Warp is simply the last
+// commit time: snapshot stacks never span a commit (every deciding
+// commit clears them — its message deliveries and its gseq increment
+// both invalidate older queue captures), so all retained state is
+// newer than GVT by construction and no separate GVT pass is needed.
+//
+// Determinism: commits replay the conservative engine's claim
+// discipline — same gseq increments, same phase stamping, same
+// (Time, G, Idx)-sorted barrier deliveries, same ambiguous-tie flags —
+// so the merged result is bit-identical to the serial engine whenever
+// the conservative engine's is, and the same measure-zero tie cases
+// are flagged instead of silently ordered.
+//
+// After the first cross-site alias dispatch (w.crossAliased) handoffs
+// everywhere become deciding and may mutate remote machine state, so
+// speculation is retired for the rest of the run: cap collapses to
+// safe and every stack is cleared. Progress then degrades to
+// fence-bounded bursts plus serialized commits, which is still exact.
+
+// optEntry is one incremental rollback snapshot: the shard's codec
+// sections at a moment where sh.k.now == clock and the head of its
+// queue was about to execute. Entries older than the newest are
+// stored as reverse deltas against their next-newer neighbor.
+type optEntry struct {
+	clock    float64
+	roundLen int // len(par.roundTimes) at capture, for log truncation
+	data     []byte
+	isDelta  bool
+}
+
+// optShard is the optimistic engine's per-shard bookkeeping. Its
+// presence (shard.opt != nil) also switches the accounting and
+// placement codecs into light mode: append-only logs shrink to a
+// truncation length and the job loop narrows to the records this
+// shard's speculation can actually mutate.
+type optShard struct {
+	// capT/safeT are published by the coordinator at quiescence and
+	// copied by the worker before each burst: events at or above capT
+	// wait for the next commit; events below safeT are commit-certain
+	// and execute without snapshot protection.
+	capT, safeT float64
+
+	stack     []optEntry
+	sinceSnap int // events executed since the newest stack entry
+
+	encBuf []byte // snapshot encoder scratch, reused across captures
+
+	// inTransit is stashed by the core codec's queue save (which runs
+	// first) for the placement codec's capture scope: jobs with a
+	// pending arrive event are mutated by speculative arrival even
+	// though no pool structure holds them yet.
+	inTransit []int
+	// scopeIdx/scopeSeen are the placement codec's capture-scope
+	// scratch (see placementSys.jobScope).
+	scopeIdx  []int
+	scopeSeen []bool
+}
+
+// optCoord drives the engine: persistent per-shard burst workers on
+// one condvar, and a serial coordinator that alternates between
+// resuming bursts and committing decisions under quiescence.
+type optCoord struct {
+	w      *world
+	shards []*shard
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	gen     int // burst generation; workers run one burst per increment
+	running int
+	stop    bool
+	aborted bool
+	err     error
+
+	// Serial-side state (coordinator goroutine only, or quiescent).
+	ties      bool
+	gseq      uint64
+	kSubmit   int
+	kSnapshot int
+	batch     []eventq.Delivery
+
+	// Adaptive speculation: window is the time width shards may run
+	// past the fence-safe horizon, snapEvery the event cadence of
+	// rollback snapshots inside that window. Both halve when a commit
+	// undid speculative work and grow back after clean commits.
+	delta     float64
+	window    float64
+	snapEvery int
+	clean     int
+	wasted    int // speculative events undone since the last deciding commit
+}
+
+// optSnapshots and optRollbacks count snapshot pushes and rollbacks
+// across every optimistic run in the process. They exist for tests,
+// which assert that the Time Warp machinery genuinely engages when
+// speculation is forced on; both atomic adds sit on paths that copy or
+// decode whole codec sections, so their cost is noise.
+var (
+	optSnapshots atomic.Int64
+	optRollbacks atomic.Int64
+)
+
+// optUncapped removes the speculation cap at the earliest known
+// decision time td. Production never wants that — a quiescent commit
+// at td undoes every shard that ran to or past it, so uncapped bursts
+// buy nothing but rollbacks — which is exactly why tests set it (with
+// the worker path forced): it drives systematic rollbacks through the
+// full snapshot/restore/replay cycle on ordinary workloads.
+var optUncapped = false
+
+func (c *optCoord) fail(err error) {
+	c.mu.Lock()
+	if !c.aborted {
+		c.aborted, c.err = true, err
+	}
+	c.mu.Unlock()
+}
+
+// runBurst speculatively drains one shard: non-deciding events below
+// capT execute lock-free (they touch only this shard's state), with a
+// rollback snapshot pushed before the first event at or above safeT
+// and then every snapEvery events. The burst parks at the cap, at a
+// deciding-classified head, or past MaxTime; the coordinator decides
+// what happens next.
+func (c *optCoord) runBurst(sh *shard, capT, safeT float64) {
+	o := sh.opt
+	k := sh.k
+	w := c.w
+	ctx := w.cfg.Context
+	for {
+		ev, ok := k.q.Peek()
+		if !ok || ev.Time >= capT || ev.Time > w.cfg.MaxTime {
+			return
+		}
+		t := ev.Time
+		if t < k.now {
+			c.fail(fmt.Errorf("sim: event time went backwards: %v -> %v", k.now, t))
+			return
+		}
+		if k.decides(ev.Kind) || ((sh.aliasRisk > 0 || w.crossAliased) && k.isHandoff(ev.Kind)) {
+			return
+		}
+		if t >= safeT && (len(o.stack) == 0 || o.sinceSnap >= c.snapEvery) {
+			c.pushSnapshot(sh)
+		}
+		ev, _ = k.q.Pop()
+		if k.isHandoff(ev.Kind) {
+			k.handoffQ.Pop()
+		}
+		k.now = t
+		sh.acct.advanceTo(t)
+		err := k.dispatch(ev)
+		fin := int32(-1)
+		if ev.Kind == int(sh.place.finish) {
+			fin = int32(ev.A)
+		}
+		k.releaseRef(ev)
+		sh.par.roundTimes = append(sh.par.roundTimes, t)
+		sh.par.roundFin = append(sh.par.roundFin, fin)
+		o.sinceSnap++
+		if err != nil {
+			c.fail(fmt.Errorf("sim: t=%v: %w", t, err))
+			return
+		}
+		if sh.par.polls++; ctx != nil && sh.par.polls&63 == 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				c.fail(fmt.Errorf("sim: canceled at t=%v: %w", t, cerr))
+				return
+			}
+		}
+	}
+}
+
+// pushSnapshot captures the shard's codec sections onto its rollback
+// stack. The previously-newest entry is reverse-delta-compressed
+// against the fresh capture when that wins: restores walk the stack
+// newest-to-target applying deltas, so only the newest entry must
+// stay raw.
+func (c *optCoord) pushSnapshot(sh *shard) {
+	o := sh.opt
+	e := snapEncoder{buf: o.encBuf[:0]}
+	for _, cd := range sh.k.codecs {
+		cd.save(&e)
+	}
+	o.encBuf = e.buf
+	data := append([]byte(nil), e.buf...)
+	if n := len(o.stack); n > 0 {
+		prev := &o.stack[n-1]
+		if !prev.isDelta {
+			if dl := encodeSnapshotDelta(data, prev.data, sh.k.now, prev.clock, 0, 0); len(dl) < len(prev.data) {
+				prev.data, prev.isDelta = dl, true
+			}
+		}
+	}
+	optSnapshots.Add(1)
+	o.stack = append(o.stack, optEntry{
+		clock:    sh.k.now,
+		roundLen: len(sh.par.roundTimes),
+		data:     data,
+	})
+	o.sinceSnap = 0
+}
+
+func (c *optCoord) clearStack(sh *shard) {
+	o := sh.opt
+	for i := range o.stack {
+		o.stack[i].data = nil
+	}
+	o.stack = o.stack[:0]
+	o.sinceSnap = 0
+}
+
+// rollback undoes a shard's speculation past a commit at td: restore
+// the newest stack entry strictly below td (the oldest entry, always
+// commit-clean, catches the boundary case clock == td), then re-run
+// the restored queue up to — but excluding — td. Replay re-executes
+// events with their original phase (restored by the core codec) and
+// the original queue sequence numbers, so every re-derived rank is
+// bit-identical to the first execution.
+func (c *optCoord) rollback(sh *shard, td float64) error {
+	o := sh.opt
+	k := sh.k
+	if len(o.stack) == 0 {
+		// Legal only for a shard whose clock is exactly td with nothing
+		// speculated since: the decider of an earlier commit at the
+		// same timestamp. Anything else lost its undo anchor.
+		if k.now > td {
+			return fmt.Errorf("sim: internal: shard %d at t=%v beyond commit t=%v with no rollback snapshot",
+				sh.index, k.now, td)
+		}
+		return nil
+	}
+	ti := -1
+	for i := len(o.stack) - 1; i >= 0; i-- {
+		if o.stack[i].clock < td {
+			ti = i
+			break
+		}
+	}
+	if ti < 0 {
+		// The oldest entry is the burst anchor: everything it captured
+		// was committed, so clock == td means "state right after an
+		// earlier same-time commit" and is exact, not speculative.
+		ti = 0
+		if o.stack[0].clock > td {
+			return fmt.Errorf("sim: internal: shard %d oldest snapshot at t=%v beyond commit t=%v",
+				sh.index, o.stack[0].clock, td)
+		}
+	}
+	data := o.stack[len(o.stack)-1].data
+	for i := len(o.stack) - 2; i >= ti; i-- {
+		if o.stack[i].isDelta {
+			var err error
+			if data, err = ApplySnapshotDelta(data, o.stack[i].data); err != nil {
+				return fmt.Errorf("sim: rollback snapshot chain (shard %d): %w", sh.index, err)
+			}
+		} else {
+			data = o.stack[i].data
+		}
+	}
+	undone := len(sh.par.roundTimes) - o.stack[ti].roundLen
+
+	k.q.Reset()
+	k.decideQ.Reset()
+	k.handoffQ.Reset()
+	d := &snapDecoder{data: data}
+	for _, cd := range k.codecs {
+		if err := cd.load(d); err != nil {
+			return fmt.Errorf("sim: rollback restore (shard %d, %s): %w", sh.index, cd.name, err)
+		}
+	}
+	if d.off != len(data) {
+		return fmt.Errorf("sim: rollback restore (shard %d): %d trailing bytes", sh.index, len(data)-d.off)
+	}
+	ent := &o.stack[ti]
+	sh.par.roundTimes = sh.par.roundTimes[:ent.roundLen]
+	sh.par.roundFin = sh.par.roundFin[:ent.roundLen]
+	sh.rebuildAliasRisk()
+	o.stack = o.stack[:ti+1]
+	o.stack[ti].data, o.stack[ti].isDelta = data, false
+	o.sinceSnap = 0
+
+	// Replay the commit-certain prefix. The fences guarantee no
+	// deciding-classified event below td, and nothing here needs
+	// snapshot protection: it can never be undone again.
+	for {
+		ev, ok := k.q.Peek()
+		if !ok || ev.Time >= td {
+			break
+		}
+		if k.decides(ev.Kind) || ((sh.aliasRisk > 0 || c.w.crossAliased) && k.isHandoff(ev.Kind)) {
+			return fmt.Errorf("sim: internal: deciding event at t=%v below commit t=%v during replay",
+				ev.Time, td)
+		}
+		ev, _ = k.q.Pop()
+		if k.isHandoff(ev.Kind) {
+			k.handoffQ.Pop()
+		}
+		k.now = ev.Time
+		sh.acct.advanceTo(ev.Time)
+		err := k.dispatch(ev)
+		fin := int32(-1)
+		if ev.Kind == int(sh.place.finish) {
+			fin = int32(ev.A)
+		}
+		k.releaseRef(ev)
+		sh.par.roundTimes = append(sh.par.roundTimes, ev.Time)
+		sh.par.roundFin = append(sh.par.roundFin, fin)
+		o.sinceSnap++
+		undone--
+		if err != nil {
+			return fmt.Errorf("sim: t=%v: %w", ev.Time, err)
+		}
+	}
+	if undone > 0 {
+		c.wasted += undone
+	}
+	optRollbacks.Add(1)
+	return nil
+}
+
+// commit executes exactly one event at td on the decider shard under
+// global quiescence, after rolling every shard that speculated to or
+// past td back below it. The head is usually the deciding event that
+// defined td, but can be a same-time local ranked before it; either
+// way the conservative engine's claim discipline is replayed: gseq
+// and phase stamping, the ambiguous-tie flags of canDecide/canLocal,
+// and (Time, G, Idx)-sorted barrier delivery of the decision's sends.
+func (c *optCoord) commit(td float64, decider int) error {
+	w := c.w
+	for _, sh := range c.shards {
+		if sh.k.now >= td {
+			if err := c.rollback(sh, td); err != nil {
+				return err
+			}
+		}
+	}
+	dsh := c.shards[decider]
+	ev, ok := dsh.k.q.Peek()
+	if !ok || ev.Time != td {
+		return fmt.Errorf("sim: internal: shard %d commit head at t=%v, want t=%v",
+			decider, ev.Time, td)
+	}
+	kd := ev.Kind
+	deciding := dsh.k.decides(kd) || ((dsh.aliasRisk > 0 || w.crossAliased) && dsh.k.isHandoff(kd))
+
+	// Ambiguous-tie scan, mirroring the conservative claim checks: a
+	// deciding commit flags any peer holding an event or a fence at
+	// exactly td (canDecide's second pass, with its structural
+	// start-tie exemption for the snapshot chains every shard seeds at
+	// the trace start); a local commit flags only tied fences
+	// (canLocal — same-time locals in different shards commute).
+	for qi, sh := range c.shards {
+		if qi == decider {
+			continue
+		}
+		fence := sh.publishedFence()
+		qn, nextKind := inf, 0
+		if pe, pok := sh.k.q.Peek(); pok {
+			qn, nextKind = pe.Time, pe.Kind
+		}
+		switch {
+		case deciding && (qn == td || fence == td):
+			structural := td == w.start && kd == c.kSubmit &&
+				nextKind == c.kSnapshot && fence > td
+			if !structural {
+				c.ties = true
+			}
+		case !deciding && fence == td:
+			c.ties = true
+		}
+	}
+
+	if deciding {
+		c.gseq++
+	}
+	dsh.k.phase = c.gseq
+	ev, _ = dsh.k.q.Pop()
+	if dsh.k.decides(ev.Kind) {
+		dsh.k.decideQ.Pop()
+	} else if dsh.k.isHandoff(ev.Kind) {
+		dsh.k.handoffQ.Pop()
+	}
+	dsh.k.now = td
+	dsh.acct.advanceTo(td)
+	err := dsh.k.dispatch(ev)
+	fin := int32(-1)
+	if ev.Kind == int(dsh.place.finish) {
+		fin = int32(ev.A)
+	}
+	dsh.k.releaseRef(ev)
+	sh := dsh
+	sh.par.roundTimes = append(sh.par.roundTimes, td)
+	sh.par.roundFin = append(sh.par.roundFin, fin)
+	if err != nil {
+		return fmt.Errorf("sim: t=%v: %w", td, err)
+	}
+
+	if deciding {
+		if err := c.deliverOutbox(dsh); err != nil {
+			return err
+		}
+		// A committed decision invalidates every retained snapshot: its
+		// deliveries are missing from older queue captures and its gseq
+		// increment from older phase captures. Clearing all stacks here
+		// is what pins GVT to the last commit.
+		for _, sh := range c.shards {
+			c.clearStack(sh)
+		}
+		c.adapt()
+	} else {
+		// A committed local invalidates only its own shard's captures.
+		c.clearStack(dsh)
+	}
+	return nil
+}
+
+// deliverOutbox flushes the decider's cross-shard sends exactly like
+// the conservative round barrier: one batched delivery per
+// destination, pre-sorted into (Time, G, Idx) firing order. Every
+// other outbox must be empty — speculative events are shard-local and
+// never send — and a message there means the engine's safety argument
+// is broken, so it is checked, not assumed.
+func (c *optCoord) deliverOutbox(src *shard) error {
+	for _, sh := range c.shards {
+		if sh == src {
+			continue
+		}
+		for d := range c.shards {
+			if len(sh.par.outbox[d]) != 0 {
+				return fmt.Errorf("sim: internal: shard %d buffered a cross-shard send outside a commit", sh.index)
+			}
+		}
+	}
+	for d := range c.shards {
+		msgs := src.par.outbox[d]
+		if len(msgs) == 0 {
+			continue
+		}
+		batch := c.batch[:0]
+		for _, m := range msgs {
+			batch = append(batch, eventq.Delivery{
+				Time: m.t, Kind: int(m.kind), A: m.a, B: m.b, G: m.g, Idx: m.idx,
+			})
+		}
+		src.par.outbox[d] = src.par.outbox[d][:0]
+		if len(batch) > 1 {
+			sort.Slice(batch, func(i, j int) bool {
+				if batch[i].Time != batch[j].Time {
+					return batch[i].Time < batch[j].Time
+				}
+				if batch[i].G != batch[j].G {
+					return batch[i].G < batch[j].G
+				}
+				return batch[i].Idx < batch[j].Idx
+			})
+		}
+		c.shards[d].k.deliverBatch(batch)
+		c.batch = batch[:0]
+	}
+	return nil
+}
+
+// adapt retunes the speculation window after a deciding commit: undone
+// work means the window outran the decision density, so both the
+// window and the snapshot cadence tighten; a run of clean commits
+// relaxes them again.
+func (c *optCoord) adapt() {
+	if c.wasted > 0 {
+		c.wasted = 0
+		c.clean = 0
+		c.window = math.Max(c.window/2, c.delta)
+		c.snapEvery = max(c.snapEvery/2, 16)
+		return
+	}
+	if c.clean++; c.clean >= 4 {
+		c.clean = 0
+		c.window = math.Min(c.window*2, 1024*c.delta)
+		c.snapEvery = min(c.snapEvery*2, 512)
+	}
+}
+
+// runOptimistic is the engine entry point. The structure is: resume
+// all shards for one speculative burst; at quiescence either commit
+// the earliest possible decision (rolling back overshoot first) or,
+// when none is pending, just widen the horizons and burst again. The
+// run ends when every job is complete and no pending event could
+// still precede the final completion.
+func runOptimistic(w *world) (*Result, error) {
+	delta := w.plat.MinCrossRTT()
+	if delta <= 0 {
+		// parallelizable() already demands positive cross-site RTTs;
+		// this guards the engine's own invariant independently.
+		return nil, fmt.Errorf("sim: optimistic engine requires positive cross-site lookahead, got %v", delta)
+	}
+	shards := make([]*shard, w.nSites)
+	for s := range shards {
+		shards[s] = newShard(w, s, []int{s}, true)
+	}
+	for _, sh := range shards {
+		sh.peers = shards
+		if !sameKinds(shards[0].k, sh.k) {
+			return nil, fmt.Errorf("sim: shard %d allocated a different event-kind table", sh.index)
+		}
+		sh.opt = &optShard{scopeSeen: make([]bool, len(w.jobs))}
+	}
+	c := &optCoord{
+		w:         w,
+		shards:    shards,
+		kSubmit:   int(shards[0].place.submit),
+		kSnapshot: int(shards[0].snaps.snapshot),
+		delta:     delta,
+		window:    8 * delta,
+		snapEvery: 64,
+	}
+	c.cond = sync.NewCond(&c.mu)
+	for _, sh := range shards {
+		sh.seed()
+	}
+
+	inline := runtime.GOMAXPROCS(0) == 1 || len(shards) == 1
+	if !inline {
+		var wg sync.WaitGroup
+		for _, sh := range shards {
+			wg.Add(1)
+			go func(sh *shard) {
+				defer wg.Done()
+				last := 0
+				for {
+					c.mu.Lock()
+					for !c.stop && c.gen == last {
+						c.cond.Wait()
+					}
+					if c.stop {
+						c.mu.Unlock()
+						return
+					}
+					last = c.gen
+					capT, safeT := sh.opt.capT, sh.opt.safeT
+					c.mu.Unlock()
+					c.runBurst(sh, capT, safeT)
+					c.mu.Lock()
+					if c.running--; c.running == 0 {
+						c.cond.Broadcast()
+					}
+					c.mu.Unlock()
+				}
+			}(sh)
+		}
+		defer func() {
+			c.mu.Lock()
+			c.stop = true
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			wg.Wait()
+		}()
+	}
+
+	total := len(w.specs)
+	ctx := w.cfg.Context
+	lastFin := inf
+	for {
+		// Quiescent: every worker parked, all shard state visible.
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("sim: canceled at t=%v: %w", maxNow(shards), err)
+			}
+		}
+		completed := 0
+		for _, sh := range shards {
+			completed += sh.completed
+		}
+		minNext := inf
+		for _, sh := range shards {
+			if t, ok := sh.k.q.NextTime(); ok && t < minNext {
+				minNext = t
+			}
+		}
+		if completed >= total {
+			// Recomputed each pass: a rollback can undo a speculative
+			// completion, so neither the count nor the makespan is
+			// monotone until the run actually ends.
+			lastFin = math.Inf(-1)
+			for _, sh := range shards {
+				for pos, fin := range sh.par.roundFin {
+					if fin >= 0 && sh.par.roundTimes[pos] > lastFin {
+						lastFin = sh.par.roundTimes[pos]
+					}
+				}
+			}
+			if minNext > lastFin {
+				// Mirrors the conservative final round: events at
+				// exactly the makespan still execute (and feed the
+				// owner/tie accounting in mergeParallel); everything
+				// strictly beyond it is inert by the same argument that
+				// lets the round engine drain past the cap.
+				break
+			}
+		} else {
+			if math.IsInf(minNext, 1) {
+				return nil, fmt.Errorf("sim: deadlock at t=%v: %d of %d jobs completed and no pending events",
+					maxNow(shards), completed, total)
+			}
+			if minNext > w.cfg.MaxTime {
+				return nil, fmt.Errorf("sim: exceeded MaxTime %v with %d of %d jobs incomplete",
+					w.cfg.MaxTime, total-completed, total)
+			}
+		}
+
+		// The earliest event the global order must serialize: pending
+		// deciding events (decideFence covers queued decisions and the
+		// chain submits that are not queued yet but have exact times),
+		// plus promoted handoffs under alias risk. Unlike the published
+		// fence there is no minDyn term — a commit target must be an
+		// event that exists.
+		td := inf
+		decider := -1
+		for i, sh := range shards {
+			cand := sh.decideFence()
+			if sh.aliasRisk > 0 || w.crossAliased {
+				if h := sh.k.nextHandoff(); h < cand {
+					cand = h
+				}
+			}
+			if cand < td {
+				td, decider = cand, i
+			}
+		}
+		if decider >= 0 && minNext >= td {
+			// Every event below td has executed, so the decision
+			// observes exactly the serial prefix. Commit one event and
+			// re-evaluate: the dispatch can cancel the decision that
+			// defined td, spawn a new earlier one, or complete the run.
+			if err := c.commit(td, decider); err != nil {
+				return nil, err
+			}
+			continue
+		}
+
+		// No committable decision: burst. safe is the fence-safe bound
+		// (nothing below it can ever be rolled back); the adaptive
+		// window on top is pure speculation — but never past td. A
+		// quiescent commit at td rolls back every shard that reached it,
+		// and decisions spawned by the commit land at or after td, so
+		// running past the earliest known decision is guaranteed waste.
+		// Parking the burst there confines rollbacks to decisions that
+		// do not exist yet (armed inside the minDyn window during this
+		// very burst).
+		// safe is per shard, and deliberately excludes the shard's own
+		// fence: a shard parks at its own deciding heads (and its own
+		// dynamically-armed decisions enter its own queue ahead of it,
+		// in time order), so the only commits that can ever roll shard
+		// i back are decisions owned or armed by its peers — each of
+		// which is bounded below by that peer's published fence at any
+		// earlier instant. min/second-min over the fences gives every
+		// shard its exclusive-of-self bound in one pass.
+		min1, min2, minIdx := inf, inf, -1
+		for i, sh := range shards {
+			f := sh.publishedFence()
+			if f < min1 {
+				min1, min2, minIdx = f, min1, i
+			} else if f < min2 {
+				min2 = f
+			}
+		}
+		specW := c.window
+		if w.crossAliased {
+			specW = 0
+		}
+		capAll := min1 + specW
+		if td < capAll && !optUncapped {
+			capAll = td
+		}
+		for i, sh := range shards {
+			safeT := min1
+			if i == minIdx {
+				safeT = min2
+			}
+			capT := capAll
+			if inline {
+				// On a single P speculation cannot overlap with any
+				// other work, so its insurance — the snapshot before
+				// every at-risk event — is pure cost. Advance certain
+				// work only: nothing below safeT can ever be rolled
+				// back, so no shard ever pushes a snapshot. Progress
+				// still holds without speculating: if no shard can
+				// drain (every queue head at or past its bound), the
+				// lowest head qm is blocked by some peer's fence, and a
+				// fence at or below qm can only come from that peer's
+				// decideFence or promoted handoff (the minDyn terms all
+				// sit strictly above qm) — both of which feed td, so
+				// td <= minNext and the next pass commits instead of
+				// bursting.
+				capT = safeT
+			}
+			sh.opt.safeT = safeT
+			sh.opt.capT = capT
+			sh.k.phase = c.gseq
+		}
+		if inline {
+			// Single-P (or single-shard) runs gain nothing from the
+			// worker pool, and the condvar round-trip per burst would
+			// dominate the events themselves. The coordinator owns all
+			// shard state at quiescence, so it runs the bursts itself,
+			// back to back.
+			for _, sh := range shards {
+				c.runBurst(sh, sh.opt.capT, sh.opt.safeT)
+			}
+			if c.aborted {
+				return nil, c.err
+			}
+			continue
+		}
+		c.mu.Lock()
+		c.running = len(shards)
+		c.gen++
+		c.cond.Broadcast()
+		for c.running > 0 {
+			c.cond.Wait()
+		}
+		aborted, err := c.aborted, c.err
+		c.mu.Unlock()
+		if aborted {
+			return nil, err
+		}
+	}
+
+	// Every sample tick strictly below the makespan is final; the
+	// merge truncates there exactly like the serial sampler's death.
+	for _, sh := range shards {
+		sh.acct.flushTo(lastFin)
+	}
+	return mergeParallel(w, shards, 0, &coordinator{ties: c.ties})
+}

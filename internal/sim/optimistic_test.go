@@ -1,0 +1,244 @@
+package sim
+
+// Optimistic-engine determinism and robustness: Time Warp execution
+// must be bit-identical to the serial reference wherever the
+// conservative engine is (random federations, faults, cancellation,
+// MaxTime parity), and its speculation machinery — rollback, commit
+// fences, adaptive windows — must actually engage on workloads with
+// cross-site traffic rather than degenerating to lockstep.
+
+import (
+	"context"
+	"math/rand/v2"
+	"runtime"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"netbatch/internal/cluster"
+	"netbatch/internal/job"
+)
+
+func TestOptimisticMatchesSerialRandomFederations(t *testing.T) {
+	runs, skips := 0, 0
+	cfgQuick := &quick.Config{MaxCount: 24}
+	err := quick.Check(func(seed uint64, polPick, selPick uint8, staleness uint8) bool {
+		r := rand.New(rand.NewPCG(seed, seed^0x9e3779b9))
+		plat, specs, err := randomFederation(r)
+		if err != nil {
+			t.Logf("workload: %v", err)
+			return false
+		}
+		base := Config{
+			Platform:          plat,
+			Initial:           federatedInitial(siteSelectorForIndex(int(selPick))),
+			Policy:            multiSitePolicyForIndex(int(polPick), seed),
+			UtilStaleness:     float64(staleness % 40),
+			CheckConservation: true,
+		}
+		serialRes, err := Run(base, specs)
+		if err != nil {
+			t.Logf("serial: %v", err)
+			return false
+		}
+		opt := base
+		opt.Engine = EngineOptimistic
+		opt.Initial = federatedInitial(siteSelectorForIndex(int(selPick)))
+		opt.Policy = multiSitePolicyForIndex(int(polPick), seed)
+		optRes, err := Run(opt, specs)
+		if err != nil {
+			t.Logf("optimistic: %v", err)
+			return false
+		}
+		runs++
+		if optRes.ambiguousTies {
+			skips++
+			t.Logf("seed %d: ambiguous tie observed, skipping comparison", seed)
+			return true
+		}
+		a, b := fingerprint(serialRes), fingerprint(optRes)
+		if a != b {
+			t.Logf("seed %d sel %d pol %d: serial and optimistic results differ:\n%s",
+				seed, selPick%3, polPick%4, firstDiff(a, b))
+			return false
+		}
+		return true
+	}, cfgQuick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs > 0 && skips == runs {
+		t.Errorf("all %d runs skipped as ambiguous ties: bit-identity was never actually compared", runs)
+	}
+}
+
+// TestEngineFallbackDegeneratePlatforms pins the Δ=0 edge for both
+// partitioned engines: a single-site platform, a federation with one
+// zero-RTT cross-site pair, and a decision delay exceeding the
+// lookahead all make parallelizable() false, and Run must route them
+// to the serial kernel — producing bit-identical results, never
+// spinning a zero-width round loop or rejecting the config.
+func TestEngineFallbackDegeneratePlatforms(t *testing.T) {
+	sites := func(rtt [][]float64) *cluster.Platform {
+		configs := make([]cluster.PoolConfig, len(rtt))
+		for s := range configs {
+			configs[s] = cluster.PoolConfig{
+				Site:    string(rune('A' + s)),
+				Classes: []cluster.MachineClass{{Count: 2, Cores: 1, MemMB: 8192, Speed: 1.0}},
+			}
+		}
+		p, err := cluster.Build(configs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p, err = p.WithRTT(rtt); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := []struct {
+		name string
+		cfg  func() Config
+	}{
+		{"single-site", func() Config { return baseConfig(miniPlatform(t, 2, 2)) }},
+		{"zero-rtt-pair", func() Config {
+			// Sites A, B, C with the A<->B delay degenerate at zero:
+			// one bad edge is enough to void the whole lookahead.
+			cfg := baseConfig(sites([][]float64{
+				{0, 0, 5},
+				{0, 0, 5},
+				{5, 5, 0},
+			}))
+			cfg.Initial = federatedInitial(siteSelectorForIndex(0))
+			return cfg
+		}},
+		{"decision-delay-exceeds-lookahead", func() Config {
+			cfg := baseConfig(sites([][]float64{
+				{0, 5},
+				{5, 0},
+			}))
+			cfg.Initial = federatedInitial(siteSelectorForIndex(0))
+			cfg.DecisionDelay = 10
+			return cfg
+		}},
+	}
+	specs := []job.Spec{
+		lowJob(1, 0, 100, 0, 1),
+		lowJob(2, 1.5, 80, 0, 1),
+		highJob(3, 2.5, 50, 0),
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			serialRes, err := Run(tc.cfg(), specs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, engine := range []string{EngineParallel, EngineOptimistic} {
+				cfg := tc.cfg()
+				cfg.Engine = engine
+				res, err := Run(cfg, specs)
+				if err != nil {
+					t.Fatalf("%s: %v", engine, err)
+				}
+				if fingerprint(serialRes) != fingerprint(res) {
+					t.Fatalf("%s fallback differs from serial", engine)
+				}
+			}
+		})
+	}
+}
+
+// TestOptimisticRollbackMachinery drives the full Time Warp cycle —
+// snapshot push, restore through the reverse-delta chain, replay —
+// hard, and proves it invisible. In production the burst cap at the
+// earliest known decision time makes rollbacks rare (only decisions
+// armed mid-burst trigger them), and single-P runs avoid speculation
+// entirely; this test forces the worker path and removes the cap, so
+// every deciding commit rolls overshooting shards back, on workloads
+// whose serial fingerprints are known. Identical results plus nonzero
+// rollback counters mean the machinery both engaged and healed.
+func TestOptimisticRollbackMachinery(t *testing.T) {
+	if prev := runtime.GOMAXPROCS(0); prev < 2 {
+		runtime.GOMAXPROCS(2)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	optUncapped = true
+	defer func() { optUncapped = false }()
+	snaps0, rolls0 := optSnapshots.Load(), optRollbacks.Load()
+
+	compared := 0
+	for seed := uint64(1); seed <= 6; seed++ {
+		r := rand.New(rand.NewPCG(seed, seed*0x9e3779b9))
+		plat, specs, err := randomFederation(r)
+		if err != nil {
+			t.Fatalf("seed %d: workload: %v", seed, err)
+		}
+		base := Config{
+			Platform:          plat,
+			Initial:           federatedInitial(siteSelectorForIndex(int(seed % 3))),
+			Policy:            multiSitePolicyForIndex(int(seed%4), seed),
+			UtilStaleness:     float64(seed * 5 % 40),
+			CheckConservation: true,
+		}
+		serialRes, err := Run(base, specs)
+		if err != nil {
+			t.Fatalf("seed %d: serial: %v", seed, err)
+		}
+		opt := base
+		opt.Engine = EngineOptimistic
+		opt.Initial = federatedInitial(siteSelectorForIndex(int(seed % 3)))
+		opt.Policy = multiSitePolicyForIndex(int(seed%4), seed)
+		optRes, err := Run(opt, specs)
+		if err != nil {
+			t.Fatalf("seed %d: optimistic: %v", seed, err)
+		}
+		if optRes.ambiguousTies {
+			t.Logf("seed %d: ambiguous tie observed, skipping comparison", seed)
+			continue
+		}
+		compared++
+		if a, b := fingerprint(serialRes), fingerprint(optRes); a != b {
+			t.Fatalf("seed %d: uncapped speculation diverged from serial:\n%s", seed, firstDiff(a, b))
+		}
+	}
+	if compared == 0 {
+		t.Fatal("every workload skipped as ambiguous: rollback bit-identity was never compared")
+	}
+	if snaps := optSnapshots.Load() - snaps0; snaps == 0 {
+		t.Error("no rollback snapshots were pushed: speculation never left the certain region")
+	}
+	if rolls := optRollbacks.Load() - rolls0; rolls == 0 {
+		t.Error("no rollbacks occurred: the uncapped window never overshot a commit")
+	}
+}
+
+// TestOptimisticCancelNoLeak pins prompt cancellation return and
+// goroutine hygiene for the speculative workers, mirroring the
+// conservative engine's test.
+func TestOptimisticCancelNoLeak(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 11))
+	plat, specs, err := randomFederation(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = Run(Config{
+		Platform: plat,
+		Initial:  federatedInitial(siteSelectorForIndex(0)),
+		Policy:   multiSitePolicyForIndex(1, 7),
+		Engine:   EngineOptimistic,
+		Context:  ctx,
+	}, specs)
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, g)
+	}
+}

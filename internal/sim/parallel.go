@@ -423,6 +423,13 @@ func (c *coordinator) publish(shards []*shard) {
 // consistent global state with no in-flight residue to capture.
 func runParallel(w *world, sn *snapshot) (*Result, error) {
 	delta := w.plat.MinCrossRTT()
+	if delta <= 0 {
+		// Run routes these configurations to the serial engine via
+		// parallelizable(); if a future caller reaches this point with
+		// a degenerate lookahead anyway, rounds of width zero would
+		// spin forever at one timestamp, so fail loudly instead.
+		return nil, fmt.Errorf("sim: parallel engine requires positive cross-site lookahead, got %v", delta)
+	}
 	shards := make([]*shard, w.nSites)
 	for s := range shards {
 		shards[s] = newShard(w, s, []int{s}, true)
@@ -534,13 +541,14 @@ func runParallel(w *world, sn *snapshot) (*Result, error) {
 			sh.par.beginRound()
 		}
 		c.publish(shards)
+		horizon := pairHorizon(w, shards, n, delta)
 
 		// Start the round and wait for every worker to drain it. The
 		// mutex hand-offs here give the workers release/acquire edges
 		// over everything the coordinator wrote between rounds (barrier
 		// deliveries, round logs), and vice versa.
 		c.mu.Lock()
-		c.horizon = n + delta
+		c.horizon = horizon
 		c.running = len(shards)
 		c.round++
 		c.cond.Broadcast()
@@ -597,7 +605,7 @@ func runParallel(w *world, sn *snapshot) (*Result, error) {
 			// The barrier is the parallel engine's clean boundary: all
 			// events below the horizon processed, all cross-shard
 			// messages delivered, every worker parked.
-			h := n + delta
+			h := horizon
 			if ck.due(h) {
 				if err := ck.take(h, priorEvents, c.gseq, c.ties); err != nil {
 					return nil, err
@@ -615,6 +623,42 @@ func runParallel(w *world, sn *snapshot) (*Result, error) {
 		}
 	}
 	return mergeParallel(w, shards, priorEvents, c)
+}
+
+// pairHorizon computes the round horizon from per-pair lookahead
+// bounds instead of the global-minimum lookahead: an event at shard i
+// can influence shard d no earlier than n_i + rtt(i, d), where n_i is
+// i's earliest pending event, so the earliest possible cross-shard
+// influence anywhere is the minimum of that bound over ordered pairs.
+// Cross-shard messages only materialize at round barriers, so the
+// single-hop bound is already closed under cascading (a chain of
+// local events only raises the send time) and no fixpoint iteration
+// is needed. The result is never below n + MinCrossRTT — the width
+// the engine previously used — and strictly sharper whenever the
+// shards clustered around n are far apart in the RTT matrix, which is
+// fewer rounds and fewer barriers for the same event order.
+func pairHorizon(w *world, shards []*shard, n, delta float64) float64 {
+	h := inf
+	for _, si := range shards {
+		ni, ok := si.k.q.NextTime()
+		if !ok {
+			continue
+		}
+		for _, sd := range shards {
+			if sd == si {
+				continue
+			}
+			if b := ni + w.plat.RTT(si.sites[0], sd.sites[0]); b < h {
+				h = b
+			}
+		}
+	}
+	if math.IsInf(h, 1) {
+		// No pair bound exists (at most one shard still holds events);
+		// the classic width keeps the round finite.
+		h = n + delta
+	}
+	return h
 }
 
 func maxNow(shards []*shard) float64 {

@@ -81,6 +81,7 @@ func multiSitePolicyForIndex(i int, seed uint64) core.Policy {
 }
 
 func TestParallelMatchesSerialRandomFederations(t *testing.T) {
+	runs, skips := 0, 0
 	cfgQuick := &quick.Config{MaxCount: 24}
 	err := quick.Check(func(seed uint64, polPick, selPick uint8, staleness uint8) bool {
 		r := rand.New(rand.NewPCG(seed, seed^0x9e3779b9))
@@ -112,10 +113,14 @@ func TestParallelMatchesSerialRandomFederations(t *testing.T) {
 			t.Logf("parallel: %v", err)
 			return false
 		}
+		runs++
 		if parRes.ambiguousTies {
 			// Measure-zero for these float-valued traces; if it ever
 			// fires the comparison is void but the run must still pass
-			// the engine's own invariants (it did: no error).
+			// the engine's own invariants (it did: no error). The
+			// counter check after quick.Check catches the silent
+			// failure mode where every seed skips.
+			skips++
 			t.Logf("seed %d: ambiguous tie observed, skipping comparison", seed)
 			return true
 		}
@@ -129,6 +134,9 @@ func TestParallelMatchesSerialRandomFederations(t *testing.T) {
 	}, cfgQuick)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if runs > 0 && skips == runs {
+		t.Errorf("all %d runs skipped as ambiguous ties: bit-identity was never actually compared", runs)
 	}
 }
 

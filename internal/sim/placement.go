@@ -116,7 +116,7 @@ func (s *placementSys) save(e *snapEncoder) {
 			}
 		}
 	}
-	for _, idx := range sh.subIdx {
+	for _, idx := range s.jobScope(e) {
 		rt := &w.jobs[idx]
 		st := rt.j.ExportState()
 		e.Int(int(st.State))
@@ -140,6 +140,70 @@ func (s *placementSys) save(e *snapEncoder) {
 		e.F64(rt.enqueuedAt)
 		e.Bool(rt.queued)
 	}
+}
+
+// jobScope returns the job-record indices a save covers. The full
+// codec covers every job ever submitted in shard scope (sh.subIdx,
+// implicit: save and load both iterate it). Optimistic rollback
+// snapshots instead write an explicit list covering exactly the
+// records this shard's speculation can mutate: jobs resident at its
+// sites (wait-queue slots, running stacks and machine lists — alias
+// slots of departed jobs excluded, those records belong to the shard
+// the job moved to) plus jobs in transit to it (a pending arrive event
+// mutates the record when it fires). Records outside the set cannot
+// change between a rollback snapshot and its restore: decisions
+// invalidate every snapshot at commit, and other shards' speculation
+// touches only their own residents.
+func (s *placementSys) jobScope(e *snapEncoder) []int {
+	sh := s.sh
+	if sh.opt == nil {
+		return sh.subIdx
+	}
+	w := sh.w
+	idxs := sh.opt.scopeIdx[:0]
+	seen := sh.opt.scopeSeen
+	add := func(rt *jobRT) {
+		if rt != nil && !sh.away[rt.idx] && !seen[rt.idx] {
+			seen[rt.idx] = true
+			idxs = append(idxs, rt.idx)
+		}
+	}
+	for _, site := range sh.sites {
+		for _, pid := range w.plat.Site(site).Pools {
+			p := w.pools[pid]
+			for _, prio := range p.waitQ.prios {
+				for _, rt := range p.waitQ.classes[prio].items {
+					add(rt)
+				}
+			}
+			for _, stack := range p.running {
+				for _, rt := range stack {
+					add(rt)
+				}
+			}
+			for _, mid := range w.plat.Pool(pid).Machines {
+				m := &w.machines[mid]
+				for _, rt := range m.suspended {
+					add(rt)
+				}
+				for _, rt := range m.running {
+					add(rt)
+				}
+			}
+		}
+	}
+	for _, idx := range sh.opt.inTransit {
+		if !seen[idx] {
+			seen[idx] = true
+			idxs = append(idxs, idx)
+		}
+	}
+	for _, idx := range idxs {
+		seen[idx] = false
+	}
+	sh.opt.scopeIdx = idxs
+	e.Ints(idxs)
+	return idxs
 }
 
 // load mirrors save field for field into the freshly built runtime
@@ -243,7 +307,20 @@ func (s *placementSys) load(d *snapDecoder) error {
 			}
 		}
 	}
-	for _, idx := range sh.subIdx {
+	scope := sh.subIdx
+	if sh.opt != nil {
+		scope = d.IntsN(len(w.jobs))
+		if d.err != nil {
+			return d.err
+		}
+		for _, idx := range scope {
+			if idx < 0 || idx >= nJobs {
+				d.fail()
+				return d.err
+			}
+		}
+	}
+	for _, idx := range scope {
 		rt := &w.jobs[idx]
 		var st job.JobState
 		st.State = job.State(d.Int())

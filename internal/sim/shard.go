@@ -261,6 +261,14 @@ type shard struct {
 
 	// par holds the parallel-engine bookkeeping; nil in serial runs.
 	par *parShard
+
+	// opt holds the optimistic-engine bookkeeping (snapshot stack,
+	// speculation horizons); nil outside optimistic runs. Its presence
+	// also switches the state codecs into light mode: in-memory
+	// rollback snapshots skip append-only logs (saving only lengths to
+	// truncate to) and scope the placement job loop to resident and
+	// in-transit jobs instead of the whole submission history.
+	opt *optShard
 }
 
 // newShard builds a shard over the given sites and registers the

@@ -60,6 +60,16 @@ const (
 	// engine cannot accelerate (single site, a zero cross-site delay, or
 	// an empty trace) fall back to the serial kernel.
 	EngineParallel = "parallel"
+	// EngineOptimistic partitions like EngineParallel but lets shards
+	// speculate past the global decision floor, taking cheap per-shard
+	// incremental snapshots and rolling back when a committed decision
+	// lands below a shard's clock (Time Warp on the snapshot contract;
+	// see optimistic.go). Deciding events stay globally serialized, so
+	// results remain bit-identical to EngineSerial. Flows the optimistic
+	// engine does not support (checkpointing, resume, replay recording)
+	// fall back to the conservative engine; non-parallelizable
+	// configurations fall back to the serial kernel.
+	EngineOptimistic = "optimistic"
 )
 
 // Config parameterizes one simulation run.
@@ -72,8 +82,8 @@ type Config struct {
 	Policy core.Policy
 
 	// Engine selects the execution engine: EngineSerial (default, also
-	// "") or EngineParallel. Both produce identical results; see the
-	// engine constants.
+	// ""), EngineParallel or EngineOptimistic. All produce identical
+	// results; see the engine constants.
 	Engine string
 
 	// SampleEvery is the state-sampling period in minutes (ASCA samples
@@ -180,10 +190,10 @@ func (c *Config) withDefaults() (Config, error) {
 		return out, fmt.Errorf("sim: config needs a rescheduling policy")
 	}
 	switch out.Engine {
-	case "", EngineSerial, EngineParallel:
+	case "", EngineSerial, EngineParallel, EngineOptimistic:
 	default:
-		return out, fmt.Errorf("sim: unknown engine %q (want %q or %q)",
-			out.Engine, EngineSerial, EngineParallel)
+		return out, fmt.Errorf("sim: unknown engine %q (want %q, %q or %q)",
+			out.Engine, EngineSerial, EngineParallel, EngineOptimistic)
 	}
 	if out.SampleEvery <= 0 {
 		out.SampleEvery = 1
@@ -315,7 +325,14 @@ func Run(cfg Config, specs []job.Spec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	parallel := full.Engine == EngineParallel && w.parallelizable()
+	parallel := (full.Engine == EngineParallel || full.Engine == EngineOptimistic) &&
+		w.parallelizable()
+	// The optimistic engine owns no checkpoint/replay machinery: those
+	// flows need the conservative engine's round barriers (a consistent
+	// global cut with no speculation to unwind), so they fall back to it.
+	optimistic := parallel && full.Engine == EngineOptimistic &&
+		full.CheckpointEvery == 0 && len(full.ResumeFrom) == 0 &&
+		full.eventLog == nil && full.stopAtEvents == 0
 	var sn *snapshot
 	if len(full.ResumeFrom) > 0 {
 		if IsDeltaSnapshot(full.ResumeFrom) {
@@ -332,6 +349,9 @@ func Run(cfg Config, specs []job.Spec) (*Result, error) {
 		if err := sn.verify(w, mode); err != nil {
 			return nil, err
 		}
+	}
+	if optimistic {
+		return runOptimistic(w)
 	}
 	if parallel {
 		return runParallel(w, sn)
