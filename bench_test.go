@@ -272,6 +272,41 @@ func BenchmarkFaultsMultiSiteWeek(b *testing.B) {
 	}
 }
 
+// BenchmarkYear6 runs one simulated year on the 6-site federation
+// (recurring auto bursts, metro RTT matrix, reduced scale — see
+// experiments.MultiSiteYearScenario) once per engine. This is the
+// ROADMAP north-star cell: at year scale the engines' serialization
+// points — commit cycles, round barriers, alias promotion — dominate
+// wall-clock, which week-scale cells amortize over too few decisions
+// to show. Sampling is disabled by the scenario so the cell times the
+// engine, not a year of per-minute series.
+func BenchmarkYear6(b *testing.B) {
+	sc := experiments.MultiSiteYearScenario("bench-year6", 6,
+		func() sched.SiteSelector { return sched.LatencyPenalizedUtil{} })
+	tr, err := sc.Trace(42, benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plat, err := sc.Platform(benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc.Trace = func(uint64, float64) (*trace.Trace, error) { return tr, nil }
+	sc.Platform = func(float64) (*cluster.Platform, error) { return plat, nil }
+	pf := experiments.PolicyFactory{
+		Name: "ResSusWaitLatency",
+		New:  func(uint64) core.Policy { return core.NewResSusWaitLatency() },
+	}
+	b.ReportMetric(float64(len(tr.Jobs)), "jobs")
+	for _, engine := range []string{sim.EngineSerial, sim.EngineParallel, sim.EngineOptimistic} {
+		b.Run("engine="+engine, func(b *testing.B) {
+			opts := benchOpts()
+			opts.Engine = engine
+			runCellBench(b, sc, pf, opts)
+		})
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw event throughput of the
 // engine on the busy-week workload. Unlike the other benches it calls
 // sim.Run directly (no metrics.Summarize, no conservation checks): its

@@ -8,8 +8,9 @@
 // and the faulty week on all three engines, the 6-site metro week on
 // both partitioned engines, and the checkpoint/restore set including
 // delta capture) at the same 4% bench scale. Results serialize to a
-// schema-versioned JSON snapshot (BENCH_7.json at the repo root is the
-// committed baseline; see cmd/benchsnap).
+// schema-versioned JSON snapshot (BENCH_8.json at the repo root is the
+// committed baseline; earlier BENCH_*.json files stay committed as the
+// trend history — see cmd/benchsnap).
 //
 // Comparison rules: allocations and bytes per op are
 // hardware-independent and gate on every run; wall-clock gates only
@@ -143,6 +144,23 @@ func Collect(scale float64) (Snapshot, error) {
 		engine := engine
 		record("metro6_week/"+engine, func(b *testing.B) error {
 			return runCell(b, metro6, pf, engine, scale)
+		})
+	}
+	// The year6 family is the ROADMAP north-star cell: a simulated year
+	// on the 6-site federation (at the reduced multiSiteYearScale so a
+	// pass stays in seconds), all three engines. It is where commit
+	// throughput and round-barrier costs dominate — a week-scale cell
+	// amortizes the engines' serialization points over too few
+	// decisions to see them move.
+	year6, err := prebuiltCell(experiments.MultiSiteYearScenario("bench-year6", 6,
+		func() sched.SiteSelector { return sched.LatencyPenalizedUtil{} }), scale)
+	if err != nil {
+		return snap, err
+	}
+	for _, engine := range []string{sim.EngineSerial, sim.EngineParallel, sim.EngineOptimistic} {
+		engine := engine
+		record("year6/"+engine, func(b *testing.B) error {
+			return runCell(b, year6, pf, engine, scale)
 		})
 	}
 	collectCheckpointCells(record, multisite, scale)

@@ -92,6 +92,15 @@ type Queue struct {
 	// in the heap as tombstones until popped or compacted away.
 	live int
 
+	// muts counts logical mutations — schedules, deliveries, restores,
+	// pops, effective cancels, resets. It never decreases, so an equal
+	// reading at two instants proves the pending set did not change in
+	// between (tombstone sweeps and compaction keep the pending set
+	// intact and are not counted). Observers use it to cache derived
+	// views (the optimistic engine's fence caches) without subscribing
+	// to every mutation path.
+	muts uint64
+
 	// dropRef, when set, observes the Ref payload of every canceled
 	// event dropped without firing (see SetDropHook).
 	dropRef func(kind int, ref any)
@@ -274,6 +283,7 @@ func (q *Queue) Schedule(t float64, kind int, a, b int64, ref any) Handle {
 // same-time events created before and after a decision order the way
 // one global queue would have ordered them.
 func (q *Queue) SchedulePhased(t float64, kind int, a, b int64, ref any, phase uint64) Handle {
+	q.muts++
 	q.seq++
 	s := q.alloc(t, kind, a, b, ref, [3]uint64{phase, orderLocal, q.seq})
 	q.push(s)
@@ -286,6 +296,7 @@ func (q *Queue) SchedulePhased(t float64, kind int, a, b int64, ref any, phase u
 // decision g and send index, before any event the receiving partition
 // scheduled at phase g or later.
 func (q *Queue) ScheduleDelivery(t float64, kind int, a, b int64, ref any, g, idx uint64) Handle {
+	q.muts++
 	s := q.alloc(t, kind, a, b, ref, [3]uint64{g, orderDelivered, idx})
 	q.push(s)
 	q.live++
@@ -308,6 +319,7 @@ type Delivery struct {
 // insertion order deterministic and keeps the sift-up work minimal
 // (later elements land deeper in the heap).
 func (q *Queue) DeliverBatch(batch []Delivery) {
+	q.muts += uint64(len(batch))
 	for i := range batch {
 		d := &batch[i]
 		s := q.alloc(d.Time, d.Kind, d.A, d.B, d.Ref, [3]uint64{d.G, orderDelivered, d.Idx})
@@ -324,6 +336,7 @@ func (q *Queue) Cancel(h Handle) bool {
 	if h.gen == 0 || int(h.slot) >= len(q.gen) || q.gen[h.slot] != h.gen || q.canceled[h.slot] {
 		return false
 	}
+	q.muts++
 	q.canceled[h.slot] = true
 	q.live--
 	if tomb := len(q.heap) - q.live; tomb > q.live && len(q.heap) >= minCompact {
@@ -344,6 +357,7 @@ func (q *Queue) Pop() (Event, bool) {
 			continue
 		}
 		ev := Event{Time: q.time[s], Kind: int(q.kind[s]), A: q.a[s], B: q.b[s], Ref: q.ref[s]}
+		q.muts++
 		q.freeSlot(s)
 		q.live--
 		return ev, true
@@ -430,11 +444,16 @@ func (q *Queue) Export() []SavedEvent {
 // not advance the scheduling-order counter; pair it with SetSeq when
 // rebuilding a queue from a checkpoint.
 func (q *Queue) Restore(sev SavedEvent) Handle {
+	q.muts++
 	s := q.alloc(sev.Time, sev.Kind, sev.A, sev.B, sev.Ref, sev.Rank)
 	q.push(s)
 	q.live++
 	return Handle{slot: s, gen: q.gen[s]}
 }
+
+// Muts returns the logical-mutation counter (see the field comment):
+// monotone, equal readings bracket an unchanged pending set.
+func (q *Queue) Muts() uint64 { return q.muts }
 
 // Seq returns the scheduling-order counter: the number of SchedulePhased
 // calls so far. Checkpoints save it so a restored queue assigns future
@@ -463,6 +482,7 @@ func (q *Queue) Cap() int { return len(q.time) }
 // globally-serialized decisions send cross-shard) stands in for
 // per-message anti-messages.
 func (q *Queue) Reset() {
+	q.muts++
 	for _, s := range q.heap {
 		q.dropCanceled(s)
 	}

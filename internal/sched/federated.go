@@ -54,22 +54,29 @@ func siteEligible(view SiteView, site int, spec *job.Spec) bool {
 	return false
 }
 
-// eligibleSites returns the sites with at least one eligible candidate
-// pool, in ascending site order.
-func eligibleSites(view SiteView, spec *job.Spec) []int {
-	seen := make([]bool, view.NumSites())
+// eachEligibleSite calls fn for every site with at least one eligible
+// candidate pool, in ascending site order.
+func eachEligibleSite(view SiteView, spec *job.Spec, fn func(site int)) {
+	// Realistic federations have a handful of sites; keep the dedup
+	// mask on the stack for those and preserve the ascending-site
+	// visit order either way (selectors tie-break on iteration order).
+	var seenBuf [64]bool
+	var seen []bool
+	if n := view.NumSites(); n <= len(seenBuf) {
+		seen = seenBuf[:n]
+	} else {
+		seen = make([]bool, n)
+	}
 	for _, p := range spec.Candidates {
 		if !seen[view.SiteOf(p)] && view.Eligible(p, spec) {
 			seen[view.SiteOf(p)] = true
 		}
 	}
-	out := make([]int, 0, len(seen))
 	for s, ok := range seen {
 		if ok {
-			out = append(out, s)
+			fn(s)
 		}
 	}
-	return out
 }
 
 // errNoEligibleSite builds the common selector error.
@@ -115,12 +122,12 @@ func (LeastUtilizedSite) SelectSite(_ float64, spec *job.Spec, view SiteView) (i
 
 func leastUtilizedSite(spec *job.Spec, view SiteView) (int, error) {
 	best, bestUtil := -1, 0.0
-	for _, s := range eligibleSites(view, spec) {
+	eachEligibleSite(view, spec, func(s int) {
 		u := view.SiteUtilization(s)
 		if best == -1 || u < bestUtil {
 			best, bestUtil = s, u
 		}
-	}
+	})
 	if best == -1 {
 		return 0, errNoEligibleSite(spec)
 	}
@@ -156,12 +163,12 @@ func (l LatencyPenalizedUtil) SelectSite(_ float64, spec *job.Spec, view SiteVie
 	}
 	origin := spec.Site
 	best, bestScore := -1, 0.0
-	for _, s := range eligibleSites(view, spec) {
+	eachEligibleSite(view, spec, func(s int) {
 		score := view.SiteUtilization(s) + penalty*view.RTT(origin, s)
 		if best == -1 || score < bestScore {
 			best, bestScore = s, score
 		}
-	}
+	})
 	if best == -1 {
 		return 0, errNoEligibleSite(spec)
 	}
@@ -182,9 +189,11 @@ type Federated struct {
 	// NewPerSite constructs one inner scheduler per site.
 	NewPerSite func() InitialScheduler
 
-	name     string
-	perSite  map[int]InitialScheduler
-	fallback InitialScheduler
+	name        string
+	perSite     map[int]InitialScheduler
+	fallback    InitialScheduler
+	candScratch []int    // site-filtered Candidates reuse; never retained
+	localSpec   job.Spec // site-narrowed spec copy reuse; never retained
 }
 
 var _ InitialScheduler = (*Federated)(nil)
@@ -218,17 +227,24 @@ func (f *Federated) SelectPool(now float64, spec *job.Spec, view PoolView) (int,
 	if err != nil {
 		return 0, err
 	}
-	local := *spec
-	local.Candidates = make([]int, 0, len(spec.Candidates))
+	// Scratch reuse: the per-site inner schedulers read the narrowed
+	// spec during this call and never retain it (rotation state copies),
+	// so both the Candidates slice and the spec copy itself live on the
+	// scheduler. The copy would otherwise escape through the interface
+	// call below — one heap spec per decision.
+	cand := f.candScratch[:0]
 	for _, p := range spec.Candidates {
 		if sv.SiteOf(p) == site {
-			local.Candidates = append(local.Candidates, p)
+			cand = append(cand, p)
 		}
 	}
-	if len(local.Candidates) == 0 {
+	f.candScratch = cand
+	if len(cand) == 0 {
 		return 0, fmt.Errorf("sched: selector %s picked site %d with no candidates for job %d",
 			f.Selector.Name(), site, spec.ID)
 	}
+	f.localSpec = *spec
+	f.localSpec.Candidates = cand
 	if f.perSite == nil {
 		f.perSite = make(map[int]InitialScheduler)
 	}
@@ -237,7 +253,7 @@ func (f *Federated) SelectPool(now float64, spec *job.Spec, view PoolView) (int,
 		inner = f.NewPerSite()
 		f.perSite[site] = inner
 	}
-	return inner.SelectPool(now, &local, view)
+	return inner.SelectPool(now, &f.localSpec, view)
 }
 
 // stateful is the duck-typed state contract stateful schedulers and

@@ -12,7 +12,7 @@ package sched
 import (
 	"encoding/json"
 	"fmt"
-	"strings"
+	"strconv"
 
 	"netbatch/internal/job"
 	"netbatch/internal/stats"
@@ -81,6 +81,7 @@ type RoundRobin struct {
 
 	cursors map[string]int
 	wrr     map[string]*wrrState
+	scratch []int // eligibleCandidates reuse; never retained
 }
 
 var _ InitialScheduler = (*RoundRobin)(nil)
@@ -105,7 +106,8 @@ func (r *RoundRobin) Name() string {
 
 // SelectPool implements InitialScheduler.
 func (r *RoundRobin) SelectPool(_ float64, spec *job.Spec, view PoolView) (int, error) {
-	eligible := eligibleCandidates(spec, view)
+	eligible := eligibleCandidates(spec, view, r.scratch)
+	r.scratch = eligible
 	if len(eligible) == 0 {
 		return 0, errNoEligiblePool(spec)
 	}
@@ -270,7 +272,8 @@ func (u *UtilizationBased) SelectPool(_ float64, spec *job.Spec, view PoolView) 
 // pool. It is not one of the paper's initial schedulers but serves as an
 // ablation baseline between round-robin and utilization-based.
 type RandomInitial struct {
-	rng *stats.RNG
+	rng     *stats.RNG
+	scratch []int // eligibleCandidates reuse; never retained
 }
 
 var _ InitialScheduler = (*RandomInitial)(nil)
@@ -286,7 +289,8 @@ func (r *RandomInitial) Name() string { return "random" }
 
 // SelectPool implements InitialScheduler.
 func (r *RandomInitial) SelectPool(_ float64, spec *job.Spec, view PoolView) (int, error) {
-	eligible := eligibleCandidates(spec, view)
+	eligible := eligibleCandidates(spec, view, r.scratch)
+	r.scratch = eligible
 	if len(eligible) == 0 {
 		return 0, errNoEligiblePool(spec)
 	}
@@ -308,9 +312,12 @@ func (r *RandomInitial) ImportState(data []byte) error {
 }
 
 // eligibleCandidates filters spec.Candidates through the view's static
-// eligibility check, preserving order.
-func eligibleCandidates(spec *job.Spec, view PoolView) []int {
-	out := make([]int, 0, len(spec.Candidates))
+// eligibility check, preserving order. The result reuses buf's storage
+// (callers pass a per-scheduler scratch slice; scheduler calls are
+// serialized by the engines' decision ordering, like the rotation maps
+// they already mutate), so consumers that retain it must copy.
+func eligibleCandidates(spec *job.Spec, view PoolView, buf []int) []int {
+	out := buf[:0]
 	for _, p := range spec.Candidates {
 		if view.Eligible(p, spec) {
 			out = append(out, p)
@@ -319,11 +326,15 @@ func eligibleCandidates(spec *job.Spec, view PoolView) []int {
 	return out
 }
 
-// candidateKey builds a map key identifying a candidate set.
+// candidateKey builds a map key identifying a candidate set. The
+// encoding ("%d," per pool) is also the per-candidate-set map key in
+// exported scheduler state, so it must stay stable across versions.
 func candidateKey(pools []int) string {
-	var sb strings.Builder
+	var buf [64]byte
+	b := buf[:0]
 	for _, p := range pools {
-		fmt.Fprintf(&sb, "%d,", p)
+		b = strconv.AppendInt(b, int64(p), 10)
+		b = append(b, ',')
 	}
-	return sb.String()
+	return string(b)
 }

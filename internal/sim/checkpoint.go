@@ -38,9 +38,12 @@ import (
 )
 
 // snapshotMagic and snapshotVersion head every encoded snapshot.
+// Version 2 dropped the persisted cross-alias flag: the alias-risk
+// ledger (world.aliasLive, jobRT.aliased) is a pure function of
+// restored job/machine state and is rederived on restore.
 const (
 	snapshotMagic   = uint32(0x4e425350) // "NBSP"
-	snapshotVersion = uint32(1)
+	snapshotVersion = uint32(2)
 )
 
 // ErrSnapshotMismatch wraps every resume failure caused by the snapshot
@@ -357,7 +360,6 @@ type snapshot struct {
 	// labels or cadences never mask (or fake) a state difference.
 	comparable []byte
 
-	crossAliased bool
 	hasInitState bool
 	initState    []byte
 	hasPolState  bool
@@ -414,7 +416,6 @@ func takeSnapshot(w *world, shards []*shard, p snapParams, now float64, events i
 	e.F64(now)
 	e.I64(events)
 
-	e.Bool(w.crossAliased)
 	if err := encodeComponentState(&e, w.cfg.Initial); err != nil {
 		return nil, fmt.Errorf("sim: checkpoint initial scheduler: %w", err)
 	}
@@ -498,7 +499,6 @@ func decodeSnapshot(data []byte) (*snapshot, error) {
 	sn.time = d.F64()
 	sn.events = d.I64()
 
-	sn.crossAliased = d.Bool()
 	sn.hasInitState = d.Bool()
 	if sn.hasInitState {
 		sn.initState = d.Bytes()
@@ -598,7 +598,6 @@ func restoreRun(sn *snapshot, w *world, shards []*shard, c *coordinator) error {
 		return fmt.Errorf("%w: event-kind table hash %#x, snapshot has %#x",
 			ErrSnapshotMismatch, h, sn.kindHash)
 	}
-	w.crossAliased = sn.crossAliased
 	if err := restoreComponentState(w.cfg.Initial, "initial scheduler", sn.hasInitState, sn.initState); err != nil {
 		return err
 	}
@@ -632,6 +631,7 @@ func restoreRun(sn *snapshot, w *world, shards []*shard, c *coordinator) error {
 	for _, sh := range shards {
 		sh.rebuildAliasRisk()
 	}
+	rebuildAliasLive(w)
 	if c != nil {
 		c.gseq = sn.gseq
 		c.ties = sn.ties

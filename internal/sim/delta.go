@@ -128,10 +128,29 @@ func (h rollHash) sum() uint32 { return h.a&0xffff | h.b<<16 }
 // one literal the size of full, and the checkpointer falls back to the
 // full encoding by size comparison.
 func encodeSnapshotDelta(base, full []byte, baseTime, newTime float64, baseEvents, newEvents int64) []byte {
+	return encodeSnapshotDeltaInto(nil, nil, base, full, baseTime, newTime, baseEvents, newEvents)
+}
+
+// encodeSnapshotDeltaInto is encodeSnapshotDelta with caller-owned
+// scratch: the op stream is appended to out (which may be nil, or a
+// recycled buffer with its capacity intact), and idxp, when non-nil,
+// names a block-index map to reuse across calls instead of allocating
+// one per diff. The optimistic engine diffs once per rollback snapshot,
+// so both pieces of scratch turn into steady-state reuse there.
+func encodeSnapshotDeltaInto(out []byte, idxp *map[uint32]int32, base, full []byte, baseTime, newTime float64, baseEvents, newEvents int64) []byte {
 	// Index base in non-overlapping blocks. Last partial block is not
 	// indexed; the forward extension of earlier matches covers most of
 	// the tail anyway.
-	idx := make(map[uint32]int32, len(base)/deltaBlock+1)
+	var idx map[uint32]int32
+	if idxp != nil && *idxp != nil {
+		idx = *idxp
+		clear(idx)
+	} else {
+		idx = make(map[uint32]int32, len(base)/deltaBlock+1)
+		if idxp != nil {
+			*idxp = idx
+		}
+	}
 	for off := 0; off+deltaBlock <= len(base); off += deltaBlock {
 		// First writer wins: keeping the lowest offset makes the op
 		// stream deterministic regardless of map iteration.
@@ -141,7 +160,10 @@ func encodeSnapshotDelta(base, full []byte, baseTime, newTime float64, baseEvent
 		}
 	}
 
-	e := snapEncoder{buf: make([]byte, 0, len(full)/8+256)}
+	if cap(out) == 0 {
+		out = make([]byte, 0, len(full)/8+256)
+	}
+	e := snapEncoder{buf: out[:0]}
 	e.U64(uint64(deltaMagic))
 	e.U64(uint64(deltaVersion))
 	e.U64(uint64(crc32.Checksum(base, castagnoli)))

@@ -385,6 +385,7 @@ func (sh *shard) killMachineJobs(mid int) error {
 	for len(mach.running) > 0 {
 		rt := mach.running[0]
 		mach.running = mach.running[1:]
+		sh.noteDetach(rt)
 		sh.k.cancel(rt.finish)
 		mach.freeCores += rt.spec.Cores
 		mach.freeMemMB += rt.spec.MemMB
@@ -397,6 +398,7 @@ func (sh *shard) killMachineJobs(mid int) error {
 	for len(mach.suspended) > 0 {
 		rt := mach.suspended[0]
 		mach.suspended = mach.suspended[1:]
+		sh.noteDetach(rt)
 		p.suspendedCnt--
 		sh.scopeSuspended--
 		if sh.w.cfg.SuspendHoldsMemory {

@@ -18,7 +18,7 @@ package sim
 // grid, a stale decision fence ahead of an unclaimed spawning event,
 // and a machine crash whose kill-requeue races a cross-site arrival
 // (the coordinate class that exposed the cross-alias victim hazard —
-// see the crossAliased promotion in shard.go).
+// see the alias-risk ledger promotion in shard.go).
 
 import (
 	"math/rand/v2"

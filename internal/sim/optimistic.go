@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"runtime"
 	"sort"
 	"sync"
@@ -86,11 +87,13 @@ import (
 // the conservative engine's is, and the same measure-zero tie cases
 // are flagged instead of silently ordered.
 //
-// After the first cross-site alias dispatch (w.crossAliased) handoffs
-// everywhere become deciding and may mutate remote machine state, so
-// speculation is retired for the rest of the run: cap collapses to
-// safe and every stack is cleared. Progress then degrades to
-// fence-bounded bursts plus serialized commits, which is still exact.
+// While a cross-site aliased job is machine-attached (w.aliasLive > 0)
+// handoffs everywhere become deciding and may mutate remote machine
+// state, so speculation pauses: cap collapses to safe and every stack
+// is cleared. Progress then degrades to fence-bounded bursts plus
+// serialized commits, which is still exact — and once the last aliased
+// job detaches (the ledger retires the risk, see world.aliasLive),
+// handoffs demote back to shard-local events and speculation resumes.
 
 // optEntry is one incremental rollback snapshot: the shard's codec
 // sections at a moment where sh.k.now == clock and the head of its
@@ -118,7 +121,21 @@ type optShard struct {
 	stack     []optEntry
 	sinceSnap int // events executed since the newest stack entry
 
+	// finMax is the latest completion time this shard has logged (and
+	// not rolled back): the incremental form of scanning roundFin for
+	// the run's last finish. Rollback truncation rescans the surviving
+	// log prefix when the truncated suffix could have held the maximum.
+	finMax float64
+
 	encBuf []byte // snapshot encoder scratch, reused across captures
+
+	// bufPool recycles stack-entry buffers (raw captures and delta op
+	// streams alike) between bursts: every deciding commit clears all
+	// stacks, so without reuse each speculative burst re-allocates its
+	// whole snapshot footprint. deltaIdx is the delta encoder's block
+	// index, reused the same way.
+	bufPool  [][]byte
+	deltaIdx map[uint32]int32
 
 	// inTransit is stashed by the core codec's queue save (which runs
 	// first) for the placement codec's capture scope: jobs with a
@@ -162,6 +179,74 @@ type optCoord struct {
 	snapEvery int
 	clean     int
 	wasted    int // speculative events undone since the last deciding commit
+
+	// groupHist accumulates Result.GroupCommitSize: log2-bucketed run
+	// lengths of the quiescent commit drain.
+	groupHist []int64
+
+	// Per-shard fence caches for the commit drain, refilled by each
+	// quiescent pass and thereafter recomputed only for shards whose
+	// queues a commit actually changed: most retired heads touch the
+	// decider's queues alone, so re-peeking every peer per commit is
+	// pure waste. Staleness detection is by the queues' monotone
+	// mutation counters, which a commit cannot bypass — even the
+	// cross-shard paths (outbox deliveries, a deciding dispatch
+	// canceling a peer's pending event through its evRef) go through
+	// counted queue operations. Cross-shard alias-risk side effects
+	// (noteAway on a peer) change only the aliasRisk gate, which the
+	// drain reads live, never a cached value.
+	qMuts  []uint64
+	qNext  []float64 // main-queue head time (or +inf)
+	dFence []float64 // decideFence(): shadow decide head / chain submit
+	hoff   []float64 // nextHandoff(): shadow handoff head (or +inf)
+}
+
+// shardMuts sums shard i's queue mutation counters: an unchanged sum
+// between two quiescent instants proves all three pending sets — and
+// hence every cached fence value — are unchanged. (nextChainSubmit is
+// covered too: it only advances when the shard dispatches a submit,
+// which pops the main queue.)
+func (c *optCoord) shardMuts(i int) uint64 {
+	k := c.shards[i].k
+	m := k.q.Muts()
+	if k.decideQ != nil {
+		m += k.decideQ.Muts()
+	}
+	if k.handoffQ != nil {
+		m += k.handoffQ.Muts()
+	}
+	return m
+}
+
+// refreshFenceCache recomputes shard i's cached queue heads.
+func (c *optCoord) refreshFenceCache(i int) {
+	sh := c.shards[i]
+	t, ok := sh.k.q.NextTime()
+	if !ok {
+		t = inf
+	}
+	c.qNext[i] = t
+	c.dFence[i] = sh.decideFence()
+	c.hoff[i] = sh.k.nextHandoff()
+	c.qMuts[i] = c.shardMuts(i)
+}
+
+// cachedFence is publishedFence computed from the caches: exact (not
+// just conservative) whenever shard i's mutation counters still match
+// c.qMuts[i], since every fence source is cached and the alias gate is
+// read live.
+func (c *optCoord) cachedFence(i int) float64 {
+	sh := c.shards[i]
+	f := c.dFence[i]
+	if sh.aliasRisk > 0 || sh.w.aliasLive > 0 {
+		if h := c.hoff[i]; h < f {
+			f = h
+		}
+	}
+	if t := c.qNext[i] + sh.w.minDyn; t < f {
+		f = t
+	}
+	return f
 }
 
 // optSnapshots and optRollbacks count snapshot pushes and rollbacks
@@ -211,7 +296,7 @@ func (c *optCoord) runBurst(sh *shard, capT, safeT float64) {
 			c.fail(fmt.Errorf("sim: event time went backwards: %v -> %v", k.now, t))
 			return
 		}
-		if k.decides(ev.Kind) || ((sh.aliasRisk > 0 || w.crossAliased) && k.isHandoff(ev.Kind)) {
+		if k.decides(ev.Kind) || ((sh.aliasRisk > 0 || w.aliasLive > 0) && k.isHandoff(ev.Kind)) {
 			return
 		}
 		if t >= safeT && (len(o.stack) == 0 || o.sinceSnap >= c.snapEvery) {
@@ -231,6 +316,9 @@ func (c *optCoord) runBurst(sh *shard, capT, safeT float64) {
 		k.releaseRef(ev)
 		sh.par.roundTimes = append(sh.par.roundTimes, t)
 		sh.par.roundFin = append(sh.par.roundFin, fin)
+		if fin >= 0 && t > o.finMax {
+			o.finMax = t
+		}
 		o.sinceSnap++
 		if err != nil {
 			c.fail(fmt.Errorf("sim: t=%v: %w", t, err))
@@ -257,12 +345,16 @@ func (c *optCoord) pushSnapshot(sh *shard) {
 		cd.save(&e)
 	}
 	o.encBuf = e.buf
-	data := append([]byte(nil), e.buf...)
+	data := append(o.getBuf(), e.buf...)
 	if n := len(o.stack); n > 0 {
 		prev := &o.stack[n-1]
 		if !prev.isDelta {
-			if dl := encodeSnapshotDelta(data, prev.data, sh.k.now, prev.clock, 0, 0); len(dl) < len(prev.data) {
+			dl := encodeSnapshotDeltaInto(o.getBuf(), &o.deltaIdx, data, prev.data, sh.k.now, prev.clock, 0, 0)
+			if len(dl) < len(prev.data) {
+				o.putBuf(prev.data)
 				prev.data, prev.isDelta = dl, true
+			} else {
+				o.putBuf(dl)
 			}
 		}
 	}
@@ -275,9 +367,32 @@ func (c *optCoord) pushSnapshot(sh *shard) {
 	o.sinceSnap = 0
 }
 
+// getBuf takes a recycled buffer (length 0, capacity warm) off the
+// shard's pool, or returns nil — append semantics make the two
+// interchangeable.
+func (o *optShard) getBuf() []byte {
+	if n := len(o.bufPool); n > 0 {
+		b := o.bufPool[n-1][:0]
+		o.bufPool[n-1] = nil
+		o.bufPool = o.bufPool[:n-1]
+		return b
+	}
+	return nil
+}
+
+// putBuf returns a stack-entry buffer to the pool. The cap bounds the
+// retained footprint to roughly one burst's snapshot stack.
+func (o *optShard) putBuf(b []byte) {
+	if cap(b) == 0 || len(o.bufPool) >= 16 {
+		return
+	}
+	o.bufPool = append(o.bufPool, b)
+}
+
 func (c *optCoord) clearStack(sh *shard) {
 	o := sh.opt
 	for i := range o.stack {
+		o.putBuf(o.stack[i].data)
 		o.stack[i].data = nil
 	}
 	o.stack = o.stack[:0]
@@ -349,6 +464,17 @@ func (c *optCoord) rollback(sh *shard, td float64) error {
 	ent := &o.stack[ti]
 	sh.par.roundTimes = sh.par.roundTimes[:ent.roundLen]
 	sh.par.roundFin = sh.par.roundFin[:ent.roundLen]
+	if o.finMax >= ent.clock {
+		// The truncated suffix (all events at or above the snapshot
+		// clock) could have held the latest completion; rescan the
+		// surviving prefix.
+		o.finMax = math.Inf(-1)
+		for pos, fin := range sh.par.roundFin {
+			if fin >= 0 && sh.par.roundTimes[pos] > o.finMax {
+				o.finMax = sh.par.roundTimes[pos]
+			}
+		}
+	}
 	sh.rebuildAliasRisk()
 	o.stack = o.stack[:ti+1]
 	o.stack[ti].data, o.stack[ti].isDelta = data, false
@@ -362,7 +488,7 @@ func (c *optCoord) rollback(sh *shard, td float64) error {
 		if !ok || ev.Time >= td {
 			break
 		}
-		if k.decides(ev.Kind) || ((sh.aliasRisk > 0 || c.w.crossAliased) && k.isHandoff(ev.Kind)) {
+		if k.decides(ev.Kind) || ((sh.aliasRisk > 0 || c.w.aliasLive > 0) && k.isHandoff(ev.Kind)) {
 			return fmt.Errorf("sim: internal: deciding event at t=%v below commit t=%v during replay",
 				ev.Time, td)
 		}
@@ -380,6 +506,9 @@ func (c *optCoord) rollback(sh *shard, td float64) error {
 		k.releaseRef(ev)
 		sh.par.roundTimes = append(sh.par.roundTimes, ev.Time)
 		sh.par.roundFin = append(sh.par.roundFin, fin)
+		if fin >= 0 && ev.Time > o.finMax {
+			o.finMax = ev.Time
+		}
 		o.sinceSnap++
 		undone--
 		if err != nil {
@@ -402,11 +531,14 @@ func (c *optCoord) rollback(sh *shard, td float64) error {
 // and (Time, G, Idx)-sorted barrier delivery of the decision's sends.
 func (c *optCoord) commit(td float64, decider int) error {
 	w := c.w
-	for _, sh := range c.shards {
+	for i, sh := range c.shards {
 		if sh.k.now >= td {
 			if err := c.rollback(sh, td); err != nil {
 				return err
 			}
+			// Keep the fence caches fresh through the tie scan below:
+			// the rollback rebuilt this shard's queues.
+			c.refreshFenceCache(i)
 		}
 	}
 	dsh := c.shards[decider]
@@ -416,7 +548,7 @@ func (c *optCoord) commit(td float64, decider int) error {
 			decider, ev.Time, td)
 	}
 	kd := ev.Kind
-	deciding := dsh.k.decides(kd) || ((dsh.aliasRisk > 0 || w.crossAliased) && dsh.k.isHandoff(kd))
+	deciding := dsh.k.decides(kd) || ((dsh.aliasRisk > 0 || w.aliasLive > 0) && dsh.k.isHandoff(kd))
 
 	// Ambiguous-tie scan, mirroring the conservative claim checks: a
 	// deciding commit flags any peer holding an event or a fence at
@@ -428,11 +560,18 @@ func (c *optCoord) commit(td float64, decider int) error {
 		if qi == decider {
 			continue
 		}
-		fence := sh.publishedFence()
+		// Every call site reaches here with shard qi's fence caches
+		// fresh (the quiescent pass or the drain rescan refilled them,
+		// and the rollback loop above re-refreshed any shard it undid),
+		// so the common no-tie case decides on cached values alone.
+		if c.qNext[qi] > td && c.cachedFence(qi) > td {
+			continue
+		}
 		qn, nextKind := inf, 0
 		if pe, pok := sh.k.q.Peek(); pok {
 			qn, nextKind = pe.Time, pe.Kind
 		}
+		fence := sh.publishedFence()
 		switch {
 		case deciding && (qn == td || fence == td):
 			structural := td == w.start && kd == c.kSubmit &&
@@ -466,6 +605,9 @@ func (c *optCoord) commit(td float64, decider int) error {
 	sh := dsh
 	sh.par.roundTimes = append(sh.par.roundTimes, td)
 	sh.par.roundFin = append(sh.par.roundFin, fin)
+	if fin >= 0 && td > sh.opt.finMax {
+		sh.opt.finMax = td
+	}
 	if err != nil {
 		return fmt.Errorf("sim: t=%v: %w", td, err)
 	}
@@ -500,12 +642,17 @@ func (c *optCoord) deliverOutbox(src *shard) error {
 		if sh == src {
 			continue
 		}
-		for d := range c.shards {
-			if len(sh.par.outbox[d]) != 0 {
-				return fmt.Errorf("sim: internal: shard %d buffered a cross-shard send outside a commit", sh.index)
-			}
+		if sh.par.outboxN != 0 {
+			return fmt.Errorf("sim: internal: shard %d buffered a cross-shard send outside a commit", sh.index)
 		}
 	}
+	if src.par.outboxN == 0 {
+		// The common case for a deciding commit that stayed local: the
+		// drain loop retires long runs of these, so the flush must cost
+		// nothing when there is nothing to flush.
+		return nil
+	}
+	src.par.outboxN = 0
 	for d := range c.shards {
 		msgs := src.par.outbox[d]
 		if len(msgs) == 0 {
@@ -533,6 +680,16 @@ func (c *optCoord) deliverOutbox(src *shard) error {
 		c.batch = batch[:0]
 	}
 	return nil
+}
+
+// noteGroupCommit buckets one quiescent drain of n consecutive commits
+// into the log2 histogram behind Result.GroupCommitSize.
+func (c *optCoord) noteGroupCommit(n int64) {
+	b := bits.Len64(uint64(n)) - 1
+	for len(c.groupHist) <= b {
+		c.groupHist = append(c.groupHist, 0)
+	}
+	c.groupHist[b]++
 }
 
 // adapt retunes the speculation window after a deciding commit: undone
@@ -571,12 +728,25 @@ func runOptimistic(w *world) (*Result, error) {
 	for s := range shards {
 		shards[s] = newShard(w, s, []int{s}, true)
 	}
+	// Unlike the conservative engine, whose per-round logs truncate at
+	// every barrier and append into warm storage, the optimistic logs
+	// span the whole run (the merge and rollback truncation need them).
+	// Go's large-slice append grows by ~1.25x, so growing a year-scale
+	// log from nothing churns several times its final size; presizing
+	// from the job count removes that churn for the typical event/job
+	// ratio and degrades to plain growth beyond it.
+	estLog := 8*len(w.specs)/len(shards) + 256
 	for _, sh := range shards {
 		sh.peers = shards
 		if !sameKinds(shards[0].k, sh.k) {
 			return nil, fmt.Errorf("sim: shard %d allocated a different event-kind table", sh.index)
 		}
-		sh.opt = &optShard{scopeSeen: make([]bool, len(w.jobs))}
+		sh.opt = &optShard{
+			scopeSeen: make([]bool, len(w.jobs)),
+			finMax:    math.Inf(-1),
+		}
+		sh.par.roundTimes = make([]float64, 0, estLog)
+		sh.par.roundFin = make([]int32, 0, estLog)
 	}
 	c := &optCoord{
 		w:         w,
@@ -588,6 +758,10 @@ func runOptimistic(w *world) (*Result, error) {
 		snapEvery: 64,
 	}
 	c.cond = sync.NewCond(&c.mu)
+	c.qMuts = make([]uint64, len(shards))
+	c.qNext = make([]float64, len(shards))
+	c.dFence = make([]float64, len(shards))
+	c.hoff = make([]float64, len(shards))
 	for _, sh := range shards {
 		sh.seed()
 	}
@@ -645,21 +819,21 @@ func runOptimistic(w *world) (*Result, error) {
 			completed += sh.completed
 		}
 		minNext := inf
-		for _, sh := range shards {
-			if t, ok := sh.k.q.NextTime(); ok && t < minNext {
-				minNext = t
+		for i := range shards {
+			c.refreshFenceCache(i)
+			if c.qNext[i] < minNext {
+				minNext = c.qNext[i]
 			}
 		}
 		if completed >= total {
-			// Recomputed each pass: a rollback can undo a speculative
-			// completion, so neither the count nor the makespan is
-			// monotone until the run actually ends.
+			// Recomputed each pass from the per-shard incremental maxima
+			// (rollback truncation keeps them honest): a rollback can
+			// undo a speculative completion, so neither the count nor the
+			// makespan is monotone until the run actually ends.
 			lastFin = math.Inf(-1)
 			for _, sh := range shards {
-				for pos, fin := range sh.par.roundFin {
-					if fin >= 0 && sh.par.roundTimes[pos] > lastFin {
-						lastFin = sh.par.roundTimes[pos]
-					}
+				if sh.opt.finMax > lastFin {
+					lastFin = sh.opt.finMax
 				}
 			}
 			if minNext > lastFin {
@@ -690,9 +864,9 @@ func runOptimistic(w *world) (*Result, error) {
 		td := inf
 		decider := -1
 		for i, sh := range shards {
-			cand := sh.decideFence()
-			if sh.aliasRisk > 0 || w.crossAliased {
-				if h := sh.k.nextHandoff(); h < cand {
+			cand := c.dFence[i]
+			if sh.aliasRisk > 0 || w.aliasLive > 0 {
+				if h := c.hoff[i]; h < cand {
 					cand = h
 				}
 			}
@@ -702,12 +876,74 @@ func runOptimistic(w *world) (*Result, error) {
 		}
 		if decider >= 0 && minNext >= td {
 			// Every event below td has executed, so the decision
-			// observes exactly the serial prefix. Commit one event and
-			// re-evaluate: the dispatch can cancel the decision that
-			// defined td, spawn a new earlier one, or complete the run.
-			if err := c.commit(td, decider); err != nil {
-				return nil, err
+			// observes exactly the serial prefix. Group-commit drain:
+			// instead of paying a full quiescence pass per retired head,
+			// keep committing while the next global head is itself a
+			// committable decision. The run is sound on committed state
+			// throughout: the first commit rolled back every shard at or
+			// past td, each successive target satisfies td' >= td with
+			// minNext >= td', and no shard runs between commits, so no
+			// speculative state at or past a commit target can exist —
+			// every later commit in the run observes exactly the serial
+			// prefix with no further rollbacks. Each dispatch can still
+			// cancel the decision that defined td, spawn a new earlier
+			// one, or complete the run; the re-scan below catches all
+			// three and ends the run when the head stops being
+			// committable.
+			run := int64(0)
+			for {
+				if err := c.commit(td, decider); err != nil {
+					return nil, err
+				}
+				if run++; run&63 == 0 && ctx != nil {
+					if err := ctx.Err(); err != nil {
+						return nil, fmt.Errorf("sim: canceled at t=%v: %w", maxNow(shards), err)
+					}
+				}
+				completed = 0
+				for _, sh := range shards {
+					completed += sh.completed
+				}
+				if completed >= total {
+					break
+				}
+				// Incremental rescan: the commit changed at most a few
+				// shards' queues (typically just the decider's); every
+				// shard whose mutation counters are unchanged still has
+				// exact cached heads.
+				for i := range shards {
+					if c.shardMuts(i) != c.qMuts[i] {
+						c.refreshFenceCache(i)
+					}
+				}
+				minNext = inf
+				for i := range shards {
+					if c.qNext[i] < minNext {
+						minNext = c.qNext[i]
+					}
+				}
+				if minNext > w.cfg.MaxTime {
+					// Deadlock and MaxTime overruns report through the
+					// quiescent pass, with its exact error wording.
+					break
+				}
+				td, decider = inf, -1
+				for i, sh := range shards {
+					cand := c.dFence[i]
+					if sh.aliasRisk > 0 || w.aliasLive > 0 {
+						if h := c.hoff[i]; h < cand {
+							cand = h
+						}
+					}
+					if cand < td {
+						td, decider = cand, i
+					}
+				}
+				if decider < 0 || minNext < td {
+					break
+				}
 			}
+			c.noteGroupCommit(run)
 			continue
 		}
 
@@ -729,8 +965,10 @@ func runOptimistic(w *world) (*Result, error) {
 		// earlier instant. min/second-min over the fences gives every
 		// shard its exclusive-of-self bound in one pass.
 		min1, min2, minIdx := inf, inf, -1
-		for i, sh := range shards {
-			f := sh.publishedFence()
+		for i := range shards {
+			// The caches are exactly the quiescent pass's refresh above;
+			// nothing between there and here touches a queue.
+			f := c.cachedFence(i)
 			if f < min1 {
 				min1, min2, minIdx = f, min1, i
 			} else if f < min2 {
@@ -738,7 +976,7 @@ func runOptimistic(w *world) (*Result, error) {
 			}
 		}
 		specW := c.window
-		if w.crossAliased {
+		if w.aliasLive > 0 {
 			specW = 0
 		}
 		capAll := min1 + specW
@@ -804,5 +1042,10 @@ func runOptimistic(w *world) (*Result, error) {
 	for _, sh := range shards {
 		sh.acct.flushTo(lastFin)
 	}
-	return mergeParallel(w, shards, 0, &coordinator{ties: c.ties})
+	res, err := mergeParallel(w, shards, 0, &coordinator{ties: c.ties})
+	if err != nil {
+		return nil, err
+	}
+	res.GroupCommitSize = c.groupHist
+	return res, nil
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"netbatch/internal/eventq"
 	"netbatch/internal/stats"
@@ -78,24 +79,48 @@ type parShard struct {
 	// buffer per destination shard. Buffers are truncated (not freed) at
 	// each barrier, so steady-state rounds append into warm storage.
 	outbox [][]outMsg
+	// outboxN counts the messages currently buffered across all of this
+	// shard's outbox buffers, so barriers (and the optimistic engine's
+	// per-commit flush) can skip the per-destination walk when nothing
+	// was sent.
+	outboxN int
 
 	// busyShifts logs cross-site busy mutations for the whole run
 	// (NOT cleared per round).
 	busyShifts []busyShift
 	// roundTimes/roundFin log this round's processed events: the event
-	// time and, for completions, the finished job index (-1 otherwise).
+	// time and, for completions, the finished job index (-1 otherwise;
+	// finPhantom for a sibling sub-shard's surplus refresh events, which
+	// the serial engine never runs and the merge must not count).
 	// The final round's log is what lets the merge count events exactly
 	// the way the serial loop — which dies at the last completion —
 	// does.
 	roundTimes []float64
 	roundFin   []int32
-	polls      int64
-	msgSeq     uint64
+	// phantoms counts this round's finPhantom entries; steals counts the
+	// whole run's real events executed by a non-primary sub-shard.
+	phantoms int
+	steals   int64
+	polls    int64
+	msgSeq   uint64
 }
+
+// finPhantom marks a roundFin entry whose event exists only because a
+// skew-split site runs one refresh chain per sub-shard instead of one:
+// the primary's refresh is the event the serial engine counts, the
+// siblings' are bookkeeping duplicates at the same timestamps.
+const finPhantom = int32(-2)
+
+// subShardSteals counts events executed by non-primary sub-shards of a
+// skew-split hot site, across every run in the process. Tests assert
+// the work-stealing split genuinely engages through deltas of this
+// counter.
+var subShardSteals atomic.Int64
 
 func (p *parShard) beginRound() {
 	p.roundTimes = p.roundTimes[:0]
 	p.roundFin = p.roundFin[:0]
+	p.phantoms = 0
 }
 
 // shardCtl is one shard's published synchronization state. All fields
@@ -158,11 +183,37 @@ type coordinator struct {
 // queues. Called under the mutex after each deciding event: a decision
 // can change a peer's alias-risk state (an alias dispatch marks the
 // queue's old owner), which lowers the peer's true fence before the
-// peer itself gets to republish it.
+// peer itself gets to republish it. In a sub-sharded run the decision
+// may also have injected events directly into a sibling's kernel —
+// possibly earlier than the sibling's stale published head — so next
+// is republished too; every peer is idle here (canDecide required it),
+// so peeking their queues is safe.
 func (c *coordinator) refreshFences() {
 	for i, sh := range c.shards {
 		c.ctl[i].fence = sh.publishedFence()
+		if c.w.subSharded && !c.ctl[i].busy {
+			if ev, ok := sh.k.q.Peek(); ok {
+				c.ctl[i].next, c.ctl[i].nextKind = ev.Time, ev.Kind
+			} else {
+				c.ctl[i].next, c.ctl[i].nextKind = inf, 0
+			}
+		}
 	}
+}
+
+// siblingsActive reports whether any same-site sibling sub-shard of sh
+// still holds or is processing work below the round horizon. Siblings
+// are the only shards that can inject events into sh mid-round (via
+// serialized deciding dispatches), so once every sibling is
+// simultaneously idle and drained, sh's round is provably closed.
+func (c *coordinator) siblingsActive(sh *shard, H float64) bool {
+	for _, qi := range sh.siblings {
+		q := &c.ctl[qi]
+		if q.busy || q.next < H {
+			return true
+		}
+	}
+	return false
 }
 
 func (c *coordinator) fail(err error) {
@@ -289,7 +340,25 @@ func (c *coordinator) runShardRound(sh *shard, H float64) {
 	for !c.aborted {
 		ev, ok := sh.k.q.Peek()
 		if !ok || ev.Time >= H {
-			break
+			if sh.siblings == nil || !c.siblingsActive(sh, H) {
+				break
+			}
+			// Drained below the horizon, but a same-site sibling is
+			// still active and one of its deciding dispatches may yet
+			// inject events below H into this queue. Exiting now would
+			// flush accounting ticks to H prematurely; publish an idle
+			// state and wait for the siblings to drain (or for injected
+			// work). A fruitless wake republishes identical state and
+			// stays silent, like the claim loop below.
+			fence := sh.publishedFence()
+			if announce || ctl.next != inf || ctl.fence != fence {
+				ctl.next, ctl.nextKind = inf, 0
+				ctl.fence = fence
+				c.cond.Broadcast()
+				announce = false
+			}
+			c.cond.Wait()
+			continue
 		}
 		t := ev.Time
 		if t < sh.k.now {
@@ -300,7 +369,7 @@ func (c *coordinator) runShardRound(sh *shard, H float64) {
 		// shard has live alias risk: their wait-queue scans may touch
 		// jobs resident at other sites (see shard.aliasRisk).
 		deciding := sh.k.decides(ev.Kind) ||
-			((sh.aliasRisk > 0 || sh.w.crossAliased) && sh.k.isHandoff(ev.Kind))
+			((sh.aliasRisk > 0 || sh.w.aliasLive > 0) && sh.k.isHandoff(ev.Kind))
 		fence := sh.publishedFence()
 		if announce || ctl.next != t || ctl.nextKind != ev.Kind || ctl.fence != fence {
 			// Peers must be woken when this shard's published state
@@ -359,6 +428,8 @@ func (c *coordinator) runShardRound(sh *shard, H float64) {
 		fin := int32(-1)
 		if ev.Kind == int(sh.place.finish) {
 			fin = int32(ev.A)
+		} else if !sh.primary && ev.Kind == int(sh.snaps.snapshot) {
+			fin = finPhantom
 		}
 		if w.cfg.eventLog != nil {
 			// Per-shard append: each worker owns its own slice.
@@ -376,6 +447,11 @@ func (c *coordinator) runShardRound(sh *shard, H float64) {
 		}
 		sh.par.roundTimes = append(sh.par.roundTimes, t)
 		sh.par.roundFin = append(sh.par.roundFin, fin)
+		if fin == finPhantom {
+			sh.par.phantoms++
+		} else if !sh.primary {
+			sh.par.steals++
+		}
 		if err != nil {
 			c.fail(fmt.Errorf("sim: t=%v: %w", t, err))
 			break
@@ -430,12 +506,12 @@ func runParallel(w *world, sn *snapshot) (*Result, error) {
 		// spin forever at one timestamp, so fail loudly instead.
 		return nil, fmt.Errorf("sim: parallel engine requires positive cross-site lookahead, got %v", delta)
 	}
-	shards := make([]*shard, w.nSites)
-	for s := range shards {
-		shards[s] = newShard(w, s, []int{s}, true)
-	}
+	shards := planShards(w)
 	for _, sh := range shards {
 		sh.peers = shards
+		if len(sh.par.outbox) < len(shards) {
+			sh.par.outbox = make([][]outMsg, len(shards))
+		}
 		if !sameKinds(shards[0].k, sh.k) {
 			return nil, fmt.Errorf("sim: shard %d allocated a different event-kind table", sh.index)
 		}
@@ -567,32 +643,41 @@ func runParallel(w *world, sn *snapshot) (*Result, error) {
 		// cross-shard sends originate from globally-serialized deciding
 		// events — so the bulk insert is deterministic and equivalent to
 		// the per-message deliveries it replaces. The scratch batch and
-		// the per-dest buffers are reused across rounds.
-		for d := range shards {
-			batch := c.batch[:0]
-			for _, sh := range shards {
-				for _, m := range sh.par.outbox[d] {
-					batch = append(batch, eventq.Delivery{
-						Time: m.t, Kind: int(m.kind), A: m.a, B: m.b, G: m.g, Idx: m.idx,
+		// the per-dest buffers are reused across rounds; rounds that sent
+		// nothing (the overwhelming majority under any site-local
+		// scheduling policy) skip the shards-squared walk entirely.
+		pending := 0
+		for _, sh := range shards {
+			pending += sh.par.outboxN
+			sh.par.outboxN = 0
+		}
+		if pending > 0 {
+			for d := range shards {
+				batch := c.batch[:0]
+				for _, sh := range shards {
+					for _, m := range sh.par.outbox[d] {
+						batch = append(batch, eventq.Delivery{
+							Time: m.t, Kind: int(m.kind), A: m.a, B: m.b, G: m.g, Idx: m.idx,
+						})
+					}
+					sh.par.outbox[d] = sh.par.outbox[d][:0]
+				}
+				if len(batch) > 1 {
+					sort.Slice(batch, func(i, j int) bool {
+						if batch[i].Time != batch[j].Time {
+							return batch[i].Time < batch[j].Time
+						}
+						if batch[i].G != batch[j].G {
+							return batch[i].G < batch[j].G
+						}
+						return batch[i].Idx < batch[j].Idx
 					})
 				}
-				sh.par.outbox[d] = sh.par.outbox[d][:0]
+				if len(batch) > 0 {
+					shards[d].k.deliverBatch(batch)
+				}
+				c.batch = batch[:0]
 			}
-			if len(batch) > 1 {
-				sort.Slice(batch, func(i, j int) bool {
-					if batch[i].Time != batch[j].Time {
-						return batch[i].Time < batch[j].Time
-					}
-					if batch[i].G != batch[j].G {
-						return batch[i].G < batch[j].G
-					}
-					return batch[i].Idx < batch[j].Idx
-				})
-			}
-			if len(batch) > 0 {
-				shards[d].k.deliverBatch(batch)
-			}
-			c.batch = batch[:0]
 		}
 		completed = 0
 		for _, sh := range shards {
@@ -600,7 +685,7 @@ func runParallel(w *world, sn *snapshot) (*Result, error) {
 		}
 		if completed < total {
 			for _, sh := range shards {
-				priorEvents += int64(len(sh.par.roundTimes))
+				priorEvents += int64(len(sh.par.roundTimes) - sh.par.phantoms)
 			}
 			// The barrier is the parallel engine's clean boundary: all
 			// events below the horizon processed, all cross-shard
@@ -625,6 +710,79 @@ func runParallel(w *world, sn *snapshot) (*Result, error) {
 	return mergeParallel(w, shards, priorEvents, c)
 }
 
+// subShardHotSite decides the skew-aware split: when one site holds
+// more than half of the platform's pools (and at least two), balanced
+// rounds park every other worker behind its queue, so that site is
+// split into one sub-shard per pool — per-pool workers steal the hot
+// site's event stream from each other through the existing shard
+// interface. Sub-shards exchange same-site work by direct injection
+// under the decision serialization (zero extra lookahead) rather than
+// round barriers. The split stays off for any flow whose machinery
+// assumes one shard per site (checkpoints, resume, replay logs, fault
+// chains), and the plan depends only on configuration and platform
+// shape — never on GOMAXPROCS — so results stay reproducible across
+// machines. Returns the hot site, or -1 to keep per-site shards.
+func subShardHotSite(w *world) int {
+	cfg := &w.cfg
+	if cfg.Faults.enabled() || cfg.CheckpointEvery > 0 || len(cfg.ResumeFrom) > 0 ||
+		cfg.eventLog != nil || cfg.stopAtEvents > 0 {
+		return -1
+	}
+	// Single-site platforms fall back to the serial kernel before any
+	// shard planning; keep the helper total for direct callers anyway.
+	if w.nSites < 2 {
+		return -1
+	}
+	for s := 0; s < w.nSites; s++ {
+		if n := len(w.plat.Site(s).Pools); n >= 2 && n*2 > len(w.pools) {
+			return s
+		}
+	}
+	return -1
+}
+
+// planShards builds the conservative engine's shard set: one shard per
+// site, except a skew-dominant hot site, which splits into one
+// sub-shard per pool (see subShardHotSite).
+func planShards(w *world) []*shard {
+	hot := subShardHotSite(w)
+	if hot < 0 {
+		shards := make([]*shard, w.nSites)
+		for s := range shards {
+			shards[s] = newShard(w, s, []int{s}, true)
+		}
+		return shards
+	}
+	w.subSharded = true
+	w.partOf = make([]int, len(w.pools))
+	var shards []*shard
+	var hotIdx []int
+	for s := 0; s < w.nSites; s++ {
+		if s != hot {
+			idx := len(shards)
+			for _, p := range w.plat.Site(s).Pools {
+				w.partOf[p] = idx
+			}
+			shards = append(shards, newShard(w, idx, []int{s}, true))
+			continue
+		}
+		for i, p := range w.plat.Site(s).Pools {
+			idx := len(shards)
+			w.partOf[p] = idx
+			hotIdx = append(hotIdx, idx)
+			shards = append(shards, newShardPools(w, idx, []int{s}, []int{p}, i == 0, true))
+		}
+	}
+	for _, qi := range hotIdx {
+		for _, qj := range hotIdx {
+			if qj != qi {
+				shards[qi].siblings = append(shards[qi].siblings, qj)
+			}
+		}
+	}
+	return shards
+}
+
 // pairHorizon computes the round horizon from per-pair lookahead
 // bounds instead of the global-minimum lookahead: an event at shard i
 // can influence shard d no earlier than n_i + rtt(i, d), where n_i is
@@ -645,7 +803,11 @@ func pairHorizon(w *world, shards []*shard, n, delta float64) float64 {
 			continue
 		}
 		for _, sd := range shards {
-			if sd == si {
+			if sd == si || sd.sites[0] == si.sites[0] {
+				// Same-site sub-shards exchange no barrier messages —
+				// their traffic is injected inline under the decision
+				// serialization — so the pair contributes no (zero-width)
+				// bound.
 				continue
 			}
 			if b := ni + w.plat.RTT(si.sites[0], sd.sites[0]); b < h {
@@ -723,6 +885,9 @@ func mergeParallel(w *world, shards []*shard, priorEvents int64, c *coordinator)
 	events := priorEvents
 	for si, sh := range shards {
 		for pos, t := range sh.par.roundTimes {
+			if sh.par.roundFin[pos] == finPhantom {
+				continue
+			}
 			switch {
 			case t < res.Makespan:
 				events++
@@ -736,6 +901,10 @@ func mergeParallel(w *world, shards []*shard, priorEvents int64, c *coordinator)
 		}
 	}
 	res.Events = events
+	for _, sh := range shards {
+		res.SubShardSteals += sh.par.steals
+	}
+	subShardSteals.Add(res.SubShardSteals)
 
 	if !w.cfg.DisableSampling {
 		mergeSeries(w, shards, &res)
@@ -776,6 +945,15 @@ func mergeSeries(w *world, shards []*shard, res *Result) {
 	corr := make([]int, w.nSites)
 	next := 0
 
+	// Group shards by site: a skew-split site's sub-shards each sample
+	// their own scope, and the site series needs their integer sum —
+	// summed before the single float division, so a split site computes
+	// the exact float the serial sampler did.
+	bySite := make([][]*shard, w.nSites)
+	for _, sh := range shards {
+		bySite[sh.sites[0]] = append(bySite[sh.sites[0]], sh)
+	}
+
 	n := math.MaxInt
 	for _, sh := range shards {
 		if l := len(sh.acct.rawBusy); l < n {
@@ -804,10 +982,14 @@ func mergeSeries(w *world, shards []*shard, res *Result) {
 		util.Add(t, uv)
 		susp.Add(t, float64(suspended))
 		wait.Add(t, float64(waiting))
-		for s, sh := range shards {
+		for s, group := range bySite {
+			raw := corr[s]
+			for _, sh := range group {
+				raw += int(sh.acct.rawBusy[i])
+			}
 			su := 0.0
 			if w.siteCores[s] > 0 {
-				su = float64(int(sh.acct.rawBusy[i])+corr[s]) / float64(w.siteCores[s]) * 100
+				su = float64(raw) / float64(w.siteCores[s]) * 100
 			}
 			siteTS[s].Add(t, su)
 		}

@@ -370,9 +370,20 @@ func (sh *shard) handleSubmit(idx int) error {
 	if sh.siteOfPool(pool) != rt.spec.Site {
 		sh.res.CrossSiteSubmits++
 		if d := sh.w.plat.RTT(rt.spec.Site, sh.siteOfPool(pool)); d > 0 {
-			sh.send(sh.siteOfPool(pool), sh.k.now+d, sh.place.arrive, int64(idx), int64(pool))
+			sh.send(sh.w.shardOf(pool), sh.k.now+d, sh.place.arrive, int64(idx), int64(pool))
 			return nil
 		}
+	}
+	if owner := sh.ownerOf(pool); owner != sh {
+		// Sub-sharded hot site: the chosen pool belongs to a same-site
+		// sibling sub-shard (cross-site dispatch left through send above —
+		// the lookahead guarantees d > 0 there). The submission is a
+		// globally-serialized deciding event, so the sibling is quiescent;
+		// run the arrival on it inline as part of this event, exactly as
+		// the monolithic engine folds a local arrival into the submit.
+		sh.noteAway(idx)
+		owner.syncTo(sh.k.now, sh.k.phase)
+		return owner.arrival(idx, pool)
 	}
 	return sh.arrival(idx, pool)
 }
@@ -456,6 +467,7 @@ func (sh *shard) startOn(rt *jobRT, mid int) error {
 	rt.finish = sh.k.schedule(sh.k.now+rem, sh.place.finish, int64(rt.idx), 0)
 	p.pushRunning(rt)
 	mach.running = append(mach.running, rt)
+	sh.noteAttach(rt, mach.m.Pool)
 	sh.ensureFree(p, mid)
 	return nil
 }
@@ -525,6 +537,7 @@ func (sh *shard) handleFinish(idx int) error {
 	}
 	sh.completed++
 	removeRunning(mach, rt)
+	sh.noteDetach(rt)
 	mach.freeCores += rt.spec.Cores
 	mach.freeMemMB += rt.spec.MemMB
 	p.busyCores -= rt.spec.Cores
@@ -557,19 +570,20 @@ func (sh *shard) onFree(mid int) error {
 		if useWaiting {
 			p.waitQ.remove(wrt)
 			// A revived slot may hand us a job whose last enqueue was at
-			// another site (see waitQueue); dispatching it makes it
+			// another partition (see waitQueue); dispatching it makes it
 			// resident here, exactly as the serial engine does. This
 			// branch only runs under global quiescence (alias risk
 			// promotes the event to deciding), so telling the queue's
 			// owning shard that the job left is safe. The dispatch also
-			// leaves the job's Pool label pointing at the other site,
-			// opening every cross-partition hazard the crossAliased flag
-			// guards against — from here on, all capacity handoffs
-			// serialize.
+			// leaves the job's Pool label pointing at the other
+			// partition, opening every cross-partition hazard the
+			// alias-risk ledger guards against — the startOn below flags
+			// the job aliased (label partition != machine partition), and
+			// all capacity handoffs serialize until the last such job
+			// detaches.
 			if sh.away != nil && sh.away[wrt.idx] {
-				if owner := sh.peers[sh.siteOfPool(wrt.j.Pool)]; owner != sh {
+				if owner := sh.peers[sh.w.shardOf(wrt.j.Pool)]; owner != sh {
 					owner.noteAway(wrt.idx)
-					sh.w.crossAliased = true
 				}
 			}
 			sh.noteResident(wrt.idx)

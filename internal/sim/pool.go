@@ -19,6 +19,14 @@ type jobRT struct {
 	waitTO evRef
 	// queued marks live membership in a pool wait queue.
 	queued bool
+	// aliased marks a job attached to a machine (running or suspended)
+	// at a site other than its queue-pool label's site — the product of
+	// a cross-site alias dispatch (a revived wait-queue slot, or a
+	// preemption installing a remote label on a local machine). Set by
+	// shard.noteAttach and cleared by shard.noteDetach; the count of
+	// live flags (world.aliasLive) is what promotes capacity handoffs
+	// to deciding events in the parallel engines.
+	aliased bool
 	// enqueuedAt is when the job entered its current wait queue.
 	enqueuedAt float64
 }

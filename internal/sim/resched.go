@@ -57,6 +57,7 @@ func (sh *shard) departSuspended(rt *jobRT, target int) error {
 	if !removeSuspended(mach, rt) {
 		return fmt.Errorf("job %d not found in machine %d suspended list", rt.spec.ID, mid)
 	}
+	sh.noteDetach(rt)
 	p.suspendedCnt--
 	sh.scopeSuspended--
 	if sh.w.cfg.SuspendHoldsMemory {
@@ -87,10 +88,12 @@ func (sh *shard) departSuspended(rt *jobRT, target int) error {
 }
 
 // route delivers a job in transit to a pool, after overhead minutes.
-// The destination may be another shard's site; cross-site overhead
-// always includes the inter-site RTT, preserving the lookahead.
+// The destination may be another shard; cross-site overhead always
+// includes the inter-site RTT, preserving the lookahead (a same-site
+// sibling sub-shard needs none: route only runs inside deciding
+// dispatches, where send may inject directly).
 func (sh *shard) route(rt *jobRT, pool int, overhead float64) {
-	sh.send(sh.siteOfPool(pool), sh.k.now+overhead, sh.place.arrive, int64(rt.idx), int64(pool))
+	sh.send(sh.w.shardOf(pool), sh.k.now+overhead, sh.place.arrive, int64(rt.idx), int64(pool))
 }
 
 // handleWaitTimeout applies the policy's waiting-job rescheduling

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"netbatch/internal/cluster"
 	"netbatch/internal/job"
@@ -53,6 +54,15 @@ type world struct {
 	// submission order (specs are sorted by submission time).
 	subBySite [][]int
 
+	// partOf maps pool -> owning shard index when the conservative
+	// engine split a skew-dominant site into per-pool sub-shards (see
+	// subShardPlan); nil in every other run, where the partition is
+	// exactly the site map. subSharded mirrors partOf != nil and gates
+	// the handful of hot-path branches the split needs (siteBusy writes,
+	// post-decision next republication).
+	partOf     []int
+	subSharded bool
+
 	// machBySite[s] lists the machine IDs at site s, and faults[s] is
 	// the site's fault/maintenance state (RNG stream, downtime spans,
 	// window rotation). Both nil unless cfg.Faults is enabled; each
@@ -60,22 +70,29 @@ type world struct {
 	machBySite [][]int
 	faults     []siteFaults
 
-	// crossAliased (parallel runs only) records that at least one
-	// cross-site alias dispatch has happened: a revived wait-queue slot
-	// handed a shard a job whose current queue pool is at another site.
-	// From that moment on, jobs can be resident at one site while their
-	// queue-time Pool label — and hence their victim-scan visibility,
-	// pending events, and onFree cascades — belong to another, and any
+	// aliasLive counts jobs currently attached to a machine at a site
+	// other than their queue-pool label's site (jobRT.aliased): the
+	// products of cross-site alias dispatches — a revived wait-queue
+	// slot handing a shard a job whose current queue pool is at another
+	// site, or a preemption chaining off one. While such a job exists,
+	// its victim-scan visibility, pending events, and onFree cascades
+	// belong to a different partition than its machine state, and any
 	// capacity-handoff event anywhere may reach across a partition
 	// boundary (e.g. a label-matched victim preemption on a remote
 	// machine, or a fault kill canceling a finish event that lives in
-	// the remote labeling shard's kernel). The flag is sticky for the
-	// rest of the run and promotes every shard's handoff events to
-	// globally-serialized deciding events, which reproduces the serial
-	// order exactly. It is written only during globally-serialized
-	// events (which hold the coordinator mutex) and read only under
-	// that mutex.
-	crossAliased bool
+	// the remote labeling shard's kernel). While aliasLive > 0 every
+	// shard's handoff events are promoted to globally-serialized
+	// deciding events, which reproduces the serial order exactly. The
+	// risk retires with its cause: when the last aliased job detaches
+	// from its machine (completion, departure, or kill), handoffs
+	// demote back to shard-local — unlike the run-wide sticky flag this
+	// replaces, one early alias dispatch no longer serializes the rest
+	// of the run. Every mutation happens inside a dispatch that is
+	// itself globally serialized (see noteAttach for why an alias can
+	// never be created speculatively), so the parallel engines read a
+	// stable value between claims and the optimistic engine never has
+	// to roll the counter back.
+	aliasLive int
 }
 
 // buildWorld validates the specs against the platform and allocates
@@ -160,6 +177,17 @@ func buildWorld(cfg Config, specs []job.Spec) (*world, error) {
 	return w, nil
 }
 
+// shardOf maps a pool to the index of the shard that owns it: its
+// site, unless the run is sub-sharded and the pool's site was split —
+// then the sub-shard the pool was assigned to. Serial and optimistic
+// runs never set partOf, so the partition degenerates to the site map.
+func (w *world) shardOf(pool int) int {
+	if w.partOf != nil {
+		return w.partOf[pool]
+	}
+	return w.siteOf[pool]
+}
+
 // ageDelay returns the view-ageing period for observer site obs
 // reading a pool at site tgt: the configured staleness plus the
 // inter-site delay.
@@ -210,6 +238,18 @@ type shard struct {
 	k     *kernel
 	index int
 	sites []int
+
+	// pools, when non-nil, restricts the shard to a subset of its
+	// (single) site's pools: the shard is one sub-shard of a skew-split
+	// hot site. primary marks the first sub-shard of the site — the one
+	// that owns the site's submission chain and whose refresh-chain
+	// events count toward Result.Events (siblings' are phantoms) — and
+	// is true for every non-split shard. siblings lists the other
+	// sub-shards of the same site by shard index (nil otherwise): the
+	// only peers that can inject events into this shard mid-round.
+	pools    []int
+	primary  bool
+	siblings []int
 
 	// subIdx are the indices of specs submitted inside this shard's
 	// scope, in submission order; nextSubmit chains them one event at
@@ -274,11 +314,21 @@ type shard struct {
 // newShard builds a shard over the given sites and registers the
 // subsystems with its kernel.
 func newShard(w *world, index int, sites []int, parallel bool) *shard {
+	return newShardPools(w, index, sites, nil, true, parallel)
+}
+
+// newShardPools is newShard generalized to sub-shards: when pools is
+// non-nil the shard owns only that subset of its (single) site's
+// pools, and only the primary sub-shard carries the site's submission
+// chain.
+func newShardPools(w *world, index int, sites []int, pools []int, primary, parallel bool) *shard {
 	sh := &shard{
-		w:     w,
-		k:     newKernel(parallel),
-		index: index,
-		sites: sites,
+		w:       w,
+		k:       newKernel(parallel),
+		index:   index,
+		sites:   sites,
+		pools:   pools,
+		primary: primary,
 	}
 	if len(sites) == w.nSites {
 		sh.subIdx = make([]int, len(w.specs))
@@ -286,8 +336,10 @@ func newShard(w *world, index int, sites []int, parallel bool) *shard {
 			sh.subIdx[i] = i
 		}
 	} else {
-		for _, s := range sites {
-			sh.subIdx = append(sh.subIdx, w.subBySite[s]...)
+		if primary {
+			for _, s := range sites {
+				sh.subIdx = append(sh.subIdx, w.subBySite[s]...)
+			}
 		}
 		if len(sites) > 1 {
 			panic("sim: parallel shards are single-site")
@@ -324,16 +376,30 @@ func newShard(w *world, index int, sites []int, parallel bool) *shard {
 		sh.away = make([]bool, len(w.jobs))
 		sh.slotCount = make([]int32, len(w.jobs))
 		sh.riskCounted = make([]bool, len(w.jobs))
-		for _, s := range sites {
-			for _, p := range w.plat.Site(s).Pools {
-				w.pools[p].waitQ.onDrop = func(rt *jobRT) {
-					sh.slotCount[rt.idx]--
-					sh.recountRisk(rt.idx)
-				}
+		for _, p := range sh.ownPools() {
+			w.pools[p].waitQ.onDrop = func(rt *jobRT) {
+				sh.slotCount[rt.idx]--
+				sh.recountRisk(rt.idx)
 			}
 		}
 	}
 	return sh
+}
+
+// ownPools returns the pool IDs this shard owns: its explicit subset
+// when sub-sharded, otherwise every pool of its sites.
+func (sh *shard) ownPools() []int {
+	if sh.pools != nil {
+		return sh.pools
+	}
+	if len(sh.sites) == 1 {
+		return sh.w.plat.Site(sh.sites[0]).Pools
+	}
+	var all []int
+	for _, s := range sh.sites {
+		all = append(all, sh.w.plat.Site(s).Pools...)
+	}
+	return all
 }
 
 // registerCoreState installs the shard-core state codec: the kernel
@@ -462,6 +528,83 @@ func (sh *shard) noteAway(idx int) {
 	sh.recountRisk(idx)
 }
 
+// aliasRetirements counts alias-flag clears (noteDetach on an aliased
+// job) across every run in the process. Tests assert the retirement
+// path genuinely engages — that handoffs demote back to local after
+// the last aliased job detaches — through deltas of this counter.
+var aliasRetirements atomic.Int64
+
+// noteAttach records a job's machine attachment for the alias-risk
+// ledger: the job is aliased iff the machine's partition differs from
+// the job's queue-pool label's partition (site, or sub-shard when the
+// site is skew-split — a same-site cross-sub-shard attach crosses a
+// partition boundary exactly like a cross-site one, and must serialize
+// handoffs the same way). Called from startOn, the single point where
+// a job acquires a machine with a possibly-foreign label (resume
+// re-attaches to the same machine with the same label and cannot
+// change the flag).
+//
+// An alias can never be created speculatively: a revived slot handing
+// out a departed job requires the slot shard's own aliasRisk > 0, and
+// a preemption reaching a remote machine requires an already-aliased
+// victim (findVictim matches on the label pool, so a cross-partition
+// match implies the victim's label and machine partitions differ),
+// i.e. aliasLive > 0 — both of which promote the dispatching handoff
+// to a globally-serialized deciding event first. Speculative bursts
+// therefore only ever attach label-local jobs, and rollback never
+// needs to undo the ledger.
+func (sh *shard) noteAttach(rt *jobRT, machPool int) {
+	if rt.aliased {
+		// Already aliased and re-attaching (kill-and-requeue lands on
+		// the machine pool, clearing first): unreachable today, but keep
+		// the counter exact if a future path re-attaches without detach.
+		return
+	}
+	if sh.w.shardOf(rt.j.Pool) != sh.w.shardOf(machPool) {
+		rt.aliased = true
+		sh.w.aliasLive++
+	}
+}
+
+// noteDetach retires a job's alias flag when it leaves its machine
+// (completion, suspended departure, or fault kill). Once the last live
+// flag clears, every running or suspended job's label site matches its
+// machine site again, so no victim scan, pending event, or onFree
+// cascade can cross a partition boundary — capacity handoffs demote
+// back to shard-local dispatch until the next alias dispatch.
+func (sh *shard) noteDetach(rt *jobRT) {
+	if !rt.aliased {
+		return
+	}
+	rt.aliased = false
+	sh.w.aliasLive--
+	aliasRetirements.Add(1)
+}
+
+// rebuildAliasLive recomputes the alias-risk ledger from restored job
+// and machine state: a job is aliased iff it is attached to a machine
+// (running or suspended-on-machine) whose pool's partition differs
+// from the job's label pool's partition. Snapshots do not persist the
+// ledger — it is a pure function of the state they do persist — so
+// checkpoint restore calls this after every shard codec has loaded.
+// (Checkpointed runs are never sub-sharded, so the partition here is
+// always the site map.)
+func rebuildAliasLive(w *world) {
+	w.aliasLive = 0
+	for i := range w.jobs {
+		rt := &w.jobs[i]
+		rt.aliased = false
+		st := rt.j.State()
+		if st != job.StateRunning && st != job.StateSuspended {
+			continue
+		}
+		if w.shardOf(rt.j.Pool) != w.shardOf(w.machines[rt.j.Machine].m.Pool) {
+			rt.aliased = true
+			w.aliasLive++
+		}
+	}
+}
+
 // seed schedules the shard's initial events: its first local
 // submission, and the snapshot refresh chains for every (observer,
 // target-site-in-scope) pair with a non-zero ageing delay — both at
@@ -529,15 +672,15 @@ func (sh *shard) decideFence() float64 {
 // earliest timestamp at which it may execute an event that reads or
 // writes another shard's state. Three sources bound it: pending (and
 // future chained-submission) deciding events; while alias risk is
-// live — or a cross-site alias has ever been dispatched — pending
-// capacity handoffs (they are then serialized too); and — crucially —
+// live — locally, or anywhere via a machine-attached aliased job —
+// pending capacity handoffs (they are then serialized too); and — crucially —
 // decisions that do not exist yet: processing any pending event at
 // time u can arm a suspension decision or wait timeout no earlier
 // than u + minDyn, so the fence can never exceed the next event's
 // time plus that offset.
 func (sh *shard) publishedFence() float64 {
 	f := sh.decideFence()
-	if sh.aliasRisk > 0 || sh.w.crossAliased {
+	if sh.aliasRisk > 0 || sh.w.aliasLive > 0 {
 		if t := sh.k.nextHandoff(); t < f {
 			f = t
 		}
@@ -548,30 +691,68 @@ func (sh *shard) publishedFence() float64 {
 	return f
 }
 
-// send schedules an event for the pool-owning shard: locally when the
-// destination site is in scope (always, in the serial engine),
-// otherwise into the destination's outbox buffer for batched delivery
-// at the next round barrier. Cross-shard events always carry at least
-// the inter-site RTT of delay, which is what keeps rounds closed under
-// the lookahead. A job routed away (an arrive event crossing sites) is
-// marked departed for the alias-risk accounting.
-func (sh *shard) send(destSite int, t float64, kd kind, a, b int64) {
-	if sh.par == nil || destSite == sh.sites[0] {
+// send schedules an event for the shard dest (a shard index — equal to
+// the site index in every run but a sub-sharded one): locally when the
+// destination is this shard (always, in the serial engine), otherwise
+// into the destination's outbox buffer for batched delivery at the
+// next round barrier. Cross-site events always carry at least the
+// inter-site RTT of delay, which is what keeps rounds closed under the
+// lookahead. A same-site sibling sub-shard is the one destination with
+// zero lookahead, so the barrier cannot carry the message; every send
+// originates in a globally-serialized deciding dispatch (submission
+// routing, reschedule routing), under which all peers are provably
+// quiescent, so the event goes straight into the sibling's kernel,
+// stamped with the deciding event's tie rank. A job routed away (an
+// arrive event crossing shards) is marked departed for the alias-risk
+// accounting.
+func (sh *shard) send(dest int, t float64, kd kind, a, b int64) {
+	if sh.par == nil || dest == sh.index {
 		sh.k.schedule(t, kd, a, b)
 		return
 	}
 	if kd == sh.place.arrive {
 		sh.noteAway(int(a))
 	}
+	if peer := sh.peers[dest]; peer.sites[0] == sh.sites[0] {
+		peer.k.phase = sh.k.phase
+		peer.k.schedule(t, kd, a, b)
+		return
+	}
 	sh.par.msgSeq++
-	sh.par.outbox[destSite] = append(sh.par.outbox[destSite], outMsg{
+	sh.par.outbox[dest] = append(sh.par.outbox[dest], outMsg{
 		t: t, kind: kd, a: a, b: b,
 		g: sh.k.phase, idx: sh.par.msgSeq,
 	})
+	sh.par.outboxN++
 }
 
 // siteOfPool is a convenience accessor.
 func (sh *shard) siteOfPool(pool int) int { return sh.w.siteOf[pool] }
+
+// ownerOf returns the shard owning pool: this shard outside parallel
+// runs, otherwise the peer the partition maps the pool to.
+func (sh *shard) ownerOf(pool int) *shard {
+	if sh.peers == nil {
+		return sh
+	}
+	return sh.peers[sh.w.shardOf(pool)]
+}
+
+// syncTo prepares this shard to execute work injected inline by a
+// sibling's deciding dispatch at time t: the clock and tie-rank phase
+// adopt the dispatching event's, and accounting ticks strictly below t
+// flush before any state mutates (they must read pre-injection state).
+// The caller holds the coordinator mutex with every shard quiescent,
+// and serialized decisions execute in global timestamp order, so t
+// never precedes this shard's clock (exact ties are flagged
+// elsewhere).
+func (sh *shard) syncTo(t float64, phase uint64) {
+	if t > sh.k.now {
+		sh.k.now = t
+	}
+	sh.k.phase = phase
+	sh.acct.advanceTo(t)
+}
 
 // addBusy applies a busy-core change for a machine of the given pool:
 // the executing shard's scope counter (what its raw sample log reads)
@@ -584,7 +765,13 @@ func (sh *shard) siteOfPool(pool int) int { return sh.w.siteOf[pool] }
 func (sh *shard) addBusy(pool, delta int) {
 	site := sh.w.siteOf[pool]
 	sh.scopeBusy += delta
-	sh.w.siteBusy[site] += delta
+	if !sh.w.subSharded {
+		// siteBusy backs the serial sampler and the checkpoint codec,
+		// both unreachable in a sub-sharded run — and same-site sibling
+		// sub-shards would race on it during concurrent non-deciding
+		// events, so it stays untouched there.
+		sh.w.siteBusy[site] += delta
+	}
 	if sh.par != nil && site != sh.sites[0] {
 		sh.par.busyShifts = append(sh.par.busyShifts, busyShift{
 			t: sh.k.now, exec: sh.sites[0], site: site, delta: int32(delta),

@@ -294,6 +294,23 @@ type Result struct {
 	// of down cores over the run, in core-minutes.
 	DownCoreMinutes float64
 
+	// SubShardSteals counts events executed by non-primary sub-shards
+	// when the conservative engine split a skew-dominant site into
+	// per-pool sub-shards (skew-aware work stealing): the hot-site work
+	// that ran somewhere other than the one worker a per-site partition
+	// would have given it. Zero when the split did not activate and on
+	// the other engines. Excluded from bit-identity comparisons — it
+	// describes the execution, not the simulated system.
+	SubShardSteals int64
+
+	// GroupCommitSize is the optimistic engine's group-commit histogram
+	// in log2 buckets: bucket i counts quiescent drains that retired n
+	// consecutive committable heads with 2^i <= n < 2^(i+1). Nil for
+	// the other engines. A mass concentrated in bucket 0 means every
+	// commit paid its own quiescence cycle; mass in higher buckets is
+	// the amortization the group-commit drain exists to win.
+	GroupCommitSize []int64
+
 	// ambiguousTies records that the parallel engine observed at least
 	// one cross-partition pair of events with exactly equal timestamps
 	// whose serial order it cannot reconstruct. Such ties are

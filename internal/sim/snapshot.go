@@ -133,13 +133,21 @@ func newPoolView(sh *shard) *poolView {
 func (v *poolView) observe(site int) { v.obs = site }
 
 // refresh copies live utilization of the target site's pools into the
-// observer's snapshot row.
+// observer's snapshot row. A sub-shard refreshes only its own pools:
+// each sub-shard of a split site runs its own chain for the pair, so
+// together they cover the site at the same refresh instants with the
+// same values the site shard would have written, while never touching
+// a sibling's pool state concurrently.
 func (v *poolView) refresh(pair snapPair) {
 	snap := v.sh.w.snap
 	if snap == nil {
 		return
 	}
-	for _, p := range v.sh.w.plat.Site(pair.tgt).Pools {
+	pools := v.sh.w.plat.Site(pair.tgt).Pools
+	if v.sh.pools != nil {
+		pools = v.sh.pools
+	}
+	for _, p := range pools {
 		snap[pair.obs][p] = v.liveUtil(p)
 	}
 }

@@ -1,0 +1,440 @@
+package sim
+
+// Skew-aware work stealing: when one site dominates the pool count,
+// the conservative engine splits it into per-pool sub-shards behind
+// the shard interface. These tests pin three properties: (1) skewed
+// federations stay bit-identical across serial, sub-sharded parallel,
+// and optimistic runs (under -race, with real concurrency forced);
+// (2) the split genuinely engages — non-primary sub-shards execute
+// events (steals) and same-partition alias dispatches retire through
+// the ledger; (3) the activation heuristic keeps every incompatible or
+// balanced configuration on the per-site path.
+
+import (
+	"math"
+	"math/rand/v2"
+	"runtime"
+	"testing"
+	"testing/quick"
+
+	"netbatch/internal/cluster"
+	"netbatch/internal/core"
+	"netbatch/internal/job"
+	"netbatch/internal/sched"
+)
+
+// skewedFederation builds a platform where site 0 holds 8 of 10 pools
+// and draws ~80% of the submissions — the shape the per-site partition
+// serializes behind one worker and the sub-shard split exists to
+// parallelize.
+func skewedFederation(r *rand.Rand) (*cluster.Platform, []job.Spec, error) {
+	const nSites = 3
+	poolsAt := [nSites]int{8, 1, 1}
+	var configs []cluster.PoolConfig
+	for s := 0; s < nSites; s++ {
+		for p := 0; p < poolsAt[s]; p++ {
+			configs = append(configs, cluster.PoolConfig{
+				Site: string(rune('A' + s)),
+				Classes: []cluster.MachineClass{
+					{Count: 1 + r.IntN(3), Cores: 1 + r.IntN(2), MemMB: 4096, Speed: 1.0},
+					{Count: 1, Cores: 2, MemMB: 8192, Speed: 0.8 + r.Float64()},
+				},
+			})
+		}
+	}
+	plat, err := cluster.Build(configs)
+	if err != nil {
+		return nil, nil, err
+	}
+	rtt := make([][]float64, nSites)
+	for a := range rtt {
+		rtt[a] = make([]float64, nSites)
+		for b := range rtt[a] {
+			if a != b {
+				rtt[a][b] = float64(1 + r.IntN(20))
+			}
+		}
+	}
+	plat, err = plat.WithRTT(rtt)
+	if err != nil {
+		return nil, nil, err
+	}
+	nPools := plat.NumPools()
+	all := make([]int, nPools)
+	for i := range all {
+		all[i] = i
+	}
+	n := 40 + r.IntN(100)
+	specs := make([]job.Spec, n)
+	t := 0.0
+	for i := range specs {
+		t += r.Float64() * 8
+		site := 0
+		if r.IntN(5) == 0 {
+			site = 1 + r.IntN(nSites-1)
+		}
+		prio := job.PriorityLow
+		cands := all
+		if r.IntN(5) == 0 {
+			prio = job.PriorityHigh
+			cands = all[:1+r.IntN(nPools)]
+		}
+		specs[i] = job.Spec{
+			ID:         job.ID(i + 1),
+			Submit:     t,
+			Work:       5 + r.Float64()*200,
+			Cores:      1 + r.IntN(2),
+			MemMB:      512 + r.IntN(4096),
+			Priority:   prio,
+			Candidates: cands,
+			Site:       site,
+		}
+	}
+	return plat, specs, nil
+}
+
+// TestSubShardSkewedFederationEngines is the skewed-federation
+// property test: serial, parallel (sub-sharded) and optimistic results
+// must be bit-identical, and across the sampled seeds the sub-shard
+// steal counter and the alias-retirement counter must both actually
+// move — a split that never steals (or an alias ledger that never
+// retires) would make the bit-identity assertions vacuous.
+func TestSubShardSkewedFederationEngines(t *testing.T) {
+	if prev := runtime.GOMAXPROCS(0); prev < 2 {
+		runtime.GOMAXPROCS(2)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	runs, skips := 0, 0
+	stealsBefore := subShardSteals.Load()
+	retireBefore := aliasRetirements.Load()
+	cfgQuick := &quick.Config{MaxCount: 16}
+	err := quick.Check(func(seed uint64, polPick, selPick uint8, staleness uint8) bool {
+		r := rand.New(rand.NewPCG(seed, seed^0x9e3779b9))
+		plat, specs, err := skewedFederation(r)
+		if err != nil {
+			t.Logf("workload: %v", err)
+			return false
+		}
+		mk := func(engine string) Config {
+			return Config{
+				Platform:          plat,
+				Initial:           federatedInitial(siteSelectorForIndex(int(selPick))),
+				Policy:            multiSitePolicyForIndex(int(polPick), seed),
+				UtilStaleness:     float64(staleness % 40),
+				Engine:            engine,
+				CheckConservation: true,
+			}
+		}
+		serialRes, err := Run(mk(EngineSerial), specs)
+		if err != nil {
+			t.Logf("serial: %v", err)
+			return false
+		}
+		parRes, err := Run(mk(EngineParallel), specs)
+		if err != nil {
+			t.Logf("parallel: %v", err)
+			return false
+		}
+		optRes, err := Run(mk(EngineOptimistic), specs)
+		if err != nil {
+			t.Logf("optimistic: %v", err)
+			return false
+		}
+		if parRes.SubShardSteals == 0 {
+			// 8 of 10 pools sit at the hot site; with round-robin
+			// per-site inner scheduling some job always lands on a
+			// non-primary pool.
+			t.Logf("seed %d: skewed run recorded no sub-shard steals", seed)
+			return false
+		}
+		runs++
+		if parRes.ambiguousTies || optRes.ambiguousTies {
+			skips++
+			t.Logf("seed %d: ambiguous tie observed, skipping comparison", seed)
+			return true
+		}
+		a, b, c := fingerprint(serialRes), fingerprint(parRes), fingerprint(optRes)
+		if a != b {
+			t.Logf("seed %d sel %d pol %d: serial and parallel results differ:\n%s",
+				seed, selPick%3, polPick%4, firstDiff(a, b))
+			return false
+		}
+		if a != c {
+			t.Logf("seed %d sel %d pol %d: serial and optimistic results differ:\n%s",
+				seed, selPick%3, polPick%4, firstDiff(a, c))
+			return false
+		}
+		return true
+	}, cfgQuick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs > 0 && skips == runs {
+		t.Errorf("all %d runs skipped as ambiguous ties: bit-identity was never actually compared", runs)
+	}
+	if d := subShardSteals.Load() - stealsBefore; d <= 0 {
+		t.Errorf("sub-shard steal counter never moved (delta %d): split did not engage", d)
+	}
+	if d := aliasRetirements.Load() - retireBefore; d <= 0 {
+		t.Errorf("alias retirement counter never moved (delta %d) across skewed runs", d)
+	}
+}
+
+// moveWaitPolicy reschedules any job stalled in pool from's queue to
+// pool to, and leaves every other waiting job in place.
+type moveWaitPolicy struct {
+	from, to int
+	th       float64
+}
+
+func (moveWaitPolicy) Name() string { return "move-wait-test" }
+func (moveWaitPolicy) OnSuspend(float64, *job.Job, sched.PoolView) (int, bool) {
+	return 0, false
+}
+func (m moveWaitPolicy) WaitThreshold() float64 { return m.th }
+func (m moveWaitPolicy) OnWaitTimeout(_ float64, j *job.Job, _ sched.PoolView) (int, bool) {
+	if j.Pool == m.from {
+		return m.to, true
+	}
+	return 0, false
+}
+
+// TestSubShardForcedAliasDemote constructs the alias lifecycle
+// deterministically on a sub-sharded platform: a job waits at pool 0,
+// is wait-moved to sibling pool 1 (same site — the move travels by
+// direct injection, not a round barrier), and its tombstoned pool-0
+// slot revives when pool 0's machine frees — dispatching the job onto
+// pool 0's machine while its queue label points at pool 1. That attach
+// crosses a sub-shard partition boundary, so the parallel run must
+// flag it aliased (serializing handoffs), and the job's completion
+// must retire the flag through the ledger. Serial and optimistic runs
+// never split the site, see no partition crossing, and must still
+// produce bit-identical results.
+func TestSubShardForcedAliasDemote(t *testing.T) {
+	if prev := runtime.GOMAXPROCS(0); prev < 2 {
+		runtime.GOMAXPROCS(2)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	configs := []cluster.PoolConfig{
+		{Site: "A", Classes: []cluster.MachineClass{{Count: 1, Cores: 1, MemMB: 8192, Speed: 1.0}}},
+		{Site: "A", Classes: []cluster.MachineClass{{Count: 1, Cores: 1, MemMB: 8192, Speed: 1.0}}},
+		{Site: "B", Classes: []cluster.MachineClass{{Count: 1, Cores: 1, MemMB: 8192, Speed: 1.0}}},
+	}
+	plat, err := cluster.Build(configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat, err = plat.WithRTT([][]float64{{0, 5}, {5, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := func(id job.ID, submit, work float64, site int, cands ...int) job.Spec {
+		return job.Spec{
+			ID: id, Submit: submit, Work: work, Cores: 1, MemMB: 1024,
+			Priority: job.PriorityLow, Candidates: cands, Site: site,
+		}
+	}
+	specs := []job.Spec{
+		spec(1, 0, 20.3, 0, 0),   // occupies pool 0's machine until t=20.3
+		spec(2, 0.4, 31.7, 0, 1), // occupies pool 1's machine until t=32.1
+		spec(3, 0.7, 5.9, 0, 0),  // waits at 0, moves to 1 at t=3.0, revived at t=20.3
+		spec(4, 1.3, 10.1, 1, 2), // keeps the remote site non-trivial
+	}
+	mk := func(engine string) Config {
+		return Config{
+			Platform:          plat,
+			Initial:           sched.NewRoundRobin(),
+			Policy:            moveWaitPolicy{from: 0, to: 1, th: 2.3},
+			Engine:            engine,
+			CheckConservation: true,
+		}
+	}
+	serialRes, err := Run(mk(EngineSerial), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stealsBefore := subShardSteals.Load()
+	retireBefore := aliasRetirements.Load()
+	parRes, err := Run(mk(EngineParallel), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optRes, err := Run(mk(EngineOptimistic), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parRes.ambiguousTies || optRes.ambiguousTies {
+		t.Fatal("forced-alias scenario hit an ambiguous tie; timestamps need adjusting")
+	}
+	a, b, c := fingerprint(serialRes), fingerprint(parRes), fingerprint(optRes)
+	if a != b {
+		t.Fatalf("serial and parallel results differ:\n%s", firstDiff(a, b))
+	}
+	if a != c {
+		t.Fatalf("serial and optimistic results differ:\n%s", firstDiff(a, c))
+	}
+	// The revived dispatch must have produced the alias: job 3 starts on
+	// pool 0's machine the moment job 1 frees it (t=20.3) even though
+	// its queue label moved to pool 1, so it completes at 26.2 — not at
+	// 38.0, which is what running behind job 2 on pool 1's own machine
+	// would give.
+	j3 := parRes.Jobs[2]
+	if want := 20.3 + 5.9; math.Abs(j3.Completed-want) > 1e-9 {
+		t.Fatalf("job 3 completed at %v; want %v (revived onto pool 0's machine at t=20.3)",
+			j3.Completed, want)
+	}
+	if d := subShardSteals.Load() - stealsBefore; d <= 0 {
+		t.Errorf("sub-shard steal counter delta %d; the split site's sibling ran no events", d)
+	}
+	if d := aliasRetirements.Load() - retireBefore; d < 1 {
+		t.Errorf("alias retirement delta %d; want >= 1 (job 3's detach must retire its partition alias)", d)
+	}
+	if parRes.SubShardSteals == 0 {
+		t.Error("Result.SubShardSteals is zero on a sub-sharded run")
+	}
+	if serialRes.SubShardSteals != 0 || optRes.SubShardSteals != 0 {
+		t.Error("SubShardSteals leaked into a non-sub-sharded engine's Result")
+	}
+}
+
+// TestSubShardActivationGating pins the heuristic: the split needs a
+// site with at least two pools holding a strict majority, and turns
+// itself off for every flow that assumes one shard per site.
+func TestSubShardActivationGating(t *testing.T) {
+	build := func(poolsAt ...int) *world {
+		var configs []cluster.PoolConfig
+		for s, n := range poolsAt {
+			for p := 0; p < n; p++ {
+				configs = append(configs, cluster.PoolConfig{
+					Site:    string(rune('A' + s)),
+					Classes: []cluster.MachineClass{{Count: 1, Cores: 1, MemMB: 4096, Speed: 1.0}},
+				})
+			}
+		}
+		plat, err := cluster.Build(configs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := Config{Platform: plat, Initial: sched.NewRoundRobin(), Policy: core.NewNoRes()}
+		cfg, err := base.withDefaults()
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := buildWorld(cfg, []job.Spec{lowJob(1, 0, 10, 0)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	if got := subShardHotSite(build(3, 1)); got != 0 {
+		t.Errorf("3-vs-1 pools: hot site = %d, want 0", got)
+	}
+	if got := subShardHotSite(build(1, 3)); got != 1 {
+		t.Errorf("1-vs-3 pools: hot site = %d, want 1", got)
+	}
+	for name, w := range map[string]*world{
+		"balanced":     build(2, 2),
+		"bare-hot":     build(1, 1), // majority site has just one pool
+		"even-split":   build(2, 1, 1),
+		"three-way":    build(3, 3, 3),
+		"single-site":  build(4),
+		"no-majority5": build(2, 2, 1),
+	} {
+		if got := subShardHotSite(w); got != -1 {
+			t.Errorf("%s: hot site = %d, want -1", name, got)
+		}
+	}
+	// Feature gates: the same skewed platform must refuse to split
+	// under any flow that assumes one shard per site.
+	w := build(3, 1)
+	w.cfg.CheckpointEvery = 100
+	if got := subShardHotSite(w); got != -1 {
+		t.Errorf("checkpointing enabled: hot site = %d, want -1", got)
+	}
+	w = build(3, 1)
+	w.cfg.ResumeFrom = []byte{1}
+	if got := subShardHotSite(w); got != -1 {
+		t.Errorf("resume configured: hot site = %d, want -1", got)
+	}
+	w = build(3, 1)
+	w.cfg.stopAtEvents = 5
+	if got := subShardHotSite(w); got != -1 {
+		t.Errorf("replay stop configured: hot site = %d, want -1", got)
+	}
+	w = build(3, 1)
+	w.cfg.eventLog = &replayRecorder{}
+	if got := subShardHotSite(w); got != -1 {
+		t.Errorf("event log configured: hot site = %d, want -1", got)
+	}
+	w = build(3, 1)
+	w.cfg.Faults = FaultConfig{MTBF: 1000, MTTR: 10}
+	if !w.cfg.Faults.enabled() {
+		t.Fatal("fault config not enabled; gate test is vacuous")
+	}
+	if got := subShardHotSite(w); got != -1 {
+		t.Errorf("faults enabled: hot site = %d, want -1", got)
+	}
+}
+
+// TestSubShardSingleHotSiteAllLocal pins the degenerate-but-important
+// case of a two-site platform whose hot site holds every job: all
+// parallelism must come from the split itself.
+func TestSubShardSingleHotSiteAllLocal(t *testing.T) {
+	r := rand.New(rand.NewPCG(99, 7))
+	var configs []cluster.PoolConfig
+	for p := 0; p < 5; p++ {
+		configs = append(configs, cluster.PoolConfig{
+			Site:    "A",
+			Classes: []cluster.MachineClass{{Count: 2, Cores: 1, MemMB: 4096, Speed: 1.0}},
+		})
+	}
+	configs = append(configs, cluster.PoolConfig{
+		Site:    "B",
+		Classes: []cluster.MachineClass{{Count: 1, Cores: 1, MemMB: 4096, Speed: 1.0}},
+	})
+	plat, err := cluster.Build(configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat, err = plat.WithRTT([][]float64{{0, 7}, {7, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotPools := []int{0, 1, 2, 3, 4}
+	var specs []job.Spec
+	tm := 0.0
+	for i := 0; i < 60; i++ {
+		tm += r.Float64() * 4
+		specs = append(specs, job.Spec{
+			ID: job.ID(i + 1), Submit: tm, Work: 5 + r.Float64()*90,
+			Cores: 1, MemMB: 1024, Priority: job.PriorityLow,
+			Candidates: hotPools, Site: 0,
+		})
+	}
+	mk := func(engine string) Config {
+		return Config{
+			Platform:          plat,
+			Initial:           sched.NewRoundRobin(),
+			Policy:            core.NewResSusWaitUtil(),
+			Engine:            engine,
+			CheckConservation: true,
+		}
+	}
+	serialRes, err := Run(mk(EngineSerial), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes, err := Run(mk(EngineParallel), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parRes.SubShardSteals == 0 {
+		t.Error("no steals recorded with every job on the 5-pool hot site")
+	}
+	if parRes.ambiguousTies {
+		t.Skip("ambiguous tie observed")
+	}
+	if a, b := fingerprint(serialRes), fingerprint(parRes); a != b {
+		t.Fatalf("serial and sub-sharded parallel results differ:\n%s", firstDiff(a, b))
+	}
+}

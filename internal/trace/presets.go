@@ -229,6 +229,29 @@ func FaultyMultiSiteWeek(seed uint64, nSites int) GeneratorConfig {
 	return cfg
 }
 
+// MultiSiteYear returns the year-scale configuration for an n-site
+// federation: the MultiSiteWeek environment — site-major pool layout,
+// site-local candidate subsets, per-site owned pools — stretched to
+// the 500,000-minute horizon of the year-long runs, with the week's
+// two fixed bursts replaced by recurring randomly placed
+// high-priority bursts (AutoBursts, as in YearLong: one roughly every
+// 11 days, hours to a week long). Rates are full-scale; callers pair
+// the trace with an equally scaled platform, exactly as with
+// MultiSiteWeek.
+func MultiSiteYear(seed uint64, nSites int) GeneratorConfig {
+	cfg := MultiSiteWeek(seed, nSites)
+	cfg.Horizon = 500000
+	cfg.Bursts = nil
+	cfg.Auto = &AutoBursts{
+		MeanGap:       16000,
+		MeanDuration:  1500,
+		MaxDuration:   10080,
+		Rate:          26,
+		PoolsPerBurst: 2,
+	}
+	return cfg
+}
+
 // YearLong returns the configuration for the year-scale runs behind
 // Figures 2 and 4: 500,000 minutes with recurring randomly placed
 // bursts. scale shrinks the arrival rate to pair with an equally scaled
