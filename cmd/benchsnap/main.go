@@ -160,6 +160,10 @@ func printTrend(files []string) error {
 		for i, f := range files {
 			c, ok := idx[i][name]
 			if !ok {
+				// Render the gap instead of silently skipping the file:
+				// a missing cell (added later, or dropped from an old
+				// baseline) reads very differently from a flat metric.
+				fmt.Printf("  %-18s %14s\n", f, "(cell absent)")
 				continue
 			}
 			line := fmt.Sprintf("  %-18s %12.0f ns/op%s %12d B/op%s %9d allocs/op%s",

@@ -6,6 +6,7 @@
 //	experiments [-run table1,fig2,...] [-scale 1.0] [-seed 42]
 //	            [-seeds N] [-jobs N] [-engine serial|parallel|optimistic]
 //	            [-timeout 30m] [-out DIR] [-overhead MIN]
+//	            [-timeline out.json] [-runlog run.jsonl] [-progress 1s]
 //
 // Without -run, every registered experiment executes. Each experiment
 // is a (scenario × policy × seed) matrix executed on a bounded worker
@@ -33,6 +34,7 @@ import (
 	"time"
 
 	"netbatch/internal/experiments"
+	"netbatch/internal/obs"
 	"netbatch/internal/report"
 	"netbatch/internal/sim"
 )
@@ -44,7 +46,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	var (
 		list     = flag.Bool("list", false, "list registered experiments and engines, then exit")
 		runIDs   = flag.String("run", "", "comma-separated experiment IDs (default: all)")
@@ -66,6 +68,10 @@ func run() error {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 		traceFile  = flag.String("trace", "", "write a runtime execution trace of the run to this file")
+
+		timeline = flag.String("timeline", "", "write an engine timeline of every cell as Chrome trace_event JSON to this file (load in Perfetto / chrome://tracing)")
+		runlog   = flag.String("runlog", "", "stream per-cell run telemetry as JSONL records to this file (\"-\" = stderr)")
+		progress = flag.Duration("progress", 0, "per-cell progress cadence (0 = 1s when -runlog is set, else mirror nothing); also mirrors to stderr without -runlog")
 
 		replayBisect = flag.String("replay-bisect", "", "two checkpoint files \"from.ckpt,to.ckpt\" of one recorded cell: replay the interval to localize the first diverging event of a determinism regression (requires -run and -bisect-cell)")
 		bisectCell   = flag.String("bisect-cell", "", "cell coordinate \"scenario/policy/replicate\" for -replay-bisect (matches the snapshot's embedded label)")
@@ -115,6 +121,17 @@ func run() error {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
 	}
+	flush, err := armObservability(*timeline, *runlog, *progress, &opts)
+	if err != nil {
+		return err
+	}
+	// Flush telemetry on every exit path — a partial timeline of an
+	// aborted run is exactly what the flags are for.
+	defer func() {
+		if ferr := flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 	if *replayBisect != "" {
 		return runReplayBisect(*replayBisect, *bisectCell, ids, opts)
 	}
@@ -131,6 +148,12 @@ func run() error {
 		fmt.Printf("=== %s (%.1fs) ===\n", out.ID, time.Since(start).Seconds())
 		for _, tbl := range out.Tables {
 			if err := tbl.Render(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		if out.EngineCounters != nil {
+			if err := out.EngineCounters.Render(os.Stdout); err != nil {
 				return err
 			}
 			fmt.Println()
@@ -220,6 +243,63 @@ func runReplayBisect(files, cell string, ids []string, opts experiments.Options)
 	return nil
 }
 
+// armObservability wires the -timeline/-runlog/-progress flags into the
+// matrix options: a shared metrics registry plus JSONL run log when
+// -runlog is set, and a Chrome-trace timeline collector when -timeline
+// is. The returned flush appends the final registry snapshot as a
+// "metrics" record, writes the timeline JSON, and closes the run-log
+// file; it is safe to call when no flag was set.
+func armObservability(timeline, runlog string, progress time.Duration, opts *experiments.Options) (func() error, error) {
+	var closeLog func() error
+	if runlog != "" {
+		w := io.Writer(os.Stderr)
+		if runlog != "-" {
+			f, err := os.Create(runlog)
+			if err != nil {
+				return nil, fmt.Errorf("runlog: %w", err)
+			}
+			w = f
+			closeLog = f.Close
+		}
+		opts.RunLog = obs.NewRunLog(w)
+		opts.Metrics = obs.NewRegistry()
+	}
+	if timeline != "" {
+		opts.Trace = obs.NewTracer()
+	}
+	opts.ProgressEvery = progress
+	flush := func() error {
+		if opts.RunLog != nil {
+			if err := opts.RunLog.Emit(obs.RunRecord{
+				Type:    "metrics",
+				Metrics: opts.Metrics.Snapshot(),
+			}); err != nil {
+				return fmt.Errorf("runlog: %w", err)
+			}
+		}
+		if closeLog != nil {
+			if err := closeLog(); err != nil {
+				return fmt.Errorf("runlog: %w", err)
+			}
+		}
+		if opts.Trace != nil {
+			f, err := os.Create(timeline)
+			if err != nil {
+				return fmt.Errorf("timeline: %w", err)
+			}
+			if err := opts.Trace.WriteJSON(f); err != nil {
+				f.Close()
+				return fmt.Errorf("timeline: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("timeline: %w", err)
+			}
+		}
+		return nil
+	}
+	return flush, nil
+}
+
 // printRegistry lists every registered experiment and the available
 // simulation engines.
 func printRegistry(w io.Writer) error {
@@ -249,6 +329,20 @@ func writeCSV(dir string, out *experiments.Output) error {
 			return err
 		}
 		if err := tbl.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if out.EngineCounters != nil {
+		path := filepath.Join(dir, fmt.Sprintf("%s_engine_counters.csv", out.ID))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := out.EngineCounters.WriteCSV(f); err != nil {
 			f.Close()
 			return err
 		}

@@ -119,6 +119,11 @@ func (q *Queue) Live() int { return q.live }
 // count; compaction keeps it at most Live() (above a small minimum).
 func (q *Queue) Len() int { return len(q.heap) }
 
+// Tombstones returns the number of canceled events still occupying
+// heap slots (Len minus Live) — the lazy-deletion debt the compactor
+// bounds. Exposed for observability gauges.
+func (q *Queue) Tombstones() int { return len(q.heap) - q.live }
+
 // SetDropHook installs fn, called once for each canceled event whose
 // non-nil Ref payload is dropped without firing (during lazy-deletion
 // sweeps or compaction), so consumers can recycle payload storage.

@@ -14,11 +14,13 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"time"
 
 	"netbatch/internal/cluster"
 	"netbatch/internal/core"
 	"netbatch/internal/job"
 	"netbatch/internal/metrics"
+	"netbatch/internal/obs"
 	"netbatch/internal/report"
 	"netbatch/internal/sched"
 	"netbatch/internal/sim"
@@ -84,6 +86,27 @@ type Options struct {
 	// Logf, when set, receives progress and fallback warnings (e.g. a
 	// checkpoint that could not be resumed). Nil discards them.
 	Logf func(format string, args ...any)
+
+	// Metrics, when set, is the shared registry every cell's engine
+	// records execution counters into (see internal/obs and the
+	// sim.Config.Metrics names). Nil disables metric recording at the
+	// engines' nil-sink fast path.
+	Metrics *obs.Registry
+	// Trace, when set, collects a Chrome trace_event timeline: each
+	// cell becomes one process group ("cell <scenario>/<policy>/r<n>")
+	// holding that run's engine tracks. Write it out with
+	// Trace.WriteJSON after Run returns.
+	Trace *obs.Tracer
+	// RunLog, when set, receives streaming JSONL telemetry: one
+	// cell_start/cell_done record per cell plus periodic progress
+	// records (simulated-time frontier, events/sec, crude ETA,
+	// rollback count) every ProgressEvery of wall time.
+	RunLog *obs.RunLog
+	// ProgressEvery throttles per-cell progress records, and — when
+	// RunLog is nil but Logf is set — mirrors them to Logf instead.
+	// Values <= 0 default to 1s when RunLog is set, else disable
+	// progress reporting.
+	ProgressEvery time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -101,6 +124,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Context == nil {
 		o.Context = context.Background()
+	}
+	if o.RunLog != nil && o.ProgressEvery <= 0 {
+		o.ProgressEvery = time.Second
 	}
 	return o
 }
@@ -121,6 +147,14 @@ type Output struct {
 	// Tables are the rendered result tables (paper layout; mean ± 95%
 	// CI columns when more than one replicate ran).
 	Tables []*report.Table
+	// EngineCounters is the per-strategy engine execution table
+	// (sub-shard steals, alias retirements, rollbacks, group-commit
+	// drains), set only when a non-serial engine ran the cells. It is
+	// deliberately NOT part of Tables: the paper tables must render
+	// byte-identically across engines (pinned by goldens and the
+	// engine-parity tests), while these counters describe execution
+	// mechanics that legitimately differ per engine.
+	EngineCounters *report.Table
 	// Series holds named time series / distributions for the figures
 	// (first replicate).
 	Series map[string][]stats.Point
@@ -340,6 +374,42 @@ func newOutput(id, title string, mr *MatrixResult) *Output {
 	return out
 }
 
+// annotateEngine fills Output.EngineCounters with the per-strategy
+// engine execution counters (sub-shard steals, alias retirements,
+// rollbacks, group-commit drains) when a non-serial engine ran the
+// cells. Serial runs skip it: the counters describe parallel execution
+// mechanics, and the serial goldens pin the report byte-for-byte.
+func annotateEngine(out *Output, mr *MatrixResult) {
+	if mr.Engine == "" || mr.Engine == sim.EngineSerial {
+		return
+	}
+	nScen := len(mr.cells) / (mr.nPol * mr.nRep)
+	rows := make([]report.EngineStats, mr.nPol)
+	for p, name := range mr.PolicyNames {
+		rows[p].Strategy = name
+		for s := 0; s < nScen; s++ {
+			for rep := 0; rep < mr.nRep; rep++ {
+				r := mr.At(s, p, rep).Result
+				if r == nil {
+					continue
+				}
+				rows[p].Events += r.Events
+				rows[p].SubShardSteals += r.SubShardSteals
+				rows[p].AliasRetirements += r.AliasRetirements
+				rows[p].Rollbacks += r.Rollbacks
+				for i, n := range r.GroupCommitSize {
+					for len(rows[p].GroupCommits) <= i {
+						rows[p].GroupCommits = append(rows[p].GroupCommits, 0)
+					}
+					rows[p].GroupCommits[i] += n
+				}
+			}
+		}
+	}
+	out.EngineCounters = report.EngineTable(
+		fmt.Sprintf("engine execution counters (%s)", mr.Engine), rows)
+}
+
 // annotateAmbiguity surfaces ambiguous cross-partition timestamp ties:
 // formerly a silently-dropped engine-internal flag, now a counted field
 // plus a report footnote whenever any replicate raised it.
@@ -371,5 +441,6 @@ func tableOutput(id, title string, mr *MatrixResult) (*Output, error) {
 		return nil, err
 	}
 	out.Tables = append(out.Tables, tbl, waste)
+	annotateEngine(out, mr)
 	return out, nil
 }

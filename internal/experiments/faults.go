@@ -133,5 +133,6 @@ func runFaults(opts Options) (*Output, error) {
 		return nil, err
 	}
 	out.Tables = append(out.Tables, tbl, ftbl)
+	annotateEngine(out, mr)
 	return out, nil
 }

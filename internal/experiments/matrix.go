@@ -92,6 +92,10 @@ type MatrixResult struct {
 	PolicyNames []string
 	// Seeds are the replicate seeds actually used.
 	Seeds []uint64
+	// Engine records which sim engine ran the cells ("" = serial
+	// default). Reports use it to decide whether engine execution
+	// counters are worth a table.
+	Engine string
 
 	nPol, nRep int
 	cells      []CellResult
@@ -201,9 +205,10 @@ func (m Matrix) Run(opts Options) (*MatrixResult, error) {
 		seeds = ReplicateSeeds(opts.Seed, opts.Seeds)
 	}
 	res := &MatrixResult{
-		Seeds: seeds,
-		nPol:  len(m.Policies),
-		nRep:  len(seeds),
+		Seeds:  seeds,
+		Engine: opts.Engine,
+		nPol:   len(m.Policies),
+		nRep:   len(seeds),
 	}
 	for _, p := range m.Policies {
 		res.PolicyNames = append(res.PolicyNames, p.Name)
@@ -309,6 +314,7 @@ func buildCellConfig(sc *Scenario, pf PolicyFactory, p int, seed uint64, plat *c
 		UtilStaleness:      sc.Staleness,
 		CheckConservation:  true,
 		Context:            opts.Context,
+		Metrics:            opts.Metrics,
 	}
 	if sc.Faults != nil {
 		cfg.Faults = simFaultConfig(*sc.Faults, stats.ForkSeed(seed, faultSeedKey))
@@ -415,6 +421,16 @@ func LoadCheckpoint(path string) ([]byte, error) {
 // bit-identity is the engine's contract and mismatches are rejected up
 // front.
 func runCellSim(cfg sim.Config, specs []job.Spec, scenarioID, policyName string, p, rep int, opts Options) (*sim.Result, error) {
+	done := cellTelemetry(&cfg, specs, scenarioID, policyName, rep, opts)
+	r, err := runCellSimCheckpointed(cfg, specs, scenarioID, policyName, p, rep, opts)
+	done(r, err)
+	return r, err
+}
+
+// runCellSimCheckpointed is runCellSim's checkpoint-handling core; the
+// wrapper above brackets it with telemetry so every exit path — fresh
+// run, resume, or fallback — emits exactly one cell_done record.
+func runCellSimCheckpointed(cfg sim.Config, specs []job.Spec, scenarioID, policyName string, p, rep int, opts Options) (*sim.Result, error) {
 	logf := opts.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}

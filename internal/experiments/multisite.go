@@ -215,5 +215,6 @@ func runMultiSite(opts Options) (*Output, error) {
 		}
 		out.Tables = append(out.Tables, st)
 	}
+	annotateEngine(out, mr)
 	return out, nil
 }

@@ -35,6 +35,7 @@ import (
 	"math"
 
 	"netbatch/internal/eventq"
+	"netbatch/internal/obs"
 )
 
 // snapshotMagic and snapshotVersion head every encoded snapshot.
@@ -686,6 +687,23 @@ type checkpointer struct {
 	lastFull   []byte
 	lastTime   float64
 	lastEvents int64
+
+	// Observability (see observe.go): capture counters/bytes and a
+	// wall-clock span per take on the driving engine's timeline track.
+	// Both nil-safe; set by the engine via observe.
+	met   *simMetrics
+	trace *obs.Track
+}
+
+// observe attaches the run's metric handles and the driving engine's
+// timeline track to the checkpointer. Nil-safe on a nil checkpointer
+// (checkpointing disabled).
+func (ck *checkpointer) observe(met *simMetrics, tk *obs.Track) {
+	if ck == nil {
+		return
+	}
+	ck.met = met
+	ck.trace = tk
 }
 
 // newCheckpointer returns nil when checkpointing is disabled.
@@ -719,6 +737,7 @@ func (ck *checkpointer) due(t float64) bool { return ck != nil && t >= ck.next }
 // delta at least as large as its full encoding carries no value and
 // would still force chain reconstruction on resume).
 func (ck *checkpointer) take(t float64, events int64, gseq uint64, ties bool) error {
+	t0 := ck.trace.Now()
 	data, err := takeSnapshot(ck.w, ck.shards, ck.params, t, events, gseq, ties)
 	if err != nil {
 		return err
@@ -738,6 +757,11 @@ func (ck *checkpointer) take(t float64, events int64, gseq uint64, ties bool) er
 	if ck.keyframe > 1 {
 		ck.lastFull, ck.lastTime, ck.lastEvents = data, t, events
 	}
+	if ck.met != nil {
+		ck.met.ckpts.Add(1)
+		ck.met.ckptBytes.Add(int64(len(out)))
+	}
+	ck.trace.Span("checkpoint", t0, obs.Arg{Key: "bytes", Val: int64(len(out))})
 	if err := ck.w.cfg.CheckpointSink(Checkpoint{Time: t, Events: events, Data: out, Delta: isDelta}); err != nil {
 		return fmt.Errorf("sim: checkpoint sink at t=%v: %w", t, err)
 	}

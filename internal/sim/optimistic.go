@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"netbatch/internal/eventq"
+	"netbatch/internal/obs"
 )
 
 // This file is the optimistic (Time Warp) engine: the third execution
@@ -184,6 +185,14 @@ type optCoord struct {
 	// lengths of the quiescent commit drain.
 	groupHist []int64
 
+	// rolls counts this run's rollbacks for Result.Rollbacks; plain
+	// int because rollbacks happen only under global quiescence on the
+	// coordinator goroutine. tk is the coordinator timeline lane (nil
+	// when tracing is off) — rollbacks and commit drains render there
+	// because they, too, run only at quiescence.
+	rolls int64
+	tk    *obs.Track
+
 	// Per-shard fence caches for the commit drain, refilled by each
 	// quiescent pass and thereafter recomputed only for shards whose
 	// queues a commit actually changed: most retired heads touch the
@@ -286,6 +295,18 @@ func (c *optCoord) runBurst(sh *shard, capT, safeT float64) {
 	k := sh.k
 	w := c.w
 	ctx := w.cfg.Context
+	w.met.bursts.Add(1)
+	if tk := sh.trace; tk != nil {
+		bt0 := tk.Now()
+		ev0 := len(sh.par.roundTimes)
+		defer func() {
+			// Parked bursts (head already at the cap) stay off the
+			// timeline; only bursts that executed something render.
+			if n := len(sh.par.roundTimes) - ev0; n > 0 {
+				tk.Span("burst", bt0, obs.Arg{Key: "events", Val: int64(n)})
+			}
+		}()
+	}
 	for {
 		ev, ok := k.q.Peek()
 		if !ok || ev.Time >= capT || ev.Time > w.cfg.MaxTime {
@@ -359,6 +380,8 @@ func (c *optCoord) pushSnapshot(sh *shard) {
 		}
 	}
 	optSnapshots.Add(1)
+	c.w.met.snapshots.Add(1)
+	sh.trace.Instant("snapshot")
 	o.stack = append(o.stack, optEntry{
 		clock:    sh.k.now,
 		roundLen: len(sh.par.roundTimes),
@@ -409,6 +432,7 @@ func (c *optCoord) clearStack(sh *shard) {
 func (c *optCoord) rollback(sh *shard, td float64) error {
 	o := sh.opt
 	k := sh.k
+	rt0 := c.tk.Now()
 	if len(o.stack) == 0 {
 		// Legal only for a shard whose clock is exactly td with nothing
 		// speculated since: the decider of an earlier commit at the
@@ -519,6 +543,20 @@ func (c *optCoord) rollback(sh *shard, td float64) error {
 		c.wasted += undone
 	}
 	optRollbacks.Add(1)
+	c.rolls++
+	c.w.met.rollbacks.Add(1)
+	if undone > 0 {
+		c.w.met.undone.Add(int64(undone))
+	}
+	if c.tk != nil {
+		wasted := int64(0)
+		if undone > 0 {
+			wasted = int64(undone)
+		}
+		c.tk.Span("rollback", rt0,
+			obs.Arg{Key: "shard", Val: int64(sh.index)},
+			obs.Arg{Key: "undone", Val: wasted})
+	}
 	return nil
 }
 
@@ -762,6 +800,13 @@ func runOptimistic(w *world) (*Result, error) {
 	c.qNext = make([]float64, len(shards))
 	c.dFence = make([]float64, len(shards))
 	c.hoff = make([]float64, len(shards))
+	// Timeline lanes in deterministic order (coordinator first, shards
+	// by index); all nil no-ops when tracing is off.
+	c.tk = w.cfg.Trace.Track("coordinator")
+	for _, sh := range shards {
+		sh.trace = w.cfg.Trace.Track(fmt.Sprintf("shard %02d (site %d)", sh.index, sh.sites[0]))
+	}
+	pm := newProgressMeter(&w.cfg)
 	for _, sh := range shards {
 		sh.seed()
 	}
@@ -825,6 +870,14 @@ func runOptimistic(w *world) (*Result, error) {
 				minNext = c.qNext[i]
 			}
 		}
+		if pm != nil {
+			var evs int64
+			for _, sh := range shards {
+				evs += int64(len(sh.par.roundTimes))
+			}
+			pm.maybe(maxNow(shards), evs, c.rolls)
+		}
+		w.met.sampleQueues(shards)
 		if completed >= total {
 			// Recomputed each pass from the per-shard incremental maxima
 			// (rollback truncation keeps them honest): a rollback can
@@ -890,6 +943,7 @@ func runOptimistic(w *world) (*Result, error) {
 			// one, or complete the run; the re-scan below catches all
 			// three and ends the run when the head stops being
 			// committable.
+			gt0 := c.tk.Now()
 			run := int64(0)
 			for {
 				if err := c.commit(td, decider); err != nil {
@@ -944,6 +998,11 @@ func runOptimistic(w *world) (*Result, error) {
 				}
 			}
 			c.noteGroupCommit(run)
+			w.met.drains.Add(1)
+			w.met.groupSize.Observe(run)
+			if c.tk != nil {
+				c.tk.Span("group-commit", gt0, obs.Arg{Key: "commits", Val: run})
+			}
 			continue
 		}
 
@@ -1047,5 +1106,7 @@ func runOptimistic(w *world) (*Result, error) {
 		return nil, err
 	}
 	res.GroupCommitSize = c.groupHist
+	res.Rollbacks = c.rolls
+	w.met.events.Add(res.Events)
 	return res, nil
 }

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"netbatch/internal/eventq"
+	"netbatch/internal/obs"
 	"netbatch/internal/stats"
 )
 
@@ -330,6 +331,12 @@ func (c *coordinator) runShardRound(sh *shard, H float64) {
 	ctl := &c.ctl[sh.index]
 	w := c.w
 	ctx := w.cfg.Context
+	// Per-round observability (all nil-safe): the shard's own worker is
+	// the only writer of its track, and the deltas are computed on the
+	// shard's own counters, so none of this synchronizes anything.
+	tk := sh.trace
+	rt0 := tk.Now()
+	ev0, st0 := len(sh.par.roundTimes), sh.par.steals
 	c.mu.Lock()
 	// announce marks that this shard's published state changed (initial
 	// publish, or an event was processed) and peers must be woken. A
@@ -357,7 +364,10 @@ func (c *coordinator) runShardRound(sh *shard, H float64) {
 				c.cond.Broadcast()
 				announce = false
 			}
+			wt0 := tk.Now()
 			c.cond.Wait()
+			tk.Span("drain-wait", wt0)
+			w.met.fenceWaits.Add(1)
 			continue
 		}
 		t := ev.Time
@@ -392,7 +402,10 @@ func (c *coordinator) runShardRound(sh *shard, H float64) {
 			// the peeked head (an alias dispatch canceling our wait
 			// timer) or flipped our alias-risk state, changing both the
 			// head event and its classification.
+			wt0 := tk.Now()
 			c.cond.Wait()
+			tk.Span("fence-wait", wt0)
+			w.met.fenceWaits.Add(1)
 			continue
 		}
 		ev, _ = sh.k.q.Pop()
@@ -468,6 +481,11 @@ func (c *coordinator) runShardRound(sh *shard, H float64) {
 	ctl.fence = sh.publishedFence()
 	c.cond.Broadcast()
 	c.mu.Unlock()
+	if tk != nil {
+		tk.Span("round", rt0,
+			obs.Arg{Key: "events", Val: int64(len(sh.par.roundTimes) - ev0)},
+			obs.Arg{Key: "steals", Val: sh.par.steals - st0})
+	}
 	// Every tick below the horizon is final: no event below H can ever
 	// arrive after this round.
 	sh.acct.flushTo(H)
@@ -525,6 +543,14 @@ func runParallel(w *world, sn *snapshot) (*Result, error) {
 		kSnapshot: int(shards[0].snaps.snapshot),
 	}
 	c.cond = sync.NewCond(&c.mu)
+	// Timeline lanes: one coordinator track plus one per shard, created
+	// up front in shard order so lane numbering is deterministic. All
+	// nil (free no-ops) when tracing is off.
+	coordTk := w.cfg.Trace.Track("coordinator")
+	for _, sh := range shards {
+		sh.trace = w.cfg.Trace.Track(fmt.Sprintf("shard %02d (site %d)", sh.index, sh.sites[0]))
+	}
+	pm := newProgressMeter(&w.cfg)
 	var priorEvents int64
 	if sn != nil {
 		if err := restoreRun(sn, w, shards, c); err != nil {
@@ -537,6 +563,7 @@ func runParallel(w *world, sn *snapshot) (*Result, error) {
 		}
 	}
 	ck := newCheckpointer(w, shards, EngineParallel, sn)
+	ck.observe(&w.met, coordTk)
 
 	// Persistent round workers: each waits for the round counter to
 	// advance, drains its shard below the published horizon, and
@@ -618,6 +645,8 @@ func runParallel(w *world, sn *snapshot) (*Result, error) {
 		}
 		c.publish(shards)
 		horizon := pairHorizon(w, shards, n, delta)
+		w.met.rounds.Add(1)
+		rt0 := coordTk.Now()
 
 		// Start the round and wait for every worker to drain it. The
 		// mutex hand-offs here give the workers release/acquire edges
@@ -636,6 +665,13 @@ func runParallel(w *world, sn *snapshot) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		if coordTk != nil {
+			var roundEv int64
+			for _, sh := range shards {
+				roundEv += int64(len(sh.par.roundTimes) - sh.par.phantoms)
+			}
+			coordTk.Span("round", rt0, obs.Arg{Key: "events", Val: roundEv})
+		}
 
 		// Barrier: flush the round's cross-shard messages, one batched
 		// delivery per destination. The batch is pre-sorted into firing
@@ -652,6 +688,7 @@ func runParallel(w *world, sn *snapshot) (*Result, error) {
 			sh.par.outboxN = 0
 		}
 		if pending > 0 {
+			dt0 := coordTk.Now()
 			for d := range shards {
 				batch := c.batch[:0]
 				for _, sh := range shards {
@@ -678,6 +715,9 @@ func runParallel(w *world, sn *snapshot) (*Result, error) {
 				}
 				c.batch = batch[:0]
 			}
+			if coordTk != nil {
+				coordTk.Span("deliver", dt0, obs.Arg{Key: "msgs", Val: int64(pending)})
+			}
 		}
 		completed = 0
 		for _, sh := range shards {
@@ -687,6 +727,9 @@ func runParallel(w *world, sn *snapshot) (*Result, error) {
 			for _, sh := range shards {
 				priorEvents += int64(len(sh.par.roundTimes) - sh.par.phantoms)
 			}
+			// Telemetry reads at the barrier see quiescent shards.
+			pm.maybe(horizon, priorEvents, 0)
+			w.met.sampleQueues(shards)
 			// The barrier is the parallel engine's clean boundary: all
 			// events below the horizon processed, all cross-shard
 			// messages delivered, every worker parked.
@@ -707,7 +750,16 @@ func runParallel(w *world, sn *snapshot) (*Result, error) {
 			}
 		}
 	}
-	return mergeParallel(w, shards, priorEvents, c)
+	res, err := mergeParallel(w, shards, priorEvents, c)
+	if err != nil {
+		return nil, err
+	}
+	base := int64(0)
+	if sn != nil {
+		base = sn.events
+	}
+	w.met.events.Add(res.Events - base)
+	return res, nil
 }
 
 // subShardHotSite decides the skew-aware split: when one site holds
@@ -905,6 +957,11 @@ func mergeParallel(w *world, shards []*shard, priorEvents int64, c *coordinator)
 		res.SubShardSteals += sh.par.steals
 	}
 	subShardSteals.Add(res.SubShardSteals)
+	res.AliasRetirements = w.aliasRetired
+	// Promote the run's execution counters into the metrics registry
+	// (no-ops when Config.Metrics is unset).
+	w.met.steals.Add(res.SubShardSteals)
+	w.met.aliasRet.Add(w.aliasRetired)
 
 	if !w.cfg.DisableSampling {
 		mergeSeries(w, shards, &res)

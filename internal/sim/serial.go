@@ -24,6 +24,8 @@ func runSerial(w *world, sn *snapshot) (*Result, error) {
 	}
 	res := sh.res
 	res.Events = sh.k.events
+	res.AliasRetirements = w.aliasRetired
+	w.met.aliasRet.Add(w.aliasRetired)
 	if err := finalizeJobs(w, &res); err != nil {
 		return nil, err
 	}
@@ -48,6 +50,11 @@ func serialLoop(sh *shard, ck *checkpointer) error {
 	cfg := &sh.w.cfg
 	ctx := cfg.Context
 	k := sh.k
+	met := &sh.w.met
+	pm := newProgressMeter(cfg)
+	ck.observe(met, cfg.Trace.Track("serial"))
+	events0 := k.events
+	defer func() { met.events.Add(k.events - events0) }()
 	for sh.completed < total {
 		ev, ok := k.q.Pop()
 		if !ok {
@@ -63,9 +70,18 @@ func serialLoop(sh *shard, ck *checkpointer) error {
 				cfg.MaxTime, total-sh.completed, total)
 		}
 		k.events++
-		if ctx != nil && k.events&255 == 0 {
-			if err := ctx.Err(); err != nil {
-				return fmt.Errorf("sim: canceled at t=%v: %w", k.now, err)
+		if k.events&255 == 0 {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return fmt.Errorf("sim: canceled at t=%v: %w", k.now, err)
+				}
+			}
+			// Observability rides the same stride as the ctx poll: one
+			// predicted branch each per 256 events when disabled.
+			pm.maybe(k.now, k.events, 0)
+			if met.qDepth != nil {
+				met.qDepth.Max(int64(k.q.Live()))
+				met.qTombs.Max(int64(k.q.Tombstones()))
 			}
 		}
 		// Record sample ticks strictly before this event; ticks that

@@ -7,6 +7,7 @@ import (
 
 	"netbatch/internal/cluster"
 	"netbatch/internal/job"
+	"netbatch/internal/obs"
 	"netbatch/internal/stats"
 )
 
@@ -93,13 +94,23 @@ type world struct {
 	// stable value between claims and the optimistic engine never has
 	// to roll the counter back.
 	aliasLive int
+
+	// aliasRetired counts this run's alias-flag clears for
+	// Result.AliasRetirements. Safe as a plain int for the same reason
+	// aliasLive is: every mutation happens inside a globally-serialized
+	// dispatch.
+	aliasRetired int64
+
+	// met holds the run's pre-resolved observability handles; the zero
+	// value (Config.Metrics nil) makes every record site a nil check.
+	met simMetrics
 }
 
 // buildWorld validates the specs against the platform and allocates
 // the shared runtime state. cfg must already have defaults applied.
 func buildWorld(cfg Config, specs []job.Spec) (*world, error) {
 	plat := cfg.Platform
-	w := &world{cfg: cfg, plat: plat, specs: specs}
+	w := &world{cfg: cfg, plat: plat, specs: specs, met: newSimMetrics(cfg.Metrics)}
 	w.machines = make([]machineRT, plat.NumMachines())
 	for i := 0; i < plat.NumMachines(); i++ {
 		m := plat.Machine(i)
@@ -309,6 +320,11 @@ type shard struct {
 	// truncate to) and scope the placement job loop to resident and
 	// in-transit jobs instead of the whole submission history.
 	opt *optShard
+
+	// trace is the shard's timeline lane (nil when tracing is off).
+	// Written only by the goroutine currently driving the shard, which
+	// every engine already guarantees is unique at any instant.
+	trace *obs.Track
 }
 
 // newShard builds a shard over the given sites and registers the
@@ -578,6 +594,7 @@ func (sh *shard) noteDetach(rt *jobRT) {
 	}
 	rt.aliased = false
 	sh.w.aliasLive--
+	sh.w.aliasRetired++
 	aliasRetirements.Add(1)
 }
 

@@ -41,10 +41,12 @@ package sim
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"netbatch/internal/cluster"
 	"netbatch/internal/core"
 	"netbatch/internal/job"
+	"netbatch/internal/obs"
 	"netbatch/internal/sched"
 	"netbatch/internal/stats"
 )
@@ -161,6 +163,33 @@ type Config struct {
 	// from the nearest keyframe (the experiments runner does this for
 	// its checkpoint directories).
 	CheckpointKeyframe int
+	// Metrics, when non-nil, receives engine execution counters —
+	// events dispatched, rounds, fence waits, bursts, speculative
+	// snapshots, rollbacks, group-commit sizes, sub-shard steals,
+	// alias retirements, checkpoint captures, and event-queue
+	// depth/tombstone high-water marks (see internal/obs for names).
+	// Handles are resolved once per run; with Metrics nil every record
+	// site degenerates to a nil check — no allocation, no atomics.
+	// Metrics describe the execution, never the simulated system, and
+	// are excluded from the engines' bit-identity contract.
+	Metrics *obs.Registry
+	// Trace, when non-nil, records a Chrome trace_event timeline of
+	// the run into the given process group: one track per shard plus a
+	// coordinator track, with spans for rounds, fence waits, bursts,
+	// group-commit drains, rollbacks and checkpoint captures.
+	// Timestamps are wall-clock — the timeline attributes real
+	// execution time. Like Metrics, tracing never affects event order,
+	// RNG draws, or results.
+	Trace *obs.Process
+	// Progress, when non-nil, is invoked from cheap engine sync points
+	// (the serial ctx-poll stride, round barriers, commit passes) at
+	// most once per ProgressEvery of wall time with the current
+	// simulated-time frontier. The callback must be fast and must not
+	// touch simulation state.
+	Progress func(obs.Progress)
+	// ProgressEvery throttles Progress callbacks. Default 500ms.
+	ProgressEvery time.Duration
+
 	// ResumeFrom is an encoded snapshot (Checkpoint.Data) to resume
 	// from instead of starting at t=0. The snapshot must come from a
 	// run with the same configuration, workload and engine mode;
@@ -302,6 +331,21 @@ type Result struct {
 	// the other engines. Excluded from bit-identity comparisons — it
 	// describes the execution, not the simulated system.
 	SubShardSteals int64
+
+	// AliasRetirements counts alias-flag clears (the last cross-partition
+	// job detaching from its machine, demoting capacity handoffs back to
+	// shard-local dispatch; see shard.noteDetach). Like SubShardSteals it
+	// describes the execution, not the simulated system: sub-sharded runs
+	// cut pools finer and count same-site cross-sub-shard attaches too,
+	// and a resumed run counts only its tail. Excluded from bit-identity
+	// comparisons and not persisted in snapshots.
+	AliasRetirements int64
+
+	// Rollbacks counts optimistic-engine rollbacks: speculative bursts
+	// unwound because a committed decision landed below the shard's
+	// clock. Zero on the other engines. Purely execution-describing and
+	// excluded from bit-identity comparisons.
+	Rollbacks int64
 
 	// GroupCommitSize is the optimistic engine's group-commit histogram
 	// in log2 buckets: bucket i counts quiescent drains that retired n
